@@ -1,0 +1,57 @@
+// Command advisor applies the paper's guidelines (§VI) to an
+// application profile and prints a memory-configuration
+// recommendation with the expected speedup:
+//
+//	advisor -pattern sequential -size 8GB -ht
+//	advisor -pattern random -size 30GB
+//	advisor -pattern random -size 5.6GB -ht -latency-hiding
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+func main() {
+	patternStr := flag.String("pattern", "sequential", "access pattern: sequential|random")
+	sizeStr := flag.String("size", "8GB", "working-set size")
+	threads := flag.Int("threads", 64, "baseline thread count")
+	ht := flag.Bool("ht", false, "application scales past one thread per core")
+	latHide := flag.Bool("latency-hiding", false, "random accesses are independent (HT can pipeline them)")
+	flag.Parse()
+
+	var pattern core.AccessPattern
+	switch *patternStr {
+	case "sequential":
+		pattern = core.SequentialPattern
+	case "random":
+		pattern = core.RandomPattern
+	default:
+		fmt.Fprintf(os.Stderr, "advisor: unknown pattern %q\n", *patternStr)
+		os.Exit(2)
+	}
+	size, err := units.ParseBytes(*sizeStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "advisor:", err)
+		os.Exit(2)
+	}
+	sys, err := core.NewSystem()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "advisor:", err)
+		os.Exit(1)
+	}
+	rec, err := sys.Advise(core.AppProfile{
+		Pattern: pattern, WorkingSet: size, Threads: *threads,
+		CanUseHT: *ht, LatencyHide: *latHide,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "advisor:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("profile: %s access, %v working set, %d baseline threads\n", pattern, size, *threads)
+	fmt.Print(rec.String())
+}

@@ -1,0 +1,106 @@
+// Command knlsim runs one workload under one memory configuration on
+// the simulated KNL node, mimicking the paper's numactl-driven runs:
+//
+//	knlsim -workload MiniFE -config hbm -size 7.2GB -threads 64
+//	knlsim -workload XSBench -config cache -size 5.6GB -threads 256
+//	knlsim -workload Graph500 -config dram -size 35GB -sweep-threads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/knl"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// chipForSKU selects a machine preset by marketing number.
+func chipForSKU(sku string) (knl.ChipSpec, error) {
+	switch sku {
+	case "7210", "":
+		return knl.KNL7210(), nil
+	case "7230":
+		return knl.KNL7230(), nil
+	case "7250":
+		return knl.KNL7250(), nil
+	case "7290":
+		return knl.KNL7290(), nil
+	}
+	return knl.ChipSpec{}, fmt.Errorf("unknown SKU %q (7210|7230|7250|7290)", sku)
+}
+
+func main() {
+	wl := flag.String("workload", "STREAM", "workload name (STREAM, TinyMemBench, DGEMM, MiniFE, GUPS, Graph500, XSBench)")
+	cfgStr := flag.String("config", "dram", "memory configuration: dram|hbm|cache|interleave|hybrid:F")
+	sizeStr := flag.String("size", "8GB", "problem size (workload-specific meaning)")
+	threads := flag.Int("threads", 64, "total OpenMP-style threads")
+	sweep := flag.Bool("sweep-threads", false, "sweep 64/128/192/256 threads")
+	list := flag.Bool("list", false, "list workloads and exit")
+	sku := flag.String("sku", "7210", "KNL SKU: 7210 (testbed) | 7230 | 7250 | 7290")
+	flag.Parse()
+
+	sys, err := core.NewSystem()
+	if err != nil {
+		fatal(err)
+	}
+	if *sku != "7210" {
+		chip, err := chipForSKU(*sku)
+		if err != nil {
+			fatal(err)
+		}
+		mach, err := engine.NewMachine(chip)
+		if err != nil {
+			fatal(err)
+		}
+		sys.Machine = mach
+	}
+	if *list {
+		fmt.Printf("%-14s %-15s %-12s %-10s %s\n", "name", "type", "pattern", "max scale", "metric")
+		for _, m := range sys.Workloads() {
+			i := m.Info()
+			fmt.Printf("%-14s %-15s %-12s %-10s %s\n", i.Name, i.Class, i.Pattern, i.MaxScale, i.Metric)
+		}
+		return
+	}
+
+	cfg, err := engine.ParseConfig(*cfgStr)
+	if err != nil {
+		fatal(err)
+	}
+	size, err := units.ParseBytes(*sizeStr)
+	if err != nil {
+		fatal(err)
+	}
+	mdl, err := sys.Workload(*wl)
+	if err != nil {
+		fatal(err)
+	}
+	info := mdl.Info()
+	fmt.Printf("machine: %s | workload: %s | size: %v | config: %v (numactl --%v)\n",
+		sys.Machine.Chip.Name, info.Name, size, cfg, core.PlacementPolicy(cfg))
+
+	run := func(th int) {
+		v, err := mdl.Predict(sys.Machine, cfg, size, th)
+		if err != nil {
+			fmt.Printf("  threads=%-4d %s: not measurable (%v)\n", th, info.Metric, err)
+			return
+		}
+		fmt.Printf("  threads=%-4d %s: %.4g\n", th, info.Metric, v)
+	}
+	if *sweep {
+		for _, th := range workload.PaperThreads() {
+			run(th)
+		}
+		return
+	}
+	run(*threads)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "knlsim:", err)
+	os.Exit(1)
+}

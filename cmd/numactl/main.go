@@ -1,0 +1,46 @@
+// Command numactl mimics the subset of numactl the paper uses: the
+// --hardware topology dump (Table II) for each MCDRAM mode.
+//
+//	numactl --hardware             # flat mode (two NUMA nodes)
+//	numactl --hardware -mode cache # cache mode (one node)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/knl"
+	"repro/internal/numa"
+)
+
+func main() {
+	hardware := flag.Bool("hardware", false, "print the NUMA topology")
+	mode := flag.String("mode", "flat", "MCDRAM mode: flat|cache|hybrid")
+	frac := flag.Float64("hybrid-flat", 0.5, "flat fraction in hybrid mode")
+	flag.Parse()
+
+	if !*hardware {
+		fmt.Fprintln(os.Stderr, "numactl: only --hardware is implemented (the paper's usage)")
+		os.Exit(2)
+	}
+	chip := knl.KNL7210()
+	var m numa.MemMode
+	switch *mode {
+	case "flat":
+		m = numa.FlatMode
+	case "cache":
+		m = numa.CacheMode
+	case "hybrid":
+		m = numa.HybridMode
+	default:
+		fmt.Fprintf(os.Stderr, "numactl: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	topo, err := numa.NewTopology(chip.DDR, chip.MCDRAM, m, *frac)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "numactl:", err)
+		os.Exit(1)
+	}
+	fmt.Print(topo.HardwareString())
+}

@@ -1,0 +1,84 @@
+// Command trace drives the trace-driven functional simulator: replay
+// a synthetic access pattern through the simulated cache hierarchy and
+// report hit ratios, traffic and average latency. It is the
+// measurement companion to the analytic figures tool.
+//
+//	trace -pattern seq    -footprint 8MB  -memcache 0
+//	trace -pattern random -footprint 32MB -accesses 500000
+//	trace -pattern seq    -footprint 6MB  -memcache 4MB -passes 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/tracesim"
+	"repro/internal/units"
+)
+
+func main() {
+	pattern := flag.String("pattern", "seq", "access pattern: seq|random")
+	footprint := flag.String("footprint", "8MB", "region size")
+	accesses := flag.Int64("accesses", 200000, "random accesses (random pattern)")
+	memcache := flag.String("memcache", "0", "memory-side cache size (0 = flat mode)")
+	passes := flag.Int("passes", 2, "replay passes (last one measured)")
+	prefetch := flag.Bool("prefetch", true, "enable the stream prefetcher")
+	writes := flag.Bool("writes", false, "issue writes instead of reads")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	fp, err := units.ParseBytes(*footprint)
+	if err != nil {
+		fatal(err)
+	}
+	mc, err := units.ParseBytes(*memcache)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := tracesim.DefaultConfig(mc)
+	cfg.Prefetcher = *prefetch
+	sim, err := tracesim.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	kind := cache.Read
+	if *writes {
+		kind = cache.Write
+	}
+	var gen tracesim.Generator
+	switch *pattern {
+	case "seq":
+		gen, err = tracesim.NewSequential(0, uint64(fp), 64, kind)
+	case "random":
+		gen, err = tracesim.NewUniformRandom(0, uint64(fp), *accesses, kind, *seed)
+	default:
+		err = fmt.Errorf("unknown pattern %q (seq|random)", *pattern)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.RunPasses(gen, *passes)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pattern=%s footprint=%v memcache=%v prefetch=%v passes=%d\n",
+		*pattern, fp, mc, *prefetch, *passes)
+	fmt.Printf("accesses:      %d\n", res.Accesses)
+	fmt.Printf("L1  hit ratio: %.3f (%d/%d)\n", res.L1.HitRatio(), res.L1.Hits, res.L1.Hits+res.L1.Misses)
+	fmt.Printf("L2  hit ratio: %.3f (%d/%d)\n", res.L2.HitRatio(), res.L2.Hits, res.L2.Hits+res.L2.Misses)
+	if mc > 0 {
+		fmt.Printf("MSC hit ratio: %.3f (%d/%d)\n", res.MemCache.HitRatio(),
+			res.MemCache.Hits, res.MemCache.Hits+res.MemCache.Misses)
+	}
+	fmt.Printf("memory reads:  %d lines\n", res.MemReads)
+	fmt.Printf("memory writes: %d lines\n", res.MemWrites)
+	fmt.Printf("prefetches:    %d\n", res.Prefetches)
+	fmt.Printf("avg latency:   %.1f ns\n", res.AvgLatencyNS())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trace:", err)
+	os.Exit(1)
+}

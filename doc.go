@@ -1,0 +1,11 @@
+// Package repro reproduces "Exploring the Performance Benefit of
+// Hybrid Memory System on HPC Environments" (Peng et al., IPDPS 2017)
+// as a Go library: a calibrated analytic + trace-driven simulator of
+// the Intel KNL hybrid memory system (16 GB MCDRAM + 96 GB DDR4), the
+// paper's seven workloads implemented functionally, and a benchmark
+// harness that regenerates every table and figure of the evaluation.
+//
+// See README.md for the architecture overview, DESIGN.md for the
+// system inventory and per-experiment index, and EXPERIMENTS.md for
+// the paper-vs-reproduction comparison.
+package repro

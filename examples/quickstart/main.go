@@ -1,0 +1,66 @@
+// Quickstart: build the simulated KNL node, ask the three questions
+// the paper answers, and print the answers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+func main() {
+	sys, err := core.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	chip := sys.Machine.Chip
+	fmt.Printf("machine: %s — %d cores x %d HT, %v MCDRAM + %v DDR4\n\n",
+		chip.Name, chip.Cores, chip.ThreadsPerCore, chip.MCDRAM.Capacity, chip.DDR.Capacity)
+
+	// Question 1: how much bandwidth does each memory deliver?
+	fmt.Println("1) STREAM triad, 8 GB working set, 64 threads:")
+	for _, cfg := range engine.PaperConfigs() {
+		bw, err := sys.Predict("STREAM", cfg, units.GB(8), 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   %-11v %6.0f GB/s\n", cfg, bw)
+	}
+
+	// Question 2: does my app benefit from HBM? Depends on its pattern.
+	fmt.Println("\n2) the access-pattern dichotomy (64 threads):")
+	for _, name := range []string{"MiniFE", "Graph500"} {
+		mdl, err := sys.Workload(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		size := mdl.Fig6Size()
+		d, _ := mdl.Predict(sys.Machine, engine.DRAM, size, 64)
+		h, _ := mdl.Predict(sys.Machine, engine.HBM, size, 64)
+		verdict := "HBM wins"
+		if h < d {
+			verdict = "DRAM wins (latency-bound)"
+		}
+		fmt.Printf("   %-9s (%s): DRAM %.3g vs HBM %.3g %s => %s\n",
+			name, mdl.Info().Pattern, d, h, mdl.Info().Metric, verdict)
+	}
+
+	// Question 3: what should I do for my own application?
+	fmt.Println("\n3) advisor:")
+	rec, err := sys.Advise(core.AppProfile{
+		Name:       "my-stencil-code",
+		Pattern:    core.SequentialPattern,
+		WorkingSet: units.GB(12),
+		Threads:    64,
+		CanUseHT:   true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rec.String())
+}

@@ -1,0 +1,75 @@
+// Threading: the §IV-D hardware-threading study as a runnable sweep.
+// It reproduces the paper's headline observation: hyper-threading is
+// what unlocks HBM — for bandwidth-bound codes it raises achievable
+// bandwidth (Fig. 5), and for latency-bound codes it can flip the
+// DRAM-vs-HBM verdict entirely (Fig. 6d).
+//
+//	go run ./examples/threading
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	sys, err := core.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("STREAM bandwidth (GB/s) by hardware threads/core, 8 GB:")
+	fmt.Printf("%-8s %10s %10s\n", "ht/core", "DRAM", "HBM")
+	for ht := 1; ht <= 4; ht++ {
+		d, err := sys.Predict("STREAM", engine.DRAM, units.GB(8), 64*ht)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := sys.Predict("STREAM", engine.HBM, units.GB(8), 64*ht)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %10.0f %10.0f\n", ht, d, h)
+	}
+
+	fmt.Println("\nXSBench lookups/s: the DRAM->HBM crossover (5.6 GB):")
+	fmt.Printf("%-8s %12s %12s %10s\n", "threads", "DRAM", "HBM", "winner")
+	for _, th := range workload.PaperThreads() {
+		d, err := sys.Predict("XSBench", engine.DRAM, units.GB(5.6), th)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := sys.Predict("XSBench", engine.HBM, units.GB(5.6), th)
+		if err != nil {
+			log.Fatal(err)
+		}
+		winner := "DRAM"
+		if h > d {
+			winner = "HBM"
+		}
+		fmt.Printf("%-8d %12.3g %12.3g %10s\n", th, d, h, winner)
+	}
+
+	fmt.Println("\nGraph500: hardware threads help, but DRAM keeps winning (8.8 GB):")
+	fmt.Printf("%-8s %12s %12s %10s\n", "threads", "DRAM", "HBM", "winner")
+	for _, th := range workload.PaperThreads() {
+		d, err := sys.Predict("Graph500", engine.DRAM, units.GB(8.8), th)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := sys.Predict("Graph500", engine.HBM, units.GB(8.8), th)
+		if err != nil {
+			log.Fatal(err)
+		}
+		winner := "DRAM"
+		if h > d {
+			winner = "HBM"
+		}
+		fmt.Printf("%-8d %12.3g %12.3g %10s\n", th, d, h, winner)
+	}
+}

@@ -1,0 +1,360 @@
+package repro
+
+// Cross-layer integration tests: these exercise the full stack — the
+// analytic engine, the functional workloads, the trace simulator, the
+// allocation substrate and the extension packages — and require the
+// layers to agree with each other and with the paper.
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/memkind"
+	"repro/internal/numa"
+	"repro/internal/placement"
+	"repro/internal/stats"
+	"repro/internal/tracesim"
+	"repro/internal/units"
+	"repro/internal/workloads/graph500"
+	"repro/internal/workloads/minife"
+	"repro/internal/workloads/xsbench"
+)
+
+func newSystem(t *testing.T) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// The paper's Table-I pattern classification must agree with the
+// model's behaviour: sequential-pattern applications gain from HBM at
+// 64 threads, random-pattern ones lose.
+func TestPatternClassificationPredictsHBMBenefit(t *testing.T) {
+	sys := newSystem(t)
+	for _, mdl := range sys.Workloads() {
+		info := mdl.Info()
+		if info.Name == "STREAM" || info.Name == "TinyMemBench" {
+			continue
+		}
+		size := mdl.Fig6Size()
+		if size == 0 {
+			size = mdl.PaperSizes()[2]
+		}
+		d, err := mdl.Predict(sys.Machine, engine.DRAM, size, 64)
+		if err != nil {
+			t.Fatalf("%s DRAM: %v", info.Name, err)
+		}
+		h, err := mdl.Predict(sys.Machine, engine.HBM, size, 64)
+		if err != nil {
+			t.Fatalf("%s HBM: %v", info.Name, err)
+		}
+		benefits := h > d
+		wantBenefit := info.Pattern == "Sequential"
+		if benefits != wantBenefit {
+			t.Errorf("%s (%s): HBM %.3g vs DRAM %.3g — classification violated",
+				info.Name, info.Pattern, h, d)
+		}
+	}
+}
+
+// The advisor must recommend the configuration that the workload
+// models themselves say is fastest.
+func TestAdvisorAgreesWithModels(t *testing.T) {
+	sys := newSystem(t)
+
+	// MiniFE at 7.2 GB: models say HBM; advisor must too.
+	rec, err := sys.Advise(core.AppProfile{
+		Pattern: core.SequentialPattern, WorkingSet: units.GB(7.2), Threads: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Config.Kind != engine.BindHBM {
+		t.Errorf("advisor chose %v for MiniFE-like profile", rec.Config)
+	}
+
+	// Graph500 at 8.8 GB: models say DRAM; advisor must too.
+	rec, err = sys.Advise(core.AppProfile{
+		Pattern: core.RandomPattern, WorkingSet: units.GB(8.8), Threads: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Config.Kind != engine.BindDRAM {
+		t.Errorf("advisor chose %v for Graph500-like profile", rec.Config)
+	}
+}
+
+// Placement optimizer vs workload models: if MiniFE's matrix+vectors
+// fit HBM, the fine-grained plan must place them all and achieve the
+// coarse-grained speedup.
+func TestPlacementMatchesCoarseGrainedSpeedup(t *testing.T) {
+	sys := newSystem(t)
+	rows := minife.Rows(units.GB(7.2))
+	structs := []placement.Structure{
+		{Name: "matrix", Footprint: units.GB(7.2), SeqBytes: float64(rows) * 332},
+		{Name: "vectors", Footprint: units.Bytes(rows * 5 * 8), SeqBytes: float64(rows) * 120},
+	}
+	opt := &placement.Optimizer{Machine: sys.Machine, Threads: 64}
+	plan, err := opt.Optimize(structs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Assignment["matrix"] || !plan.Assignment["vectors"] {
+		t.Fatalf("plan did not place everything: %v", plan.Assignment)
+	}
+	// Coarse-grained MiniFE speedup is ~2.8x; the placement model
+	// (pure streaming, no gathers/syncs) should see ~4x.
+	if plan.SpeedupVsDRAM < 2.5 {
+		t.Errorf("fine-grained speedup %.2f, want >= 2.5", plan.SpeedupVsDRAM)
+	}
+}
+
+// The cluster sweet-spot rule must agree with the per-node models.
+func TestClusterSweetSpotAgreesWithModels(t *testing.T) {
+	sys := newSystem(t)
+	c, err := cluster.New(sys.Machine, 16, cluster.Aries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := units.GB(120)
+	sweet, err := c.SweetSpot(global, 1.15) // matrix + CG vectors
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the sweet spot, MiniFE per-node must fit HBM per the model.
+	per := global / units.Bytes(sweet)
+	if _, err := (minife.Model{}).Predict(sys.Machine, engine.HBM, per, 64); err != nil {
+		t.Errorf("sweet spot %d nodes: per-node %v still does not fit HBM: %v", sweet, per, err)
+	}
+	// One node fewer must NOT fit.
+	perBig := global / units.Bytes(sweet-1)
+	if _, err := (minife.Model{}).Predict(sys.Machine, engine.HBM, perBig, 64); err == nil {
+		t.Errorf("sweet spot not tight: %d-1 nodes still fit", sweet)
+	}
+}
+
+// Allocation substrate vs engine capacity rules: what the engine says
+// fits must actually be allocatable, and vice versa.
+func TestCapacityRulesMatchAllocator(t *testing.T) {
+	sys := newSystem(t)
+	for _, cse := range []struct {
+		cfg  engine.MemoryConfig
+		size units.Bytes
+		fits bool
+	}{
+		{engine.HBM, units.GB(15.9), true},
+		{engine.HBM, units.GB(16.1), false},
+		{engine.DRAM, units.GB(95.9), true},
+		{engine.DRAM, units.GB(96.1), false},
+		{engine.MemoryConfig{Kind: engine.InterleaveFlat}, units.GB(111), true},
+	} {
+		engineSays := sys.Machine.CheckFit(cse.cfg, cse.size) == nil
+		if engineSays != cse.fits {
+			t.Errorf("%v / %v: engine fit = %v, want %v", cse.cfg, cse.size, engineSays, cse.fits)
+			continue
+		}
+		space, err := sys.NewAddressSpace(cse.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, allocErr := space.Alloc(cse.size, core.PlacementPolicy(cse.cfg), "probe")
+		allocSays := allocErr == nil
+		if allocSays != cse.fits {
+			t.Errorf("%v / %v: allocator fit = %v (err %v), engine = %v",
+				cse.cfg, cse.size, allocSays, allocErr, engineSays)
+		}
+		if allocErr != nil && !errors.Is(allocErr, alloc.ErrOutOfMemory) {
+			t.Errorf("unexpected allocation error: %v", allocErr)
+		}
+	}
+}
+
+// memkind heap availability must track the engine's NUMA topologies.
+func TestMemkindTracksTopology(t *testing.T) {
+	sys := newSystem(t)
+	for _, cse := range []struct {
+		cfg engine.MemoryConfig
+		hbw bool
+	}{
+		{engine.HBM, true},
+		{engine.DRAM, true}, // flat mode exposes node 1 regardless of binding
+		{engine.Cache, false},
+		{engine.MemoryConfig{Kind: engine.Hybrid, HybridFlatFraction: 0.5}, true},
+	} {
+		heap, err := sys.NewHeap(cse.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if heap.HBWAvailable() != cse.hbw {
+			t.Errorf("%v: HBWAvailable = %v, want %v", cse.cfg, heap.HBWAvailable(), cse.hbw)
+		}
+	}
+	// Hybrid 25%: the HBW node holds only 4 GiB.
+	heap, _ := sys.NewHeap(engine.MemoryConfig{Kind: engine.Hybrid, HybridFlatFraction: 0.25})
+	if _, err := heap.Malloc(memkind.HBW, 5*units.GiB); err == nil {
+		t.Error("5 GiB fit the 4 GiB hybrid flat partition")
+	}
+}
+
+// Functional Graph500 + harmonic-mean statistics: the full benchmark
+// flow must produce a TEPS figure consistent with its own per-root
+// spread.
+func TestGraph500FunctionalFlow(t *testing.T) {
+	res, err := graph500.RunBenchmark(graph500.BenchmarkSpec{
+		Scale: 11, Edgefactor: 8, Roots: 16, Threads: 8, Seed: 42, Validate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HarmonicTEPS < res.MinTEPS || res.HarmonicTEPS > res.MaxTEPS {
+		t.Fatalf("harmonic mean %v outside [%v,%v]", res.HarmonicTEPS, res.MinTEPS, res.MaxTEPS)
+	}
+	// Kronecker graphs at edgefactor 8 reach most vertices from any
+	// high-degree root; the traversed count bounds sanity-check the
+	// generator + CSR + BFS chain end to end.
+	if res.DirectedEdges < int64(res.Vertices) {
+		t.Fatalf("suspiciously few edges: %d for %d vertices", res.DirectedEdges, res.Vertices)
+	}
+}
+
+// Functional XSBench drives real lookups; its per-lookup probe count
+// must match the model's chase-length assumption (log2 of the grid).
+func TestXSBenchProbeCountMatchesModel(t *testing.T) {
+	g, err := xsbench.Build(16, 512, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lookups = 4000
+	_, probes, err := g.RunParallel(lookups, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLookup := float64(probes) / lookups
+	wantDepth := math.Log2(float64(g.Points()))
+	if math.Abs(perLookup-wantDepth) > 1.5 {
+		t.Errorf("measured search depth %.2f vs model's log2(G) = %.2f", perLookup, wantDepth)
+	}
+}
+
+// The trace simulator's flat-mode latencies must bracket the analytic
+// model's tiers for the same access patterns.
+func TestTraceSimLatenciesBracketAnalyticTiers(t *testing.T) {
+	sys := newSystem(t)
+
+	// Sequential: trace-average latency far below memory latency
+	// (prefetch), matching the engine treating streams as bandwidth-
+	// not latency-bound.
+	cfg := tracesim.DefaultConfig(0)
+	sim, err := tracesim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _ := tracesim.NewSequential(0, 8<<20, 64, cache.Read)
+	sim.Run(seq)
+	if lat := sim.Result().AvgLatencyNS(); lat > 40 {
+		t.Errorf("sequential trace latency %.1f ns; engine assumes prefetch covers streams", lat)
+	}
+
+	// Random over 32 MiB: trace average should land in the engine's
+	// memory tier (not the L2 tier, not above the TLB-penalized cap).
+	sim2, _ := tracesim.New(tracesim.Config{
+		L1Size: cfg.L1Size, L1Ways: cfg.L1Ways,
+		L2Size: cfg.L2Size, L2Ways: cfg.L2Ways,
+		Prefetcher: false,
+		L1Lat:      cfg.L1Lat, L2Lat: cfg.L2Lat,
+		MemCacheLat: cfg.MemCacheLat, MemLat: cfg.MemLat,
+	})
+	rnd, _ := tracesim.NewUniformRandom(0, 32<<20, 200000, cache.Read, 7)
+	if _, err := sim2.RunPasses(rnd, 2); err != nil {
+		t.Fatal(err)
+	}
+	traceLat := sim2.Result().AvgLatencyNS()
+	engineLat := float64(sys.Machine.RandomReadLatency(engine.DRAM, 32*units.MiB, 1))
+	// The trace sim charges idle device latency (130.4) while the
+	// engine's plateau includes loaded/dual-chase effects (~220):
+	// trace must sit between L2 and the engine value.
+	if traceLat < 20 || traceLat > engineLat {
+		t.Errorf("trace random latency %.1f ns outside (20, %.1f)", traceLat, engineLat)
+	}
+}
+
+// NUMA policies drive actual page placement in every mode.
+func TestPoliciesPlaceAsDocumented(t *testing.T) {
+	sys := newSystem(t)
+	space, err := sys.NewAddressSpace(engine.HBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := space.Alloc(units.GB(1), numa.Bind(1), "hbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := space.NodeBytes(r)
+	if nb[numa.NodeID(1)] < units.GB(1) {
+		t.Errorf("membind=1 placed %v", nb)
+	}
+	// Interleave splits ~50/50; verify via stats.
+	r2, err := space.Alloc(units.GB(2), numa.InterleaveAll(0, 1), "il")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb2 := space.NodeBytes(r2)
+	frac := float64(nb2[0]) / float64(nb2[0]+nb2[1])
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("interleave split %.3f", frac)
+	}
+}
+
+// End-to-end reproduction sanity: every workload's Fig. 4 sweep runs
+// without unexpected errors and the only absent cells are HBM rows
+// that genuinely exceed 16 GB (plus the paper's DGEMM@256 exception,
+// not part of Fig. 4).
+func TestFig4SweepsCompleteWithExplainedGapsOnly(t *testing.T) {
+	sys := newSystem(t)
+	for _, mdl := range sys.Workloads() {
+		info := mdl.Info()
+		if info.Name == "STREAM" || info.Name == "TinyMemBench" {
+			continue
+		}
+		for _, size := range mdl.PaperSizes() {
+			for _, cfg := range engine.PaperConfigs() {
+				_, err := mdl.Predict(sys.Machine, cfg, size, 64)
+				if err == nil {
+					continue
+				}
+				var nofit engine.ErrDoesNotFit
+				if errors.As(err, &nofit) && cfg.Kind == engine.BindHBM {
+					continue // the paper's missing HBM bars
+				}
+				t.Errorf("%s / %v / %v: unexpected error %v", info.Name, cfg, size, err)
+			}
+		}
+	}
+}
+
+// The harmonic-mean statistic used by Graph500 must be the one the
+// stats package implements (guard against accidental arithmetic mean).
+func TestHarmonicMeanIsUsedForTEPS(t *testing.T) {
+	teps := []float64{1e8, 2e8, 4e8}
+	hm, err := stats.HarmonicMean(teps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, _ := stats.Mean(teps)
+	if hm >= am {
+		t.Fatal("harmonic mean must be below arithmetic mean for spread data")
+	}
+	if math.Abs(hm-12e8/7) > 1 {
+		t.Fatalf("harmonic mean = %v", hm)
+	}
+}

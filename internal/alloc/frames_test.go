@@ -1,0 +1,263 @@
+package alloc
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/knl"
+	"repro/internal/numa"
+	"repro/internal/units"
+)
+
+func space(t *testing.T) *AddressSpace {
+	t.Helper()
+	c := knl.KNL7210()
+	topo, err := numa.NewTopology(c.DDR, c.MCDRAM, numa.FlatMode, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewAddressSpace(topo)
+}
+
+func TestFrameAllocatorBasics(t *testing.T) {
+	fa := NewFrameAllocator(0, 3*units.Page)
+	if fa.TotalFrames() != 3 || fa.FreeFrames() != 3 {
+		t.Fatalf("frames %d/%d", fa.TotalFrames(), fa.FreeFrames())
+	}
+	a, err := fa.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fa.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("duplicate frame handed out")
+	}
+	if _, err := fa.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fa.Alloc(); err != ErrOutOfMemory {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+	if err := fa.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Free(b); err == nil {
+		t.Fatal("double free accepted")
+	}
+	c, err := fa.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != b {
+		t.Fatalf("free list not reused: got %d want %d", c, b)
+	}
+}
+
+func TestFrameAllocatorNeverDoubleAllocatesProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		fa := NewFrameAllocator(0, 64*units.Page)
+		live := map[int64]bool{}
+		var order []int64
+		for _, isAlloc := range ops {
+			if isAlloc {
+				fr, err := fa.Alloc()
+				if err != nil {
+					if len(live) != 64 {
+						return false // OOM before full
+					}
+					continue
+				}
+				if live[fr] {
+					return false // double allocation
+				}
+				live[fr] = true
+				order = append(order, fr)
+			} else if len(order) > 0 {
+				fr := order[len(order)-1]
+				order = order[:len(order)-1]
+				if err := fa.Free(fr); err != nil {
+					return false
+				}
+				delete(live, fr)
+			}
+		}
+		return fa.FreeFrames() == 64-int64(len(live))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageTableRoundTripProperty(t *testing.T) {
+	f := func(vpns []uint16) bool {
+		pt := NewPageTable()
+		seen := map[int64]bool{}
+		for i, raw := range vpns {
+			vpn := int64(raw)
+			err := pt.Map(vpn, PageMapping{Node: 0, Frame: int64(i)})
+			if seen[vpn] {
+				if err == nil {
+					return false // duplicate map must fail
+				}
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			seen[vpn] = true
+		}
+		for vpn := range seen {
+			if _, ok := pt.Lookup(vpn); !ok {
+				return false
+			}
+			if _, err := pt.Unmap(vpn); err != nil {
+				return false
+			}
+			if _, ok := pt.Lookup(vpn); ok {
+				return false
+			}
+		}
+		return pt.Mapped() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocMembind(t *testing.T) {
+	s := space(t)
+	r, err := s.Alloc(units.GB(1), numa.Bind(1), "hbm-array")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := s.NodeBytes(r)
+	if nb[1] < units.GB(1) || nb[0] != 0 {
+		t.Fatalf("membind=1 placed %v", nb)
+	}
+	if node, err := r.NodeOf(s, 12345); err != nil || node != 1 {
+		t.Fatalf("NodeOf = %v, %v", node, err)
+	}
+	if err := s.Free(r); err != nil {
+		t.Fatal(err)
+	}
+	if s.UsedBytes(1) != 0 {
+		t.Fatalf("leak after free: %v", s.UsedBytes(1))
+	}
+}
+
+func TestMembindOOMNoFallback(t *testing.T) {
+	s := space(t)
+	// MCDRAM node has 16 GiB; 17 GiB membind must fail entirely.
+	_, err := s.Alloc(17*units.GiB, numa.Bind(1), "too-big")
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+	// Rollback: nothing left allocated.
+	if s.UsedBytes(1) != 0 {
+		t.Fatalf("failed alloc leaked %v on node 1", s.UsedBytes(1))
+	}
+	if s.Regions() != 0 {
+		t.Fatal("region table not rolled back")
+	}
+}
+
+func TestPreferredFallsBack(t *testing.T) {
+	s := space(t)
+	r, err := s.Alloc(20*units.GiB, numa.Prefer(1), "spill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := s.NodeBytes(r)
+	if nb[1] != 16*units.GiB {
+		t.Fatalf("preferred should fill node 1 first: %v", nb)
+	}
+	if nb[0] != 4*units.GiB {
+		t.Fatalf("spill to node 0 = %v, want 4 GiB", nb[0])
+	}
+}
+
+func TestInterleaveSplitsEvenly(t *testing.T) {
+	s := space(t)
+	r, err := s.Alloc(1*units.GiB, numa.InterleaveAll(0, 1), "inter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := s.NodeBytes(r)
+	if nb[0] != nb[1] {
+		t.Fatalf("interleave not even: %v", nb)
+	}
+}
+
+func TestAllocRejectsBadArgs(t *testing.T) {
+	s := space(t)
+	if _, err := s.Alloc(0, numa.Bind(0), "zero"); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := s.Alloc(units.Page, numa.Bind(9), "badnode"); err == nil {
+		t.Error("bad node accepted")
+	}
+}
+
+func TestRegionsDoNotOverlap(t *testing.T) {
+	s := space(t)
+	a, err := s.Alloc(units.Page*3, numa.Bind(0), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Alloc(units.Page*3, numa.Bind(0), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.End() > b.Base {
+		t.Fatalf("regions overlap: a=[%#x,%#x) b starts %#x", a.Base, a.End(), b.Base)
+	}
+	if err := s.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(a); err == nil {
+		t.Error("double region free accepted")
+	}
+}
+
+func TestNodeOfOutOfRange(t *testing.T) {
+	s := space(t)
+	r, err := s.Alloc(units.Page, numa.Bind(0), "one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.NodeOf(s, units.Page); err == nil {
+		t.Error("offset past end accepted")
+	}
+	if _, err := r.NodeOf(s, -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestFreeBytesAccounting(t *testing.T) {
+	s := space(t)
+	before := s.FreeBytes(0)
+	r, err := s.Alloc(units.GB(2), numa.Bind(0), "acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := before - s.FreeBytes(0); got != units.GB(2) {
+		t.Fatalf("accounting drift: %v", got)
+	}
+	if s.UsedBytes(0) != units.GB(2) {
+		t.Fatalf("UsedBytes = %v", s.UsedBytes(0))
+	}
+	if err := s.Free(r); err != nil {
+		t.Fatal(err)
+	}
+	if s.FreeBytes(0) != before {
+		t.Fatal("free did not restore capacity")
+	}
+	// Unknown node reports zero.
+	if s.FreeBytes(42) != 0 || s.UsedBytes(42) != 0 {
+		t.Fatal("unknown node should report zero")
+	}
+}

@@ -1,0 +1,218 @@
+// Package cache implements the cache hierarchy of the simulated KNL:
+// generic set-associative SRAM caches (L1D, per-tile L2), a stream
+// prefetcher, a two-level TLB with page-walk costs, and the MCDRAM
+// direct-mapped memory-side cache that backs the paper's "cache mode".
+//
+// Two layers coexist deliberately:
+//
+//   - a functional, trace-driven layer (this file and mcdram.go) that
+//     counts real hits and misses for replayed access streams, and
+//   - an analytic layer (hitmodel.go) used by the timing engine at
+//     paper-scale problem sizes where replaying every access would be
+//     infeasible.
+//
+// Tests cross-validate the two layers on overlapping configurations.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// AccessKind distinguishes reads from writes for dirty tracking.
+type AccessKind int
+
+const (
+	// Read is a demand load.
+	Read AccessKind = iota
+	// Write is a store (write-allocate, write-back policy).
+	Write
+)
+
+// Stats counts cache events.
+type Stats struct {
+	Hits, Misses   int64
+	Evictions      int64
+	DirtyWritebaks int64
+}
+
+// HitRatio returns hits/(hits+misses), or 0 for an untouched cache.
+func (s Stats) HitRatio() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+// line is one resident cache line.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // last-touch tick
+}
+
+// SetAssoc is a set-associative write-back, write-allocate cache with
+// LRU replacement.
+type SetAssoc struct {
+	name     string
+	lineSize units.Bytes
+	sets     int
+	ways     int
+	data     []line // sets*ways
+	tick     uint64
+	stats    Stats
+}
+
+// NewSetAssoc builds a cache of the given capacity, associativity and
+// line size. Capacity must be an exact multiple of ways*lineSize.
+func NewSetAssoc(name string, capacity units.Bytes, ways int, lineSize units.Bytes) (*SetAssoc, error) {
+	if capacity <= 0 || ways <= 0 || lineSize <= 0 || capacity%lineSize != 0 {
+		return nil, fmt.Errorf("cache: bad geometry cap=%v ways=%d line=%v", capacity, ways, lineSize)
+	}
+	lines := int64(capacity / lineSize)
+	if lines%int64(ways) != 0 || lines == 0 {
+		return nil, fmt.Errorf("cache: capacity %v not divisible into %d ways of %v lines", capacity, ways, lineSize)
+	}
+	sets := int(lines) / ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d must be a power of two", sets)
+	}
+	return &SetAssoc{
+		name:     name,
+		lineSize: lineSize,
+		sets:     sets,
+		ways:     ways,
+		data:     make([]line, int(lines)),
+	}, nil
+}
+
+// Name returns the cache's label.
+func (c *SetAssoc) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *SetAssoc) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *SetAssoc) Ways() int { return c.ways }
+
+// Capacity returns the data capacity.
+func (c *SetAssoc) Capacity() units.Bytes {
+	return units.Bytes(c.sets*c.ways) * c.lineSize
+}
+
+// Stats returns a copy of the event counters.
+func (c *SetAssoc) Stats() Stats { return c.stats }
+
+// ResetStats clears the event counters but keeps contents.
+func (c *SetAssoc) ResetStats() { c.stats = Stats{} }
+
+func (c *SetAssoc) index(addr uint64) (set int, tag uint64) {
+	lineAddr := addr / uint64(c.lineSize)
+	return int(lineAddr % uint64(c.sets)), lineAddr / uint64(c.sets)
+}
+
+// Access performs one access. It returns whether it hit, and if a
+// dirty line had to be written back, its line address (else 0) with
+// wb=true.
+func (c *SetAssoc) Access(addr uint64, kind AccessKind) (hit bool, wbAddr uint64, wb bool) {
+	c.tick++
+	set, tag := c.index(addr)
+	base := set * c.ways
+	victim := base
+	for i := base; i < base+c.ways; i++ {
+		l := &c.data[i]
+		if l.valid && l.tag == tag {
+			l.lru = c.tick
+			if kind == Write {
+				l.dirty = true
+			}
+			c.stats.Hits++
+			return true, 0, false
+		}
+		if !c.data[i].valid {
+			victim = i
+		} else if c.data[victim].valid && c.data[i].lru < c.data[victim].lru {
+			victim = i
+		}
+	}
+	c.stats.Misses++
+	v := &c.data[victim]
+	if v.valid {
+		c.stats.Evictions++
+		if v.dirty {
+			c.stats.DirtyWritebaks++
+			wbAddr = (v.tag*uint64(c.sets) + uint64(set)) * uint64(c.lineSize)
+			wb = true
+		}
+	}
+	v.valid = true
+	v.tag = tag
+	v.dirty = kind == Write
+	v.lru = c.tick
+	return false, wbAddr, wb
+}
+
+// Contains reports whether the line holding addr is resident (without
+// updating LRU or stats); used by tests and the prefetcher.
+func (c *SetAssoc) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.data[i].valid && c.data[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Install inserts a line without counting a demand miss (prefetch
+// fill). It returns writeback info like Access.
+func (c *SetAssoc) Install(addr uint64) (wbAddr uint64, wb bool) {
+	if c.Contains(addr) {
+		return 0, false
+	}
+	c.tick++
+	set, tag := c.index(addr)
+	base := set * c.ways
+	victim := base
+	for i := base; i < base+c.ways; i++ {
+		if !c.data[i].valid {
+			victim = i
+			break
+		}
+		if c.data[i].lru < c.data[victim].lru {
+			victim = i
+		}
+	}
+	v := &c.data[victim]
+	if v.valid {
+		c.stats.Evictions++
+		if v.dirty {
+			c.stats.DirtyWritebaks++
+			wbAddr = (v.tag*uint64(c.sets) + uint64(set)) * uint64(c.lineSize)
+			wb = true
+		}
+	}
+	v.valid = true
+	v.tag = tag
+	v.dirty = false
+	v.lru = c.tick
+	return wbAddr, wb
+}
+
+// Flush invalidates everything, returning how many dirty lines were
+// written back.
+func (c *SetAssoc) Flush() int64 {
+	var wb int64
+	for i := range c.data {
+		if c.data[i].valid && c.data[i].dirty {
+			wb++
+		}
+		c.data[i] = line{}
+	}
+	c.stats.DirtyWritebaks += wb
+	return wb
+}

@@ -1,0 +1,173 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func mustCache(t *testing.T, cap units.Bytes, ways int) *SetAssoc {
+	t.Helper()
+	c, err := NewSetAssoc("test", cap, ways, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewSetAssocValidation(t *testing.T) {
+	if _, err := NewSetAssoc("x", 0, 8, 64); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewSetAssoc("x", 32*units.KiB, 0, 64); err == nil {
+		t.Error("zero ways accepted")
+	}
+	if _, err := NewSetAssoc("x", 100, 1, 64); err == nil {
+		t.Error("non-multiple capacity accepted")
+	}
+	if _, err := NewSetAssoc("x", 3*64*4, 4, 64); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+	c := mustCache(t, 32*units.KiB, 8)
+	if c.Name() != "test" || c.Sets() != 64 || c.Ways() != 8 {
+		t.Fatalf("geometry: %s %d sets %d ways", c.Name(), c.Sets(), c.Ways())
+	}
+	if c.Capacity() != 32*units.KiB {
+		t.Fatalf("capacity = %v", c.Capacity())
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := mustCache(t, 4*64*2, 2) // 4 sets x 2 ways
+	if hit, _, _ := c.Access(0, Read); hit {
+		t.Fatal("cold access hit")
+	}
+	if hit, _, _ := c.Access(0, Read); !hit {
+		t.Fatal("warm access missed")
+	}
+	if hit, _, _ := c.Access(63, Read); !hit {
+		t.Fatal("same-line access missed")
+	}
+	if hit, _, _ := c.Access(64, Read); hit {
+		t.Fatal("next line should miss")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := mustCache(t, 1*64*2, 2) // 1 set x 2 ways
+	c.Access(0*64, Read)
+	c.Access(1*64, Read)
+	c.Access(0*64, Read) // line 0 is now MRU
+	c.Access(2*64, Read) // evicts line 1 (LRU)
+	if !c.Contains(0) {
+		t.Fatal("MRU line evicted")
+	}
+	if c.Contains(64) {
+		t.Fatal("LRU line survived")
+	}
+	if !c.Contains(128) {
+		t.Fatal("new line not resident")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := mustCache(t, 1*64*1, 1) // direct-mapped single set
+	c.Access(0, Write)
+	hit, wbAddr, wb := c.Access(64, Read)
+	if hit {
+		t.Fatal("conflicting access hit")
+	}
+	if !wb || wbAddr != 0 {
+		t.Fatalf("expected writeback of line 0, got wb=%v addr=%#x", wb, wbAddr)
+	}
+	// Clean eviction: no writeback.
+	_, _, wb = c.Access(128, Read)
+	if wb {
+		t.Fatal("clean line triggered writeback")
+	}
+	if c.Stats().DirtyWritebaks != 1 {
+		t.Fatalf("writeback count = %d", c.Stats().DirtyWritebaks)
+	}
+}
+
+func TestInstallDoesNotCountMiss(t *testing.T) {
+	c := mustCache(t, 2*64*2, 2)
+	c.Install(0)
+	if c.Stats().Misses != 0 {
+		t.Fatal("install counted as miss")
+	}
+	if hit, _, _ := c.Access(0, Read); !hit {
+		t.Fatal("installed line not resident")
+	}
+	// Re-install of resident line is a no-op.
+	c.Install(0)
+	if c.Stats().Evictions != 0 {
+		t.Fatal("re-install evicted something")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := mustCache(t, 4*64*2, 2)
+	c.Access(0, Write)
+	c.Access(64, Read)
+	if wb := c.Flush(); wb != 1 {
+		t.Fatalf("flush writebacks = %d, want 1", wb)
+	}
+	if c.Contains(0) || c.Contains(64) {
+		t.Fatal("flush left lines resident")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := mustCache(t, 4*64*2, 2)
+	c.Access(0, Read)
+	c.ResetStats()
+	if st := c.Stats(); st.Hits+st.Misses != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+	if !c.Contains(0) {
+		t.Fatal("ResetStats dropped contents")
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	var s Stats
+	if s.HitRatio() != 0 {
+		t.Fatal("empty stats ratio nonzero")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if s.HitRatio() != 0.75 {
+		t.Fatalf("ratio = %v", s.HitRatio())
+	}
+}
+
+// Working set within capacity must produce 100% hits after warmup,
+// regardless of the access sequence: the LRU residency invariant.
+func TestFitWorkingSetAlwaysHitsProperty(t *testing.T) {
+	f := func(seq []uint8) bool {
+		c, err := NewSetAssoc("p", 16*64, 16, 64) // fully assoc, 16 lines
+		if err != nil {
+			return false
+		}
+		// Warm all 16 lines.
+		for i := uint64(0); i < 16; i++ {
+			c.Access(i*64, Read)
+		}
+		c.ResetStats()
+		for _, s := range seq {
+			addr := uint64(s%16) * 64
+			if hit, _, _ := c.Access(addr, Read); !hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

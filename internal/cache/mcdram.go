@@ -1,0 +1,97 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// MemSideCache models MCDRAM in cache mode: a direct-mapped,
+// write-back memory-side cache in front of DDR. The real hardware
+// keeps tags in MCDRAM itself; every access therefore pays a tag
+// check in MCDRAM, and a miss additionally pays the DDR access plus
+// the line fill (and a writeback when the victim is dirty). The
+// direct mapping is what produces the bandwidth cliff of Fig. 2 and
+// the paper's repeated "higher conflict misses" remarks.
+type MemSideCache struct {
+	lineSize units.Bytes
+	sets     int64
+	tags     []uint64 // tag+1, 0 = invalid
+	dirty    []uint64 // bitset
+	stats    Stats
+}
+
+// NewMemSideCache builds a direct-mapped memory-side cache. On the
+// real 7210 capacity is 16 GiB; the trace simulator uses scaled-down
+// capacities with identical geometry rules.
+func NewMemSideCache(capacity units.Bytes, lineSize units.Bytes) (*MemSideCache, error) {
+	if capacity <= 0 || lineSize <= 0 || capacity%lineSize != 0 {
+		return nil, fmt.Errorf("cache: bad memory-side cache geometry cap=%v line=%v", capacity, lineSize)
+	}
+	sets := int64(capacity / lineSize)
+	return &MemSideCache{
+		lineSize: lineSize,
+		sets:     sets,
+		tags:     make([]uint64, sets),
+		dirty:    make([]uint64, (sets+63)/64),
+	}, nil
+}
+
+// Capacity returns the cache capacity.
+func (m *MemSideCache) Capacity() units.Bytes { return units.Bytes(m.sets) * m.lineSize }
+
+// Stats returns the event counters.
+func (m *MemSideCache) Stats() Stats { return m.stats }
+
+// ResetStats clears the counters but keeps contents.
+func (m *MemSideCache) ResetStats() { m.stats = Stats{} }
+
+func (m *MemSideCache) isDirty(set int64) bool {
+	return m.dirty[set/64]&(1<<(uint(set)%64)) != 0
+}
+
+func (m *MemSideCache) setDirty(set int64, d bool) {
+	if d {
+		m.dirty[set/64] |= 1 << (uint(set) % 64)
+	} else {
+		m.dirty[set/64] &^= 1 << (uint(set) % 64)
+	}
+}
+
+// Access performs one access by physical address. It reports whether
+// it hit in MCDRAM and whether the (direct-mapped) victim required a
+// DDR writeback.
+func (m *MemSideCache) Access(addr uint64, kind AccessKind) (hit bool, wb bool) {
+	lineAddr := addr / uint64(m.lineSize)
+	set := int64(lineAddr % uint64(m.sets))
+	tag := lineAddr/uint64(m.sets) + 1
+	if m.tags[set] == tag {
+		m.stats.Hits++
+		if kind == Write {
+			m.setDirty(set, true)
+		}
+		return true, false
+	}
+	m.stats.Misses++
+	if m.tags[set] != 0 {
+		m.stats.Evictions++
+		if m.isDirty(set) {
+			m.stats.DirtyWritebaks++
+			wb = true
+		}
+	}
+	m.tags[set] = tag
+	m.setDirty(set, kind == Write)
+	return false, wb
+}
+
+// Resident returns the number of valid lines (for occupancy tests).
+func (m *MemSideCache) Resident() int64 {
+	var n int64
+	for _, t := range m.tags {
+		if t != 0 {
+			n++
+		}
+	}
+	return n
+}

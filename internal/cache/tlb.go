@@ -1,0 +1,71 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// TLB models a two-level translation hierarchy with a fixed page size.
+// KNL with transparent huge pages walks rarely until the footprint
+// exceeds the L2 TLB reach; after that, page walks add the latency
+// growth seen past ~128 MB in Fig. 3.
+type TLB struct {
+	pageSize  units.Bytes
+	l1Entries int
+	l2Entries int
+	l1        *SetAssoc
+	l2        *SetAssoc
+	stats     TLBStats
+}
+
+// TLBStats counts translation events.
+type TLBStats struct {
+	L1Hits, L2Hits, Walks int64
+}
+
+// NewTLB builds a TLB hierarchy. Entry counts must be powers of two.
+func NewTLB(pageSize units.Bytes, l1Entries, l2Entries int) (*TLB, error) {
+	if pageSize <= 0 || l1Entries <= 0 || l2Entries < l1Entries {
+		return nil, fmt.Errorf("cache: bad TLB geometry page=%v l1=%d l2=%d", pageSize, l1Entries, l2Entries)
+	}
+	// Model each level as a fully-associative cache of "lines" whose
+	// line size is one page-table entry; reuse SetAssoc with 1 set.
+	l1, err := NewSetAssoc("dtlb-l1", units.Bytes(l1Entries)*8, l1Entries, 8)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewSetAssoc("dtlb-l2", units.Bytes(l2Entries)*8, l2Entries, 8)
+	if err != nil {
+		return nil, err
+	}
+	return &TLB{pageSize: pageSize, l1Entries: l1Entries, l2Entries: l2Entries, l1: l1, l2: l2}, nil
+}
+
+// PageSize returns the translation granule.
+func (t *TLB) PageSize() units.Bytes { return t.pageSize }
+
+// Reach returns the footprint fully covered by the L2 TLB.
+func (t *TLB) Reach() units.Bytes { return units.Bytes(t.l2Entries) * t.pageSize }
+
+// Stats returns the translation counters.
+func (t *TLB) Stats() TLBStats { return t.stats }
+
+// Translate looks up the page of addr. It returns the number of
+// page-walk memory references incurred (0 on TLB hit; 4 for a full
+// 4-level radix walk on a miss, the dominant cost component).
+func (t *TLB) Translate(addr uint64) int {
+	vpn := addr / uint64(t.pageSize) * 8 // fake PTE address, 8 B apart
+	if hit, _, _ := t.l1.Access(vpn, Read); hit {
+		t.stats.L1Hits++
+		return 0
+	}
+	if hit, _, _ := t.l2.Access(vpn, Read); hit {
+		t.stats.L2Hits++
+		t.l1.Install(vpn)
+		return 0
+	}
+	t.stats.Walks++
+	t.l1.Install(vpn)
+	return 4
+}

@@ -1,0 +1,148 @@
+// Package core is the top-level API of the hybrid-memory-system
+// reproduction: it assembles the simulated KNL machine, registers the
+// paper's workloads, exposes prediction and functional-simulation
+// entry points, and implements the paper's §VI guidelines as an
+// executable Advisor.
+//
+// Typical use:
+//
+//	sys, _ := core.NewSystem()
+//	gflops, _ := sys.Predict("DGEMM", engine.HBM, units.GB(6), 64)
+//	rec, _ := sys.Advise(core.AppProfile{...})
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/engine"
+	"repro/internal/memkind"
+	"repro/internal/numa"
+	"repro/internal/units"
+	"repro/internal/workload"
+	"repro/internal/workloads/dgemm"
+	"repro/internal/workloads/graph500"
+	"repro/internal/workloads/gups"
+	"repro/internal/workloads/latbench"
+	"repro/internal/workloads/minife"
+	"repro/internal/workloads/stream"
+	"repro/internal/workloads/xsbench"
+)
+
+// System bundles the machine model with the workload registry.
+type System struct {
+	Machine *engine.Machine
+	models  map[string]workload.Model
+	order   []string
+}
+
+// NewSystem builds the default KNL 7210 system with every paper
+// workload registered.
+func NewSystem() (*System, error) {
+	m := engine.Default()
+	s := &System{Machine: m, models: make(map[string]workload.Model)}
+	for _, mdl := range []workload.Model{
+		stream.Model{},
+		latbench.Model{},
+		dgemm.Model{},
+		minife.Model{},
+		gups.Model{},
+		graph500.Model{},
+		xsbench.Model{},
+	} {
+		if err := s.Register(mdl); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Register adds a workload model; duplicate names are rejected.
+func (s *System) Register(mdl workload.Model) error {
+	name := mdl.Info().Name
+	if _, dup := s.models[name]; dup {
+		return fmt.Errorf("core: workload %q already registered", name)
+	}
+	s.models[name] = mdl
+	s.order = append(s.order, name)
+	return nil
+}
+
+// Workload returns a registered model by name.
+func (s *System) Workload(name string) (workload.Model, error) {
+	mdl, ok := s.models[name]
+	if !ok {
+		names := append([]string(nil), s.order...)
+		sort.Strings(names)
+		return nil, fmt.Errorf("core: unknown workload %q (have %v)", name, names)
+	}
+	return mdl, nil
+}
+
+// Workloads returns the registered models in registration order.
+func (s *System) Workloads() []workload.Model {
+	out := make([]workload.Model, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, s.models[n])
+	}
+	return out
+}
+
+// TableIRows returns the registered application rows of Table I (the
+// five evaluated applications, excluding the two micro-benchmarks).
+func (s *System) TableIRows() []workload.Info {
+	var rows []workload.Info
+	for _, n := range s.order {
+		info := s.models[n].Info()
+		if info.Name == "STREAM" || info.Name == "TinyMemBench" {
+			continue
+		}
+		rows = append(rows, info)
+	}
+	return rows
+}
+
+// Predict runs a workload's performance model.
+func (s *System) Predict(name string, cfg engine.MemoryConfig, size units.Bytes, threads int) (float64, error) {
+	mdl, err := s.Workload(name)
+	if err != nil {
+		return 0, err
+	}
+	return mdl.Predict(s.Machine, cfg, size, threads)
+}
+
+// NewAddressSpace builds a functional simulated address space for a
+// memory configuration (used by the placement examples and the
+// functional workload runners).
+func (s *System) NewAddressSpace(cfg engine.MemoryConfig) (*alloc.AddressSpace, error) {
+	topo, err := s.Machine.NUMATopology(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return alloc.NewAddressSpace(topo), nil
+}
+
+// NewHeap builds a memkind heap over a fresh address space for a
+// memory configuration.
+func (s *System) NewHeap(cfg engine.MemoryConfig) (*memkind.Heap, error) {
+	space, err := s.NewAddressSpace(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return memkind.NewHeap(space), nil
+}
+
+// PlacementPolicy returns the numactl policy the paper uses for a
+// configuration (§III-C: --membind=0 for DRAM and cache mode,
+// --membind=1 for HBM).
+func PlacementPolicy(cfg engine.MemoryConfig) numa.Policy {
+	switch cfg.Kind {
+	case engine.BindHBM:
+		return numa.Bind(1)
+	case engine.InterleaveFlat:
+		return numa.InterleaveAll(0, 1)
+	default:
+		return numa.Bind(0)
+	}
+}

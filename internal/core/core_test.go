@@ -1,0 +1,242 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func sys(t *testing.T) *System {
+	t.Helper()
+	s, err := NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSystemRegistersEverything(t *testing.T) {
+	s := sys(t)
+	for _, name := range []string{"STREAM", "TinyMemBench", "DGEMM", "MiniFE", "GUPS", "Graph500", "XSBench"} {
+		if _, err := s.Workload(name); err != nil {
+			t.Errorf("workload %q missing: %v", name, err)
+		}
+	}
+	if len(s.Workloads()) != 7 {
+		t.Fatalf("registered %d workloads, want 7", len(s.Workloads()))
+	}
+	if _, err := s.Workload("NOPE"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	s := sys(t)
+	if err := s.Register(s.Workloads()[0]); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+}
+
+func TestTableIRows(t *testing.T) {
+	rows := sys(t).TableIRows()
+	if len(rows) != 5 {
+		t.Fatalf("Table I has %d rows, want 5", len(rows))
+	}
+	// The exact Table I content.
+	want := map[string]struct {
+		class, pattern string
+		scale          units.Bytes
+	}{
+		"DGEMM":    {workload.ClassScientific, workload.PatternSequential, units.GB(24)},
+		"MiniFE":   {workload.ClassScientific, workload.PatternSequential, units.GB(30)},
+		"GUPS":     {workload.ClassDataAnalytics, workload.PatternRandom, units.GB(32)},
+		"Graph500": {workload.ClassDataAnalytics, workload.PatternRandom, units.GB(35)},
+		"XSBench":  {workload.ClassScientific, workload.PatternRandom, units.GB(90)},
+	}
+	for _, r := range rows {
+		w, ok := want[r.Name]
+		if !ok {
+			t.Errorf("unexpected Table I row %q", r.Name)
+			continue
+		}
+		if r.Class != w.class || r.Pattern != w.pattern || r.MaxScale != w.scale {
+			t.Errorf("row %q = %+v, want %+v", r.Name, r, w)
+		}
+	}
+}
+
+func TestPredictThroughFacade(t *testing.T) {
+	s := sys(t)
+	v, err := s.Predict("STREAM", engine.HBM, units.GB(8), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 300 || v > 350 {
+		t.Errorf("STREAM HBM = %v, want ~330", v)
+	}
+	if _, err := s.Predict("NOPE", engine.DRAM, units.GB(1), 64); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestNewAddressSpaceAndHeap(t *testing.T) {
+	s := sys(t)
+	heap, err := s.NewHeap(engine.HBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !heap.HBWAvailable() {
+		t.Error("flat-mode heap should expose HBW")
+	}
+	cacheHeap, err := s.NewHeap(engine.Cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cacheHeap.HBWAvailable() {
+		t.Error("cache-mode heap must not expose HBW")
+	}
+	space, err := s.NewAddressSpace(engine.DRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.FreeBytes(0) != 96*units.GiB {
+		t.Errorf("node 0 capacity = %v", space.FreeBytes(0))
+	}
+}
+
+func TestPlacementPolicy(t *testing.T) {
+	if PlacementPolicy(engine.HBM).String() != "membind=1" {
+		t.Error("HBM policy wrong")
+	}
+	if PlacementPolicy(engine.DRAM).String() != "membind=0" {
+		t.Error("DRAM policy wrong")
+	}
+	if PlacementPolicy(engine.Cache).String() != "membind=0" {
+		t.Error("cache policy wrong (paper uses membind=0 for consistency)")
+	}
+	if PlacementPolicy(engine.MemoryConfig{Kind: engine.InterleaveFlat}).String() != "interleave=0,1" {
+		t.Error("interleave policy wrong")
+	}
+}
+
+// --- advisor: the paper's guidelines must come back out ------------
+
+func TestAdviseSequentialFitsHBM(t *testing.T) {
+	s := sys(t)
+	rec, err := s.Advise(AppProfile{
+		Name: "cfd", Pattern: SequentialPattern,
+		WorkingSet: units.GB(8), Threads: 64, CanUseHT: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Config.Kind != engine.BindHBM {
+		t.Fatalf("want HBM, got %v", rec.Config)
+	}
+	if rec.Threads != 192 {
+		t.Errorf("want 3 HT/core (192), got %d", rec.Threads)
+	}
+	if rec.ExpectedSpeedup < 2.5 {
+		t.Errorf("expected speedup %v, want >=2.5x", rec.ExpectedSpeedup)
+	}
+}
+
+func TestAdviseSequentialNearCapacity(t *testing.T) {
+	s := sys(t)
+	rec, err := s.Advise(AppProfile{Pattern: SequentialPattern, WorkingSet: units.GB(24), Threads: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Config.Kind != engine.CacheMode {
+		t.Fatalf("want cache mode for 1.5x-capacity stream, got %v", rec.Config)
+	}
+}
+
+func TestAdviseSequentialHuge(t *testing.T) {
+	s := sys(t)
+	rec, err := s.Advise(AppProfile{Pattern: SequentialPattern, WorkingSet: units.GB(60), Threads: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Config.Kind != engine.BindDRAM {
+		t.Fatalf("want DRAM for 60 GB stream, got %v", rec.Config)
+	}
+}
+
+func TestAdviseRandomSingleThreadPerCore(t *testing.T) {
+	s := sys(t)
+	rec, err := s.Advise(AppProfile{Pattern: RandomPattern, WorkingSet: units.GB(8), Threads: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Config.Kind != engine.BindDRAM {
+		t.Fatalf("want DRAM for latency-bound app, got %v", rec.Config)
+	}
+	if rec.ExpectedSpeedup < 0.99 {
+		t.Errorf("DRAM vs DRAM speedup = %v", rec.ExpectedSpeedup)
+	}
+}
+
+func TestAdviseRandomWithHT(t *testing.T) {
+	s := sys(t)
+	rec, err := s.Advise(AppProfile{
+		Pattern: RandomPattern, WorkingSet: units.GB(8),
+		Threads: 64, CanUseHT: true, LatencyHide: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Config.Kind != engine.BindHBM {
+		t.Fatalf("want HBM for XSBench-like app with HT, got %v", rec.Config)
+	}
+	if rec.Threads != 256 {
+		t.Errorf("want 256 threads, got %d", rec.Threads)
+	}
+}
+
+func TestAdviseCapacityAugmentation(t *testing.T) {
+	s := sys(t)
+	rec, err := s.Advise(AppProfile{Pattern: SequentialPattern, WorkingSet: units.GB(100), Threads: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Config.Kind != engine.InterleaveFlat {
+		t.Fatalf("want interleave for >DRAM working set, got %v", rec.Config)
+	}
+}
+
+func TestAdviseRejectsImpossible(t *testing.T) {
+	s := sys(t)
+	if _, err := s.Advise(AppProfile{Pattern: SequentialPattern, WorkingSet: units.GB(200)}); err == nil {
+		t.Error("200 GB on a 112 GB node accepted")
+	}
+	if _, err := s.Advise(AppProfile{}); err == nil {
+		t.Error("zero working set accepted")
+	}
+}
+
+func TestRecommendationString(t *testing.T) {
+	s := sys(t)
+	rec, _ := s.Advise(AppProfile{Pattern: SequentialPattern, WorkingSet: units.GB(8), Threads: 64})
+	str := rec.String()
+	if !strings.Contains(str, "HBM") || !strings.Contains(str, "recommended") {
+		t.Errorf("recommendation rendering: %q", str)
+	}
+	if AccessPattern(0).String() != "sequential" || RandomPattern.String() != "random" {
+		t.Error("pattern names")
+	}
+}
+
+func TestAdviseDefaultThreads(t *testing.T) {
+	s := sys(t)
+	rec, err := s.Advise(AppProfile{Pattern: RandomPattern, WorkingSet: units.GB(30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Threads < 64 {
+		t.Errorf("default threads = %d, want >= 64", rec.Threads)
+	}
+}

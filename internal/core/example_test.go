@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+// The basic workflow: build the system, predict a workload's metric
+// under each memory configuration.
+func ExampleSystem_Predict() {
+	sys, err := core.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, cfg := range engine.PaperConfigs() {
+		bw, err := sys.Predict("STREAM", cfg, units.GB(8), 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10v %.0f GB/s\n", cfg, bw)
+	}
+	// Output:
+	// DRAM       77 GB/s
+	// HBM        330 GB/s
+	// Cache Mode 261 GB/s
+}
+
+// The advisor turns the paper's guidelines into a recommendation.
+func ExampleSystem_Advise() {
+	sys, err := core.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := sys.Advise(core.AppProfile{
+		Pattern:    core.RandomPattern,
+		WorkingSet: units.GB(30),
+		Threads:    64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rec.Config)
+	// Output:
+	// DRAM
+}
+
+// Capacity errors mirror the paper's missing HBM bars.
+func ExampleErrDoesNotFit() {
+	sys, err := core.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, err = sys.Predict("MiniFE", engine.HBM, units.GB(28.8), 64)
+	var nofit engine.ErrDoesNotFit
+	if errors.As(err, &nofit) {
+		// The 28.8 GB matrix plus the CG vectors exceed MCDRAM.
+		fmt.Printf("need %.1f GB, have %.0f GB\n", nofit.Need.GiBf(), nofit.Have.GiBf())
+	}
+	// Output:
+	// need 32.3 GB, have 16 GB
+}

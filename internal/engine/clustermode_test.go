@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/units"
+)
+
+func TestMeshMissLatencyExposed(t *testing.T) {
+	m := Default()
+	if l := m.MeshMissLatencyNS(); l <= 0 || l > 40 {
+		t.Fatalf("mesh miss latency = %v ns, want a small positive value", l)
+	}
+}
+
+func TestWithClusterMode(t *testing.T) {
+	m := Default()
+	a2a, err := m.WithClusterMode(noc.AllToAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The original machine is untouched.
+	if m.Mesh.Mode != noc.Quadrant {
+		t.Fatal("original machine mutated")
+	}
+	if a2a.Mesh.Mode != noc.AllToAll {
+		t.Fatal("mode not applied")
+	}
+	// Latency model follows the mesh delta consistently.
+	delta := a2a.MeshMissLatencyNS() - m.MeshMissLatencyNS()
+	gotDelta := float64(a2a.Chip.Cal.DualReadPlateauDRAM - m.Chip.Cal.DualReadPlateauDRAM)
+	if diff := delta - gotDelta; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("plateau delta %v does not match mesh delta %v", gotDelta, delta)
+	}
+	// End-to-end: the random latency shifts by (1-pL2)*delta at most.
+	l0 := m.RandomReadLatency(DRAM, units.MB(64), 1)
+	l1 := a2a.RandomReadLatency(DRAM, units.MB(64), 1)
+	shift := float64(l1 - l0)
+	if shift*delta < 0 { // same sign as the mesh change
+		t.Errorf("latency moved opposite to the mesh: mesh %+.2f, latency %+.2f", delta, shift)
+	}
+	if shift > delta+1e-9 && delta >= 0 {
+		t.Errorf("latency shifted by %v, more than the mesh delta %v", shift, delta)
+	}
+	// SNC-4 also constructs.
+	if _, err := m.WithClusterMode(noc.SNC4); err != nil {
+		t.Fatal(err)
+	}
+}

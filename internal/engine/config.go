@@ -1,0 +1,108 @@
+// Package engine is the analytic timing model of the hybrid memory
+// system: it turns workload descriptions (bytes streamed, random
+// accesses, flops, footprints, threading) into predicted execution
+// times on a configured machine.
+//
+// The model is the one the paper itself uses to explain every result
+// (§IV-B): Little's Law relates sustained bandwidth to outstanding
+// concurrency and latency; sequential access raises concurrency via
+// the prefetcher and is bandwidth-bound; random access is pinned near
+// its dependency-limited concurrency and is latency-bound; the MCDRAM
+// direct-mapped cache composes hit and miss paths.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// ConfigKind selects the memory configuration of a run, mirroring the
+// paper's three setups (§III-C) plus two ablation configurations.
+type ConfigKind int
+
+const (
+	// BindDRAM: flat mode, numactl --membind=0 (the paper's "DRAM").
+	BindDRAM ConfigKind = iota
+	// BindHBM: flat mode, numactl --membind=1 (the paper's "HBM").
+	BindHBM
+	// CacheMode: MCDRAM as direct-mapped memory-side cache.
+	CacheMode
+	// InterleaveFlat: flat mode, numactl --interleave=0,1 (§IV-C
+	// mentions this as the way to run problems larger than DRAM).
+	InterleaveFlat
+	// Hybrid: part of MCDRAM flat (bound like HBM), the rest cache.
+	Hybrid
+)
+
+// String names the configuration as the paper's figures do.
+func (k ConfigKind) String() string {
+	switch k {
+	case BindDRAM:
+		return "DRAM"
+	case BindHBM:
+		return "HBM"
+	case CacheMode:
+		return "Cache Mode"
+	case InterleaveFlat:
+		return "Interleave"
+	case Hybrid:
+		return "Hybrid"
+	}
+	return fmt.Sprintf("ConfigKind(%d)", int(k))
+}
+
+// MemoryConfig is a complete memory configuration.
+type MemoryConfig struct {
+	Kind ConfigKind
+	// HybridFlatFraction is the fraction of MCDRAM exposed flat in
+	// Hybrid mode (BIOS options are 0.25, 0.5, 0.75).
+	HybridFlatFraction float64
+}
+
+// DRAM, HBM and Cache are the paper's three configurations.
+var (
+	DRAM  = MemoryConfig{Kind: BindDRAM}
+	HBM   = MemoryConfig{Kind: BindHBM}
+	Cache = MemoryConfig{Kind: CacheMode}
+)
+
+// PaperConfigs lists the three configurations every figure sweeps.
+func PaperConfigs() []MemoryConfig { return []MemoryConfig{DRAM, HBM, Cache} }
+
+// Validate checks the configuration.
+func (c MemoryConfig) Validate() error {
+	switch c.Kind {
+	case BindDRAM, BindHBM, CacheMode, InterleaveFlat:
+		return nil
+	case Hybrid:
+		if c.HybridFlatFraction <= 0 || c.HybridFlatFraction >= 1 {
+			return fmt.Errorf("engine: hybrid flat fraction %v out of (0,1)", c.HybridFlatFraction)
+		}
+		return nil
+	}
+	return fmt.Errorf("engine: unknown config kind %d", int(c.Kind))
+}
+
+// String renders the configuration.
+func (c MemoryConfig) String() string {
+	if c.Kind == Hybrid {
+		return fmt.Sprintf("Hybrid(%.0f%% flat)", c.HybridFlatFraction*100)
+	}
+	return c.Kind.String()
+}
+
+// ErrDoesNotFit reports a working set exceeding a configuration's
+// capacity; the paper's figures show no HBM bar in exactly this case
+// ("No measurements for HBM in flat mode when the problem size
+// exceeds its capacity").
+type ErrDoesNotFit struct {
+	Config MemoryConfig
+	Need   units.Bytes
+	Have   units.Bytes
+}
+
+// Error implements error.
+func (e ErrDoesNotFit) Error() string {
+	return fmt.Sprintf("engine: working set %v does not fit %v capacity %v", e.Need, e.Config, e.Have)
+}

@@ -1,0 +1,20 @@
+package engine
+
+import "testing"
+
+// FuzzParseConfig checks the configuration parser never panics and
+// only returns valid configurations.
+func FuzzParseConfig(f *testing.F) {
+	for _, seed := range []string{"dram", "hbm", "cache", "interleave", "hybrid:0.5", "hybrid:x", "", "HYBRID:0.25", "Cache Mode"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		cfg, err := ParseConfig(s)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("ParseConfig(%q) returned invalid config %+v: %v", s, cfg, verr)
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/units"
+)
+
+// tlbPenaltyNS is the page-walk latency added to a random access over
+// a footprint f: zero within the TLB reach, growing logarithmically to
+// the calibrated maximum at 16x the reach. This produces the latency
+// rise past ~128 MB in Fig. 3.
+func (m *Machine) tlbPenaltyNS(f units.Bytes) float64 {
+	cal := m.Chip.Cal
+	if f <= cal.TLBFullReach {
+		return 0
+	}
+	ratio := float64(f) / float64(cal.TLBFullReach)
+	frac := math.Log2(ratio) / 4 // saturates at reach*2^4
+	if frac > 1 {
+		frac = 1
+	}
+	return float64(cal.TLBMaxPenalty) * frac
+}
+
+// l2HitProb is the probability a random access over footprint f is
+// served by the local tile L2 (the 10 ns tier of Fig. 3). The steep
+// exponent models chase+walker pollution; see knl.Calibration.
+func (m *Machine) l2HitProb(f units.Bytes) float64 {
+	return cache.RandomHitRatioSteep(f, m.Chip.L2PerTile, m.Chip.Cal.L2RandomExponent)
+}
+
+// memoryRandomLatencyNS returns the memory-system portion (mesh +
+// device, cache-mode composition included) of a random read over
+// footprint f, before L2 short-circuit and TLB penalties.
+//
+// occupancy is the total data volume cycling through the memory-side
+// cache during the phase (sequential streams included): in cache mode
+// a streaming component evicts the random component's lines, so the
+// hit probability is governed by the full occupancy, not just the
+// random footprint. Callers without a streaming component pass
+// occupancy == f.
+func (m *Machine) memoryRandomLatencyNS(cfg MemoryConfig, f, occupancy units.Bytes) float64 {
+	cal := m.Chip.Cal
+	if occupancy < f {
+		occupancy = f
+	}
+	switch cfg.Kind {
+	case BindDRAM:
+		return float64(cal.DualReadPlateauDRAM)
+	case BindHBM:
+		return float64(cal.DualReadPlateauHBM)
+	case InterleaveFlat:
+		// Pages alternate: half the accesses hit each device.
+		return 0.5*float64(cal.DualReadPlateauDRAM) + 0.5*float64(cal.DualReadPlateauHBM)
+	case CacheMode:
+		h := m.cacheModeRandomHit(occupancy, m.Chip.MCDRAM.Capacity)
+		return h*float64(cal.CacheModeHitLatency) + (1-h)*float64(cal.CacheModeMissLatency)
+	case Hybrid:
+		// Data fills the flat part first (membind=1 semantics), the
+		// remainder goes through the cache part.
+		flat := units.Bytes(float64(m.Chip.MCDRAM.Capacity) * cfg.HybridFlatFraction)
+		cacheCap := m.Chip.MCDRAM.Capacity - flat
+		if occupancy <= flat {
+			return float64(cal.DualReadPlateauHBM)
+		}
+		inFlat := float64(flat) / float64(occupancy)
+		rest := occupancy - flat
+		h := m.cacheModeRandomHit(rest, cacheCap)
+		cachePart := h*float64(cal.CacheModeHitLatency) + (1-h)*float64(cal.CacheModeMissLatency)
+		return inFlat*float64(cal.DualReadPlateauHBM) + (1-inFlat)*cachePart
+	}
+	return float64(cal.DualReadPlateauDRAM)
+}
+
+// cacheModeRandomHit is the hit probability of random accesses in the
+// memory-side cache: the resident fraction shaved by direct-mapped
+// conflicts.
+func (m *Machine) cacheModeRandomHit(f, capacity units.Bytes) float64 {
+	res := cache.RandomHitRatio(f, capacity)
+	if res >= 1 {
+		// Fits entirely: only conflict aliasing with page placement
+		// keeps it below 1.
+		return 0.95
+	}
+	return res * cache.DirectMappedConflictHitRatio(f, capacity)
+}
+
+// RandomReadLatency predicts the average latency of a dependent random
+// read over a working set of footprint f under a configuration,
+// including the L2 tier, the mesh+device tier and the TLB tier
+// (the full Fig. 3 model). threads scales contention with the
+// calibrated default per-thread MLP; the single-threaded dual chase of
+// Fig. 3 uses threads=1 (no contention).
+func (m *Machine) RandomReadLatency(cfg MemoryConfig, f units.Bytes, threads int) units.Nanoseconds {
+	return m.RandomReadLatencyMLP(cfg, f, threads, 0)
+}
+
+// RandomReadLatencyMLP is RandomReadLatency with an explicit
+// per-thread MLP driving the contention estimate (0 = calibrated
+// default; a dependent chase is 1).
+func (m *Machine) RandomReadLatencyMLP(cfg MemoryConfig, f units.Bytes, threads int, mlp float64) units.Nanoseconds {
+	return m.randomReadLatencyOcc(cfg, f, f, threads, mlp)
+}
+
+// randomReadLatencyOcc is the full latency model with an explicit
+// memory-side cache occupancy (see memoryRandomLatencyNS).
+func (m *Machine) randomReadLatencyOcc(cfg MemoryConfig, f, occupancy units.Bytes, threads int, mlp float64) units.Nanoseconds {
+	p2 := m.l2HitProb(f)
+	memLat := m.memoryRandomLatencyNS(cfg, f, occupancy) + m.tlbPenaltyNS(f)
+	// Contention: scale the memory term by the device queueing factor
+	// at the utilization implied by the thread count's demand misses.
+	if threads > 1 {
+		memLat *= m.randomLoadFactor(cfg, f, occupancy, threads, mlp)
+	}
+	lat := p2*float64(m.Chip.Cal.L2HitLatency) + (1-p2)*memLat
+	return units.Nanoseconds(lat)
+}
+
+// randomLoadFactor estimates the queueing inflation of random-access
+// latency when `threads` threads each keep mlp requests outstanding
+// against the configuration's backing device.
+func (m *Machine) randomLoadFactor(cfg MemoryConfig, f, occupancy units.Bytes, threads int, mlp float64) float64 {
+	conc := m.Chip.RandomConcurrency(threads, mlp)
+	base := m.memoryRandomLatencyNS(cfg, f, occupancy)
+	if base <= 0 {
+		return 1
+	}
+	demand := conc * float64(units.CacheLine) / base // bytes/ns
+	dev := m.Chip.DDR
+	if cfg.Kind == BindHBM {
+		dev = m.Chip.MCDRAM
+	}
+	util := demand / float64(dev.EffSeqBW)
+	if util > 1 {
+		util = 1
+	}
+	return float64(dev.LoadedLatency(util)) / float64(dev.IdleLatency)
+}
+
+// DualRandomReadLatency reproduces the Fig. 3 experiment: a single
+// thread keeping two dependent chains in flight over a block of the
+// given size. The chain count does not change the average per-access
+// latency in this model (each chain is serial); it is the footprint
+// that matters.
+func (m *Machine) DualRandomReadLatency(cfg MemoryConfig, block units.Bytes) units.Nanoseconds {
+	return m.RandomReadLatency(cfg, block, 1)
+}

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/knl"
+	"repro/internal/noc"
+	"repro/internal/numa"
+	"repro/internal/units"
+)
+
+// Machine is a configured simulated node: the chip spec plus the mesh
+// and the derived mesh latency constant.
+type Machine struct {
+	Chip knl.ChipSpec
+	Mesh *noc.Mesh
+
+	meshMissNS float64
+}
+
+// NewMachine builds a machine from a chip spec (quadrant cluster mode,
+// matching the testbed).
+func NewMachine(chip knl.ChipSpec) (*Machine, error) {
+	if err := chip.Validate(); err != nil {
+		return nil, err
+	}
+	mesh, err := noc.NewMesh(chip.MeshCols, chip.MeshRows, chip.ActiveTiles, noc.Quadrant)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{Chip: chip, Mesh: mesh, meshMissNS: mesh.AvgMissPathLatencyNS()}, nil
+}
+
+// Default returns the KNL 7210 testbed machine, panicking on internal
+// inconsistency (the preset is a compile-time constant, so failure is
+// a programming error).
+func Default() *Machine {
+	m, err := NewMachine(knl.KNL7210())
+	if err != nil {
+		panic(fmt.Sprintf("engine: invalid KNL7210 preset: %v", err))
+	}
+	return m
+}
+
+// Capacity returns the allocatable capacity of a configuration.
+func (m *Machine) Capacity(cfg MemoryConfig) units.Bytes {
+	switch cfg.Kind {
+	case BindDRAM, CacheMode:
+		return m.Chip.DDR.Capacity
+	case BindHBM:
+		return m.Chip.MCDRAM.Capacity
+	case InterleaveFlat:
+		return m.Chip.DDR.Capacity + m.Chip.MCDRAM.Capacity
+	case Hybrid:
+		flat := units.Bytes(float64(m.Chip.MCDRAM.Capacity) * cfg.HybridFlatFraction)
+		return m.Chip.DDR.Capacity + flat
+	}
+	return 0
+}
+
+// CheckFit returns ErrDoesNotFit when ws exceeds the configuration's
+// capacity.
+func (m *Machine) CheckFit(cfg MemoryConfig, ws units.Bytes) error {
+	if have := m.Capacity(cfg); ws > have {
+		return ErrDoesNotFit{Config: cfg, Need: ws, Have: have}
+	}
+	return nil
+}
+
+// NUMATopology returns the OS topology a configuration exposes.
+func (m *Machine) NUMATopology(cfg MemoryConfig) (*numa.Topology, error) {
+	switch cfg.Kind {
+	case CacheMode:
+		return numa.NewTopology(m.Chip.DDR, m.Chip.MCDRAM, numa.CacheMode, 0)
+	case Hybrid:
+		return numa.NewTopology(m.Chip.DDR, m.Chip.MCDRAM, numa.HybridMode, cfg.HybridFlatFraction)
+	default:
+		return numa.NewTopology(m.Chip.DDR, m.Chip.MCDRAM, numa.FlatMode, 0)
+	}
+}
+
+// IdleLatencies returns the unloaded pointer-chase latencies of the
+// two devices (the §IV-A "154.0 ns HBM / 130.4 ns DRAM" experiment).
+func (m *Machine) IdleLatencies() (dram, hbm units.Nanoseconds) {
+	return m.Chip.DDR.IdleLatency, m.Chip.MCDRAM.IdleLatency
+}
+
+// MeshMissLatencyNS returns the average on-die mesh cost of an L2 miss
+// (requestor -> tag directory -> memory controller) under the machine's
+// cluster mode. It is folded into the calibrated dual-read plateaus;
+// the accessor exposes it for the cluster-mode ablation.
+func (m *Machine) MeshMissLatencyNS() float64 { return m.meshMissNS }
+
+// WithClusterMode returns a copy of the machine whose mesh uses a
+// different cluster mode (the testbed runs quadrant; all-to-all and
+// SNC-4 are the BIOS alternatives). The dual-read plateaus shift by
+// the mesh-latency delta, which is how the cluster mode reaches the
+// latency model.
+func (m *Machine) WithClusterMode(mode noc.ClusterMode) (*Machine, error) {
+	mesh, err := noc.NewMesh(m.Chip.MeshCols, m.Chip.MeshRows, m.Chip.ActiveTiles, mode)
+	if err != nil {
+		return nil, err
+	}
+	clone := *m
+	clone.Mesh = mesh
+	clone.meshMissNS = mesh.AvgMissPathLatencyNS()
+	delta := clone.meshMissNS - m.meshMissNS
+	clone.Chip.Cal.DualReadPlateauDRAM += units.Nanoseconds(delta)
+	clone.Chip.Cal.DualReadPlateauHBM += units.Nanoseconds(delta)
+	clone.Chip.Cal.CacheModeHitLatency += units.Nanoseconds(delta)
+	clone.Chip.Cal.CacheModeMissLatency += units.Nanoseconds(delta)
+	return &clone, nil
+}

@@ -1,0 +1,40 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseConfig parses a memory-configuration string as used by the
+// command-line tools:
+//
+//	dram | hbm | cache | interleave | hybrid:<flat-fraction>
+//
+// Names are case-insensitive; the paper's figure labels ("Cache Mode")
+// are accepted too.
+func ParseConfig(s string) (MemoryConfig, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	switch t {
+	case "dram", "ddr":
+		return DRAM, nil
+	case "hbm", "mcdram", "flat":
+		return HBM, nil
+	case "cache", "cache mode", "cachemode":
+		return Cache, nil
+	case "interleave", "interleaved":
+		return MemoryConfig{Kind: InterleaveFlat}, nil
+	}
+	if rest, ok := strings.CutPrefix(t, "hybrid:"); ok {
+		frac, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return MemoryConfig{}, fmt.Errorf("engine: bad hybrid fraction %q: %v", rest, err)
+		}
+		cfg := MemoryConfig{Kind: Hybrid, HybridFlatFraction: frac}
+		if err := cfg.Validate(); err != nil {
+			return MemoryConfig{}, err
+		}
+		return cfg, nil
+	}
+	return MemoryConfig{}, fmt.Errorf("engine: unknown memory configuration %q (dram|hbm|cache|interleave|hybrid:F)", s)
+}

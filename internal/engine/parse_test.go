@@ -1,0 +1,60 @@
+package engine
+
+import "testing"
+
+func TestParseConfig(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ConfigKind
+	}{
+		{"dram", BindDRAM},
+		{"DRAM", BindDRAM},
+		{"ddr", BindDRAM},
+		{"hbm", BindHBM},
+		{"MCDRAM", BindHBM},
+		{"flat", BindHBM},
+		{"cache", CacheMode},
+		{"Cache Mode", CacheMode},
+		{"cachemode", CacheMode},
+		{"interleave", InterleaveFlat},
+		{" interleaved ", InterleaveFlat},
+	}
+	for _, c := range cases {
+		got, err := ParseConfig(c.in)
+		if err != nil {
+			t.Errorf("ParseConfig(%q): %v", c.in, err)
+			continue
+		}
+		if got.Kind != c.want {
+			t.Errorf("ParseConfig(%q) = %v, want kind %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseConfigHybrid(t *testing.T) {
+	got, err := ParseConfig("hybrid:0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != Hybrid || got.HybridFlatFraction != 0.25 {
+		t.Fatalf("hybrid parse = %+v", got)
+	}
+	for _, bad := range []string{"hybrid:", "hybrid:x", "hybrid:0", "hybrid:1", "hybrid:1.5", "nope", ""} {
+		if _, err := ParseConfig(bad); err == nil {
+			t.Errorf("ParseConfig(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseConfigRoundTripsPaperConfigs(t *testing.T) {
+	for _, cfg := range PaperConfigs() {
+		got, err := ParseConfig(cfg.String())
+		if err != nil {
+			t.Errorf("ParseConfig(%q): %v", cfg.String(), err)
+			continue
+		}
+		if got.Kind != cfg.Kind {
+			t.Errorf("round trip of %v gave %v", cfg, got)
+		}
+	}
+}

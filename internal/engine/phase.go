@@ -1,0 +1,234 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Phase describes one execution phase of a workload as the traffic it
+// generates. Workload packages build phases from their actual data
+// structures and algorithms; the solver turns them into time.
+type Phase struct {
+	Name string
+
+	// Compute component.
+	Flops      float64 // useful floating-point operations
+	ComputeEff float64 // fraction of chip peak attainable (0 => no compute bound)
+
+	// Sequential (prefetch-friendly) traffic.
+	SeqBytes     float64     // bytes streamed, including write-allocate amplification
+	SeqFootprint units.Bytes // reuse working set (drives cache-mode hit ratio)
+	// SeqEfficiency derates the attainable stream bandwidth for
+	// kernels with many concurrent streams and short gathers (CSR
+	// SpMV reaches ~60% of STREAM). 0 means 1.0 (STREAM-like).
+	SeqEfficiency float64
+
+	// Independent random accesses (GUPS-style gathers/scatters).
+	RandomAccesses  float64
+	RandomFootprint units.Bytes
+	RandomMLP       float64 // per-thread MLP; 0 = calibrated default
+
+	// Dependent pointer-chase accesses (binary search, list walks):
+	// each op serializes ChaseLength accesses; ops across threads are
+	// independent.
+	ChaseOps       float64
+	ChaseLength    float64
+	ChaseFootprint units.Bytes
+
+	// Serial overheads.
+	Syncs           float64 // global reductions/barriers
+	ParallelRegions float64 // fork/join regions
+	SerialNS        float64 // fixed serial work per phase (e.g. per-op bookkeeping x ops / threads)
+
+	// OverlapSerialFraction is how much of the shorter of compute and
+	// memory time fails to overlap with the longer (0 = perfect
+	// overlap, 1 = fully serialized). Blocked DGEMM uses a small
+	// nonzero value: pack/copy steps serialize against FMA bursts.
+	OverlapSerialFraction float64
+}
+
+// TotalFootprint is the largest footprint any component touches; used
+// for capacity checks.
+func (p Phase) TotalFootprint() units.Bytes {
+	f := p.SeqFootprint
+	if p.RandomFootprint > f {
+		f = p.RandomFootprint
+	}
+	if p.ChaseFootprint > f {
+		f = p.ChaseFootprint
+	}
+	return f
+}
+
+// PhaseResult is the solver's breakdown for one phase.
+type PhaseResult struct {
+	Time units.Nanoseconds
+
+	ComputeTime units.Nanoseconds
+	SeqTime     units.Nanoseconds
+	RandomTime  units.Nanoseconds
+	ChaseTime   units.Nanoseconds
+	OverheadNS  units.Nanoseconds
+
+	SeqBW      units.BytesPerNS
+	RandLat    units.Nanoseconds
+	Bottleneck string
+}
+
+// SolvePhase predicts the execution time of a phase under a memory
+// configuration with the given total thread count.
+//
+// Composition rule: compute overlaps with memory (out-of-order cores
+// and prefetchers overlap them in practice), so the core time is
+// max(compute, sequential + random + chase); synchronization and
+// fork/join overheads add serially.
+//
+// The latency-bound components are solved as a fixed point: their
+// loaded latency depends on the device utilization, and the
+// utilization depends on the phase's *achieved* traffic rate — not on
+// latent concurrency. A workload whose threads spend most of their
+// time in serial per-item work (Graph500's queue manipulation) never
+// saturates DRAM no matter how many threads run, while one whose
+// threads gather continuously (XSBench at 256 threads) drives DRAM
+// into its queueing wall and flips the DRAM/HBM ordering — the
+// mechanism behind the difference between Fig. 6c and Fig. 6d.
+func (m *Machine) SolvePhase(cfg MemoryConfig, threads int, p Phase) (PhaseResult, error) {
+	var r PhaseResult
+	if threads <= 0 {
+		return r, fmt.Errorf("engine: phase %q: thread count %d must be positive", p.Name, threads)
+	}
+	if err := cfg.Validate(); err != nil {
+		return r, err
+	}
+	if err := m.CheckFit(cfg, p.TotalFootprint()); err != nil {
+		return r, err
+	}
+
+	// Compute.
+	if p.Flops > 0 && p.ComputeEff > 0 {
+		gflops := m.Chip.PeakGFLOPS() * p.ComputeEff // flops per ns
+		r.ComputeTime = units.Nanoseconds(p.Flops / gflops)
+	}
+
+	// Sequential traffic (the bandwidth model saturates internally).
+	if p.SeqBytes > 0 {
+		bw, err := m.SeqBandwidth(cfg, p.SeqFootprint, threads)
+		if err != nil {
+			return r, err
+		}
+		if p.SeqEfficiency > 0 && p.SeqEfficiency <= 1 {
+			bw = units.BytesPerNS(float64(bw) * p.SeqEfficiency)
+		}
+		r.SeqBW = bw
+		r.SeqTime = units.Nanoseconds(p.SeqBytes / float64(bw))
+	}
+
+	// In cache mode every component's data cycles through the same
+	// direct-mapped MCDRAM cache, so the random components' hit
+	// probability is governed by the union of all footprints.
+	occupancy := p.SeqFootprint + p.RandomFootprint + p.ChaseFootprint
+
+	// Unloaded latencies; the fixed point below applies the load
+	// factor phase-globally.
+	var baseRandLat, baseChaseLat float64
+	if p.RandomAccesses > 0 {
+		baseRandLat = float64(m.randomReadLatencyOcc(cfg, p.RandomFootprint, occupancy, 1, p.RandomMLP))
+	}
+	if p.ChaseOps > 0 && p.ChaseLength > 0 {
+		baseChaseLat = float64(m.randomReadLatencyOcc(cfg, p.ChaseFootprint, occupancy, 1, 1))
+	}
+	conc := m.Chip.RandomConcurrency(threads, p.RandomMLP)
+	bwBudget := m.randomBandwidthCap(cfg, occupancy)
+	dev := m.backingDevice(cfg)
+
+	cal := m.Chip.Cal
+	r.OverheadNS = units.Nanoseconds(
+		p.Syncs*float64(cal.ReductionLatencyNS) +
+			p.ParallelRegions*float64(cal.ParallelOverheadNS) +
+			p.SerialNS)
+
+	factor := 1.0
+	line := float64(units.CacheLine)
+	for iter := 0; iter < 12; iter++ {
+		if p.RandomAccesses > 0 {
+			rate := conc / (baseRandLat * factor)
+			if max := bwBudget / line; rate > max {
+				rate = max
+			}
+			r.RandomTime = units.Nanoseconds(p.RandomAccesses / rate)
+			r.RandLat = units.Nanoseconds(baseRandLat * factor)
+		}
+		if p.ChaseOps > 0 && p.ChaseLength > 0 {
+			perOp := p.ChaseLength * baseChaseLat * factor
+			r.ChaseTime = units.Nanoseconds(p.ChaseOps * perOp / float64(threads))
+			if r.RandLat == 0 {
+				r.RandLat = units.Nanoseconds(baseChaseLat * factor)
+			}
+		}
+		memTime := r.SeqTime + r.RandomTime + r.ChaseTime
+		core := r.ComputeTime
+		if memTime > core {
+			core = memTime
+		}
+		total := float64(core + r.OverheadNS)
+		if total <= 0 {
+			break
+		}
+		// Achieved pressure on the backing memory system.
+		bytes := p.SeqBytes + line*(p.RandomAccesses+p.ChaseOps*p.ChaseLength)
+		util := bytes / total / bwBudget
+		if util > 1 {
+			util = 1
+		}
+		next := float64(dev.loaded(util)) / float64(dev.idle)
+		if diff := next - factor; diff < 1e-4 && diff > -1e-4 {
+			factor = next
+			break
+		}
+		factor = 0.5*factor + 0.5*next
+	}
+
+	memTime := r.SeqTime + r.RandomTime + r.ChaseTime
+	core := r.ComputeTime
+	bottleneck := "compute"
+	if memTime > core {
+		core = memTime
+		switch {
+		case r.SeqTime >= r.RandomTime && r.SeqTime >= r.ChaseTime:
+			bottleneck = "bandwidth"
+		case r.RandomTime >= r.ChaseTime:
+			bottleneck = "latency(random)"
+		default:
+			bottleneck = "latency(chase)"
+		}
+	}
+	if p.OverlapSerialFraction > 0 {
+		shorter := memTime
+		if r.ComputeTime < shorter {
+			shorter = r.ComputeTime
+		}
+		core += units.Nanoseconds(p.OverlapSerialFraction * float64(shorter))
+	}
+	if r.OverheadNS > core && r.OverheadNS > 0 {
+		bottleneck = "overhead"
+	}
+	r.Time = core + r.OverheadNS
+	r.Bottleneck = bottleneck
+	return r, nil
+}
+
+// SolvePhases runs several phases and sums their times.
+func (m *Machine) SolvePhases(cfg MemoryConfig, threads int, phases []Phase) (units.Nanoseconds, []PhaseResult, error) {
+	var total units.Nanoseconds
+	results := make([]PhaseResult, 0, len(phases))
+	for _, p := range phases {
+		r, err := m.SolvePhase(cfg, threads, p)
+		if err != nil {
+			return 0, nil, fmt.Errorf("phase %q: %w", p.Name, err)
+		}
+		total += r.Time
+		results = append(results, r)
+	}
+	return total, results, nil
+}

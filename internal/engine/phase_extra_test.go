@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestSeqEfficiencyDerating(t *testing.T) {
+	m := Default()
+	full := Phase{SeqBytes: 77e9, SeqFootprint: units.GB(8)}
+	derated := full
+	derated.SeqEfficiency = 0.5
+	rf, err := m.SolvePhase(DRAM, 64, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := m.SolvePhase(DRAM, 64, derated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(rd.SeqTime) / float64(rf.SeqTime); math.Abs(ratio-2) > 0.01 {
+		t.Errorf("50%% efficiency should double stream time, got %.3fx", ratio)
+	}
+	// Out-of-range efficiencies are ignored (treated as 1).
+	weird := full
+	weird.SeqEfficiency = 1.5
+	rw, _ := m.SolvePhase(DRAM, 64, weird)
+	if rw.SeqTime != rf.SeqTime {
+		t.Error("efficiency > 1 should be ignored")
+	}
+}
+
+func TestOverlapSerialFraction(t *testing.T) {
+	m := Default()
+	base := Phase{
+		Flops: 1e12, ComputeEff: 0.5,
+		SeqBytes: 10e9, SeqFootprint: units.GB(8),
+	}
+	r0, err := m.SolvePhase(DRAM, 64, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := base
+	serial.OverlapSerialFraction = 1.0
+	r1, err := m.SolvePhase(DRAM, 64, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full serialization adds exactly the shorter component.
+	shorter := r0.SeqTime
+	if r0.ComputeTime < shorter {
+		shorter = r0.ComputeTime
+	}
+	want := r0.Time + shorter
+	if math.Abs(float64(r1.Time-want)) > 1e-6*float64(want) {
+		t.Errorf("serialized time %v, want %v", r1.Time, want)
+	}
+}
+
+func TestHybridRandomLatencyBetweenFlatAndCache(t *testing.T) {
+	m := Default()
+	hy := MemoryConfig{Kind: Hybrid, HybridFlatFraction: 0.5}
+	// Footprint fits the flat half: behaves like HBM.
+	f := units.GB(6)
+	lh := m.RandomReadLatency(HBM, f, 1)
+	lhy := m.RandomReadLatency(hy, f, 1)
+	if math.Abs(float64(lhy-lh)) > 1 {
+		t.Errorf("hybrid within flat part: %v, want ~HBM %v", lhy, lh)
+	}
+	// Larger footprint: a mixture of the flat path and the (shrunken)
+	// cache path, so it must land between the two pure latencies.
+	f = units.GB(14)
+	lhy = m.RandomReadLatency(hy, f, 1)
+	lc := m.RandomReadLatency(Cache, f, 1)
+	lh = m.RandomReadLatency(HBM, f, 1)
+	lo, hi := lc, lh
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lhy < lo-1 || lhy > hi+1 {
+		t.Errorf("hybrid latency %v outside [%v, %v]", lhy, lo, hi)
+	}
+}
+
+func TestInterleaveRandomLatencyIsMixture(t *testing.T) {
+	m := Default()
+	il := MemoryConfig{Kind: InterleaveFlat}
+	f := units.GB(8)
+	ld := float64(m.RandomReadLatency(DRAM, f, 1))
+	lh := float64(m.RandomReadLatency(HBM, f, 1))
+	lil := float64(m.RandomReadLatency(il, f, 1))
+	want := (ld + lh) / 2
+	if math.Abs(lil-want) > 2 {
+		t.Errorf("interleave latency %v, want mixture %v", lil, want)
+	}
+}
+
+func TestSolvePhaseFixedPointConverges(t *testing.T) {
+	m := Default()
+	// A phase engineered to sit exactly at the DRAM saturation knee:
+	// the damped fixed point must return a finite, stable answer.
+	p := Phase{
+		RandomAccesses:  5e8,
+		RandomFootprint: units.GB(8),
+		RandomMLP:       8,
+		SerialNS:        1e6,
+	}
+	r1, err := m.SolvePhase(DRAM, 256, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.SolvePhase(DRAM, 256, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Time != r2.Time {
+		t.Error("solver not deterministic")
+	}
+	if math.IsNaN(float64(r1.Time)) || math.IsInf(float64(r1.Time), 0) || r1.Time <= 0 {
+		t.Errorf("degenerate time %v", r1.Time)
+	}
+	// Latency must be within the physical band: above idle, below the
+	// 3x queueing cap plus TLB.
+	if r1.RandLat < 130 || r1.RandLat > 2500 {
+		t.Errorf("loaded latency %v outside physical band", r1.RandLat)
+	}
+}
+
+func TestPhaseTimesMonotoneInWorkProperty(t *testing.T) {
+	m := Default()
+	f := func(aRaw, bRaw uint32) bool {
+		a := float64(aRaw%1000000) * 1e3
+		b := float64(bRaw%1000000) * 1e3
+		if a > b {
+			a, b = b, a
+		}
+		pa := Phase{SeqBytes: a + 1, SeqFootprint: units.GB(4), RandomAccesses: a/64 + 1, RandomFootprint: units.GB(4)}
+		pb := Phase{SeqBytes: b + 1, SeqFootprint: units.GB(4), RandomAccesses: b/64 + 1, RandomFootprint: units.GB(4)}
+		ra, err := m.SolvePhase(Cache, 64, pa)
+		if err != nil {
+			return false
+		}
+		rb, err := m.SolvePhase(Cache, 64, pb)
+		if err != nil {
+			return false
+		}
+		return rb.Time >= ra.Time-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoreBandwidthNeverHurtsProperty(t *testing.T) {
+	// The engine must be monotone in device capability: scaling HBM
+	// bandwidth up cannot make any phase slower.
+	base := Default()
+	boosted := Default()
+	boosted.Chip.MCDRAM.PeakBW *= 1.5
+	boosted.Chip.MCDRAM.EffSeqBW *= 1.5
+	f := func(seqRaw, randRaw uint16) bool {
+		p := Phase{
+			SeqBytes:        float64(seqRaw)*1e6 + 1,
+			SeqFootprint:    units.GB(4),
+			RandomAccesses:  float64(randRaw) * 1e3,
+			RandomFootprint: units.GB(4),
+		}
+		rb, err := base.SolvePhase(HBM, 128, p)
+		if err != nil {
+			return false
+		}
+		rB, err := boosted.SolvePhase(HBM, 128, p)
+		if err != nil {
+			return false
+		}
+		return rB.Time <= rb.Time*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeqBandwidthSizeMonotoneCacheModeProperty(t *testing.T) {
+	m := Default()
+	f := func(aRaw, bRaw uint16) bool {
+		a := units.GB(float64(aRaw%380)/10 + 2)
+		b := units.GB(float64(bRaw%380)/10 + 2)
+		if a > b {
+			a, b = b, a
+		}
+		bwA, err := m.SeqBandwidth(Cache, a, 64)
+		if err != nil {
+			return false
+		}
+		bwB, err := m.SeqBandwidth(Cache, b, 64)
+		if err != nil {
+			return false
+		}
+		// Larger working sets never stream faster through the cache.
+		return bwB <= bwA+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/knl"
+	"repro/internal/units"
+)
+
+// The paper's §VI generalization claim: the qualitative conclusions
+// hold for "other heterogeneous memory systems with similar
+// characteristics". These tests run the engine on the other KNL SKUs
+// and a generic HBM2-class machine and require the dichotomy to
+// survive.
+func TestConclusionsHoldAcrossVariants(t *testing.T) {
+	for _, chip := range knl.Variants() {
+		m, err := NewMachine(chip)
+		if err != nil {
+			t.Fatalf("%s: %v", chip.Name, err)
+		}
+		// Bandwidth dichotomy: HBM streams much faster than DRAM.
+		d, err := m.SeqBandwidth(DRAM, units.GB(8), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := m.SeqBandwidth(HBM, units.GB(8), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.GBpsf() < 2.5*d.GBpsf() {
+			t.Errorf("%s: HBM %v not >2.5x DRAM %v", chip.Name, h, d)
+		}
+		// Latency dichotomy: DRAM random reads are faster.
+		ld := m.RandomReadLatency(DRAM, units.MB(64), 1)
+		lh := m.RandomReadLatency(HBM, units.MB(64), 1)
+		if lh <= ld {
+			t.Errorf("%s: HBM latency %v not above DRAM %v", chip.Name, lh, ld)
+		}
+	}
+}
+
+func TestConclusionsHoldOnGenericHybrid(t *testing.T) {
+	chip, err := knl.GenericHybrid("hbm2-node",
+		64*units.GiB, 800, 150, 512*units.GiB, 200, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A random workload still prefers the low-latency slow memory at
+	// low concurrency...
+	p := Phase{RandomAccesses: 1e8, RandomFootprint: units.GB(32)}
+	rd, err := m.SolvePhase(DRAM, 64, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := m.SolvePhase(HBM, 64, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Time >= rh.Time {
+		t.Errorf("generic machine lost the latency dichotomy: DRAM %v vs HBM %v", rd.Time, rh.Time)
+	}
+	// ...and a streaming workload prefers the fast memory.
+	s := Phase{SeqBytes: 100e9, SeqFootprint: units.GB(32)}
+	sd, _ := m.SolvePhase(DRAM, 64, s)
+	sh, _ := m.SolvePhase(HBM, 64, s)
+	if sh.Time >= sd.Time {
+		t.Errorf("generic machine lost the bandwidth dichotomy: HBM %v vs DRAM %v", sh.Time, sd.Time)
+	}
+	// Capacity bookkeeping follows the new sizes.
+	if m.Capacity(HBM) != 64*units.GiB {
+		t.Errorf("capacity = %v", m.Capacity(HBM))
+	}
+}
+
+// Engine-level property: on every variant, more hardware threads never
+// reduce sequential bandwidth on HBM up to 2 HT/core, and never change
+// DRAM bandwidth at all.
+func TestVariantThreadScalingShape(t *testing.T) {
+	for _, chip := range knl.Variants() {
+		m, err := NewMachine(chip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h1, _ := m.SeqBandwidth(HBM, units.GB(4), chip.Cores)
+		h2, _ := m.SeqBandwidth(HBM, units.GB(4), 2*chip.Cores)
+		if h2 < h1 {
+			t.Errorf("%s: ht2 bandwidth fell: %v -> %v", chip.Name, h1, h2)
+		}
+		d1, _ := m.SeqBandwidth(DRAM, units.GB(4), chip.Cores)
+		d2, _ := m.SeqBandwidth(DRAM, units.GB(4), 2*chip.Cores)
+		if d1 != d2 {
+			t.Errorf("%s: DRAM moved with threads: %v -> %v", chip.Name, d1, d2)
+		}
+	}
+}

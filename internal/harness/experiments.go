@@ -1,0 +1,316 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/units"
+	"repro/internal/workload"
+	"repro/internal/workloads/latbench"
+	"repro/internal/workloads/stream"
+)
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(sys *core.System) (*Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "List of Evaluated Applications", Table1},
+		{"table2", "NUMA distances (numactl --hardware)", Table2},
+		{"latency", "Idle memory latencies (§IV-A)", LatencyProbe},
+		{"fig2", "STREAM triad bandwidth vs size, 64 threads", Fig2},
+		{"fig3", "Dual random read latency vs block size", Fig3},
+		{"fig4a", "DGEMM GFLOPS vs array size", Fig4a},
+		{"fig4b", "MiniFE CG MFLOPS vs matrix size", Fig4b},
+		{"fig4c", "GUPS vs table size", Fig4c},
+		{"fig4d", "Graph500 TEPS vs graph size", Fig4d},
+		{"fig4e", "XSBench lookups/s vs problem size", Fig4e},
+		{"fig5", "STREAM bandwidth vs size per hardware-thread count", Fig5},
+		{"fig6a", "DGEMM GFLOPS vs threads", Fig6a},
+		{"fig6b", "MiniFE CG MFLOPS vs threads", Fig6b},
+		{"fig6c", "Graph500 TEPS vs threads", Fig6c},
+		{"fig6d", "XSBench lookups/s vs threads", Fig6d},
+	}
+}
+
+// ByID returns one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %v)", id, ids)
+}
+
+// Table1 regenerates Table I from the registered workload metadata.
+func Table1(sys *core.System) (*Table, error) {
+	t := &Table{
+		ID: "table1", Title: "List of Evaluated Applications",
+		XLabel: "#", XFmt: "%.0f", ValFmt: "%s",
+		Cols: []string{"Application", "Type", "Access Pattern", "Max. Scale"},
+	}
+	// Table I is textual; fold it into notes for rendering fidelity.
+	for i, info := range sys.TableIRows() {
+		t.Rows = append(t.Rows, Row{X: float64(i + 1), Cells: make([]Cell, 4)})
+		t.Notes = append(t.Notes, fmt.Sprintf("%-10s %-15s %-12s %3.0f GB",
+			info.Name, info.Class, info.Pattern, info.MaxScale.GiBf()))
+	}
+	return t, nil
+}
+
+// Table2 regenerates Table II: the NUMA distance matrices of flat and
+// cache mode.
+func Table2(sys *core.System) (*Table, error) {
+	t := &Table{
+		ID: "table2", Title: "NUMA distances (numactl --hardware)",
+		XLabel: "mode", XFmt: "%.0f", ValFmt: "%s",
+	}
+	flat, err := sys.Machine.NUMATopology(engine.HBM)
+	if err != nil {
+		return nil, err
+	}
+	cm, err := sys.Machine.NUMATopology(engine.Cache)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, "flat mode:\n"+flat.HardwareString())
+	t.Notes = append(t.Notes, "cache mode:\n"+cm.HardwareString())
+	return t, nil
+}
+
+// LatencyProbe reports the idle pointer-chase latencies of §IV-A.
+func LatencyProbe(sys *core.System) (*Table, error) {
+	d, h := sys.Machine.IdleLatencies()
+	t := &Table{
+		ID: "latency", Title: "Idle memory latency (ns)",
+		XLabel: "probe", XFmt: "%.0f", ValFmt: "%.1f",
+		Cols: []string{"DRAM", "HBM", "HBM/DRAM"},
+		Rows: []Row{{X: 1, Cells: []Cell{
+			{Value: float64(d)}, {Value: float64(h)}, {Value: float64(h) / float64(d)},
+		}}},
+		Notes: []string{"paper: 130.4 ns DRAM, 154.0 ns HBM (~18% gap)"},
+	}
+	return t, nil
+}
+
+// configSweep runs a workload model over sizes x paper configurations
+// and appends improvement columns (HBM/DRAM and Cache/DRAM, the
+// right-hand axes of Fig. 4).
+func configSweep(sys *core.System, id, title, name string, sizes []units.Bytes, threads int, valFmt string) (*Table, error) {
+	mdl, err := sys.Workload(name)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: id, Title: title,
+		XLabel: "Size (GB)", XFmt: "%.1f", ValFmt: valFmt,
+		Cols: []string{"DRAM", "HBM", "Cache Mode", "HBM/DRAM", "Cache/DRAM"},
+	}
+	for _, s := range sizes {
+		row := Row{X: s.GiBf()}
+		var vals [3]Cell
+		for i, cfg := range engine.PaperConfigs() {
+			v, err := mdl.Predict(sys.Machine, cfg, s, threads)
+			vals[i] = Cell{Value: v, Err: err}
+		}
+		row.Cells = append(row.Cells, vals[0], vals[1], vals[2])
+		row.Cells = append(row.Cells, ratio(vals[1], vals[0]), ratio(vals[2], vals[0]))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func ratio(num, den Cell) Cell {
+	if num.Err != nil {
+		return Cell{Err: num.Err}
+	}
+	if den.Err != nil {
+		return Cell{Err: den.Err}
+	}
+	if den.Value == 0 {
+		return Cell{Err: fmt.Errorf("harness: zero baseline")}
+	}
+	return Cell{Value: num.Value / den.Value}
+}
+
+// Fig2 sweeps STREAM triad over sizes under the three configurations.
+func Fig2(sys *core.System) (*Table, error) {
+	mdl := stream.Model{}
+	t, err := configSweep(sys, "fig2", "STREAM triad bandwidth (GB/s), 64 threads",
+		"STREAM", mdl.PaperSizes(), 64, "%.0f")
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"paper: DRAM 77 GB/s, HBM 330 GB/s, cache ~260 peak then cliff below DRAM past ~24 GB")
+	return t, nil
+}
+
+// Fig3 sweeps the dual random read latency and the DRAM-vs-HBM gap.
+func Fig3(sys *core.System) (*Table, error) {
+	mdl := latbench.Model{}
+	t := &Table{
+		ID: "fig3", Title: "Dual random read latency (ns)",
+		XLabel: "Block (MiB)", XFmt: "%.3f", ValFmt: "%.1f",
+		Cols: []string{"DRAM", "HBM", "Gap (%)"},
+	}
+	for _, s := range mdl.PaperSizes() {
+		d, err := mdl.Predict(sys.Machine, engine.DRAM, s, 1)
+		if err != nil {
+			return nil, err
+		}
+		h, err := mdl.Predict(sys.Machine, engine.HBM, s, 1)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{X: s.MiBf(), Cells: []Cell{
+			{Value: d}, {Value: h}, {Value: (h - d) / d * 100},
+		}})
+	}
+	t.Notes = append(t.Notes,
+		"paper: ~10 ns under 1 MB, ~200 ns to 64 MB, rising past 128 MB; DRAM 15-20% faster")
+	return t, nil
+}
+
+// Fig4a-e sweep each application over its problem sizes.
+func Fig4a(sys *core.System) (*Table, error) {
+	mdl, _ := sys.Workload("DGEMM")
+	return configSweep(sys, "fig4a", "DGEMM (GFLOPS), 64 threads", "DGEMM", mdl.PaperSizes(), 64, "%.0f")
+}
+
+// Fig4b is the MiniFE panel.
+func Fig4b(sys *core.System) (*Table, error) {
+	mdl, _ := sys.Workload("MiniFE")
+	return configSweep(sys, "fig4b", "MiniFE CG (MFLOPS), 64 threads", "MiniFE", mdl.PaperSizes(), 64, "%.0f")
+}
+
+// Fig4c is the GUPS panel.
+func Fig4c(sys *core.System) (*Table, error) {
+	mdl, _ := sys.Workload("GUPS")
+	return configSweep(sys, "fig4c", "GUPS (giga-updates/s), 64 threads", "GUPS", mdl.PaperSizes(), 64, "%.5f")
+}
+
+// Fig4d is the Graph500 panel.
+func Fig4d(sys *core.System) (*Table, error) {
+	mdl, _ := sys.Workload("Graph500")
+	return configSweep(sys, "fig4d", "Graph500 (TEPS), 64 threads", "Graph500", mdl.PaperSizes(), 64, "%.3g")
+}
+
+// Fig4e is the XSBench panel.
+func Fig4e(sys *core.System) (*Table, error) {
+	mdl, _ := sys.Workload("XSBench")
+	return configSweep(sys, "fig4e", "XSBench (lookups/s), 64 threads", "XSBench", mdl.PaperSizes(), 64, "%.3g")
+}
+
+// Fig5 sweeps STREAM over sizes for 1-4 hardware threads per core on
+// each flat device.
+func Fig5(sys *core.System) (*Table, error) {
+	mdl := stream.Model{}
+	t := &Table{
+		ID: "fig5", Title: "STREAM bandwidth (GB/s) by hardware threads/core",
+		XLabel: "Size (GB)", XFmt: "%.0f", ValFmt: "%.0f",
+	}
+	for ht := 1; ht <= 4; ht++ {
+		t.Cols = append(t.Cols, fmt.Sprintf("DRAM ht=%d", ht))
+	}
+	for ht := 1; ht <= 4; ht++ {
+		t.Cols = append(t.Cols, fmt.Sprintf("HBM ht=%d", ht))
+	}
+	for _, s := range mdl.Fig5Sizes() {
+		row := Row{X: s.GiBf()}
+		for _, cfg := range []engine.MemoryConfig{engine.DRAM, engine.HBM} {
+			for ht := 1; ht <= 4; ht++ {
+				v, err := mdl.Predict(sys.Machine, cfg, s, 64*ht)
+				row.Cells = append(row.Cells, Cell{Value: v, Err: err})
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "paper: HBM ht=2 reaches 1.27x ht=1 (up to ~420-450 GB/s); DRAM lines overlap")
+	return t, nil
+}
+
+// threadSweep runs a workload's Fig. 6 panel.
+func threadSweep(sys *core.System, id, title, name, valFmt string) (*Table, error) {
+	mdl, err := sys.Workload(name)
+	if err != nil {
+		return nil, err
+	}
+	size := mdl.Fig6Size()
+	t := &Table{
+		ID: id, Title: fmt.Sprintf("%s (problem size %.1f GB)", title, size.GiBf()),
+		XLabel: "Threads", XFmt: "%.0f", ValFmt: valFmt,
+		Cols: []string{"DRAM", "HBM", "Cache Mode", "DRAM spdup", "HBM spdup", "Cache spdup"},
+	}
+	var base [3]Cell
+	for i, threads := range workload.PaperThreads() {
+		row := Row{X: float64(threads)}
+		var vals [3]Cell
+		for j, cfg := range engine.PaperConfigs() {
+			v, err := mdl.Predict(sys.Machine, cfg, size, threads)
+			vals[j] = Cell{Value: v, Err: err}
+		}
+		if i == 0 {
+			base = vals
+		}
+		row.Cells = append(row.Cells, vals[0], vals[1], vals[2])
+		for j := range vals {
+			row.Cells = append(row.Cells, ratio(vals[j], base[j]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig6a is the DGEMM thread sweep.
+func Fig6a(sys *core.System) (*Table, error) {
+	t, err := threadSweep(sys, "fig6a", "DGEMM GFLOPS vs threads", "DGEMM", "%.0f")
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, "paper: 1.7x at 192 threads on HBM; 256-thread runs do not complete")
+	return t, nil
+}
+
+// Fig6b is the MiniFE thread sweep.
+func Fig6b(sys *core.System) (*Table, error) {
+	t, err := threadSweep(sys, "fig6b", "MiniFE CG MFLOPS vs threads", "MiniFE", "%.0f")
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, "paper: 1.7x at 192 threads on HBM; 3.8x vs DRAM with 4 HT/core")
+	return t, nil
+}
+
+// Fig6c is the Graph500 thread sweep.
+func Fig6c(sys *core.System) (*Table, error) {
+	t, err := threadSweep(sys, "fig6c", "Graph500 TEPS vs threads", "Graph500", "%.3g")
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, "paper: every configuration peaks at 128 threads (~1.5x); DRAM stays best")
+	return t, nil
+}
+
+// Fig6d is the XSBench thread sweep.
+func Fig6d(sys *core.System) (*Table, error) {
+	t, err := threadSweep(sys, "fig6d", "XSBench lookups/s vs threads", "XSBench", "%.3g")
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, "paper: 2.5x at 256 threads on HBM/cache, 1.5x on DRAM; HBM overtakes DRAM")
+	return t, nil
+}

@@ -1,0 +1,63 @@
+package knl
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestVariantsAreValid(t *testing.T) {
+	for _, c := range Variants() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestVariantFacts(t *testing.T) {
+	if c := KNL7250(); c.Cores != 68 || c.MaxThreads() != 272 {
+		t.Errorf("7250: %d cores, %d threads", c.Cores, c.MaxThreads())
+	}
+	if c := KNL7290(); c.Cores != 72 || c.ClockGHz != 1.5 {
+		t.Errorf("7290: %d cores at %.1f GHz", c.Cores, c.ClockGHz)
+	}
+	// The 7230's DDR4-2400 is faster than the 7210's 2133.
+	if KNL7230().DDR.PeakBW <= KNL7210().DDR.PeakBW {
+		t.Error("7230 DDR should be faster than 7210")
+	}
+	// Peak flops grow with cores x clock.
+	if KNL7290().PeakGFLOPS() <= KNL7210().PeakGFLOPS() {
+		t.Error("7290 peak should exceed 7210")
+	}
+}
+
+func TestGenericHybrid(t *testing.T) {
+	// An HBM2+DDR5-like machine: bigger fast memory, lower latencies.
+	c, err := GenericHybrid("hbm2-node", 64*units.GiB, 800, 120, 512*units.GiB, 200, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MCDRAM.Capacity != 64*units.GiB || c.DDR.Capacity != 512*units.GiB {
+		t.Error("capacities not applied")
+	}
+	// Plateaus scale with the latency change.
+	base := KNL7210()
+	if c.Cal.DualReadPlateauDRAM >= base.Cal.DualReadPlateauDRAM {
+		t.Error("lower slow-memory latency should lower the DRAM plateau")
+	}
+	if c.Cal.DualReadPlateauHBM >= base.Cal.DualReadPlateauHBM {
+		t.Error("lower fast-memory latency should lower the HBM plateau")
+	}
+}
+
+func TestGenericHybridValidation(t *testing.T) {
+	if _, err := GenericHybrid("x", 0, 800, 120, 512*units.GiB, 200, 90); err == nil {
+		t.Error("zero fast capacity accepted")
+	}
+	if _, err := GenericHybrid("x", units.GiB, 100, 120, units.GiB, 200, 90); err == nil {
+		t.Error("fast memory slower than slow memory accepted")
+	}
+	if _, err := GenericHybrid("x", units.GiB, 800, -1, units.GiB, 200, 90); err == nil {
+		t.Error("negative latency accepted")
+	}
+}

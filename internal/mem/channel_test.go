@@ -1,0 +1,134 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestChannelSpecValidate(t *testing.T) {
+	if err := DDR4ChannelSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := MCDRAMChannelSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DDR4ChannelSpec()
+	bad.Banks = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero banks accepted")
+	}
+	bad = DDR4ChannelSpec()
+	bad.RowMissNS = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("miss faster than hit accepted")
+	}
+	bad = DDR4ChannelSpec()
+	bad.RowHitRatio = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("hit ratio > 1 accepted")
+	}
+}
+
+func TestSimulateChannelLightLoad(t *testing.T) {
+	spec := DDR4ChannelSpec()
+	reqs, err := UniformLoad(spec, 1.0, 500) // 1 GB/s: near idle
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateChannel(spec, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 500 {
+		t.Fatalf("served %d", res.Served)
+	}
+	// Near-idle latency is between the hit and miss service times
+	// plus the transfer.
+	lo := spec.RowHitNS + spec.TransferNS
+	hi := spec.RowMissNS + spec.TransferNS + 1
+	if res.AvgLatencyNS < lo || res.AvgLatencyNS > hi {
+		t.Fatalf("idle latency %.1f outside [%.1f, %.1f]", res.AvgLatencyNS, lo, hi)
+	}
+}
+
+func TestSimulateChannelSaturation(t *testing.T) {
+	spec := DDR4ChannelSpec()
+	// Offered load far above the ~17 GB/s channel: queueing blows up
+	// and the achieved bandwidth pins near the bus limit.
+	reqs, _ := UniformLoad(spec, 60, 4000)
+	res, err := SimulateChannel(spec, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busLimit := 64 / spec.TransferNS
+	if res.AchievedGBs > busLimit*1.02 {
+		t.Fatalf("achieved %.1f GB/s exceeds bus limit %.1f", res.AchievedGBs, busLimit)
+	}
+	if res.AchievedGBs < busLimit*0.75 {
+		t.Fatalf("achieved %.1f GB/s far below bus limit %.1f under saturation", res.AchievedGBs, busLimit)
+	}
+	light, _ := UniformLoad(spec, 2, 4000)
+	lres, _ := SimulateChannel(spec, light)
+	if res.AvgLatencyNS < 3*lres.AvgLatencyNS {
+		t.Fatalf("saturated latency %.1f not >> idle %.1f", res.AvgLatencyNS, lres.AvgLatencyNS)
+	}
+}
+
+func TestSimulateChannelErrors(t *testing.T) {
+	spec := DDR4ChannelSpec()
+	if _, err := SimulateChannel(spec, nil); err == nil {
+		t.Error("empty request list accepted")
+	}
+	if _, err := SimulateChannel(spec, []Request{{Bank: -1}}); err == nil {
+		t.Error("negative bank accepted")
+	}
+	if _, err := UniformLoad(spec, 0, 10); err == nil {
+		t.Error("zero load accepted")
+	}
+	if _, err := UniformLoad(spec, 1, 0); err == nil {
+		t.Error("zero count accepted")
+	}
+	bad := spec
+	bad.Banks = 0
+	if _, err := SimulateChannel(bad, []Request{{}}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+// The discrete-event curve must have the same qualitative shape as
+// the closed-form LoadedLatency: monotone, gentle below the knee,
+// steep near saturation.
+func TestLatencyLoadCurveMatchesClosedFormShape(t *testing.T) {
+	spec := DDR4ChannelSpec()
+	const peak = 15 // GB/s achievable per channel with this mix
+	curve, err := LatencyLoadCurve(spec, peak, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotone nondecreasing (allow 2% measurement noise).
+	for i := 1; i < len(curve); i++ {
+		if curve[i][1] < curve[i-1][1]*0.98 {
+			t.Fatalf("latency fell with load at u=%.2f: %.1f -> %.1f",
+				curve[i][0], curve[i-1][1], curve[i][1])
+		}
+	}
+	// Convexity at the tail: the last step grows more than the first.
+	first := curve[1][1] - curve[0][1]
+	last := curve[len(curve)-1][1] - curve[len(curve)-2][1]
+	if last <= first {
+		t.Fatalf("curve not convex near saturation: first step %.2f, last %.2f", first, last)
+	}
+	// Compare against the closed form used by the engine.
+	dev := DeviceSpec{
+		Kind: DDR, Capacity: 1 << 30, Channels: 1,
+		IdleLatency: units.Nanoseconds(curve[0][1]),
+		PeakBW:      units.GBps(17), EffSeqBW: units.GBps(15),
+	}
+	for _, pt := range curve[:len(curve)-2] { // closed form is clamped at the top
+		closed := float64(dev.LoadedLatency(pt[0]))
+		if pt[1] > closed*3.2 {
+			t.Errorf("u=%.2f: event-driven %.1f vs closed-form %.1f — shapes diverged", pt[0], pt[1], closed)
+		}
+	}
+}

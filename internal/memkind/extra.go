@@ -1,0 +1,72 @@
+package memkind
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// PosixMemalign allocates size bytes aligned to `alignment` (a power
+// of two >= 8), the analogue of hbw_posix_memalign. Alignment beyond
+// the size-class granularity is implemented by over-allocating and
+// returning the aligned offset; the returned address must still be
+// freed with Free.
+func (h *Heap) PosixMemalign(kind Kind, alignment, size units.Bytes) (uint64, error) {
+	if alignment < 8 || alignment&(alignment-1) != 0 {
+		return 0, fmt.Errorf("memkind: alignment %d must be a power of two >= 8", alignment)
+	}
+	if size <= 0 {
+		return 0, fmt.Errorf("memkind: non-positive size %v", size)
+	}
+	// Over-allocate so an aligned address always exists inside the
+	// block, then shift the caller-visible address. The allocator
+	// keeps owning the original slot (block.slot) so Free and the
+	// free lists stay consistent.
+	addr, err := h.Malloc(kind, size+alignment)
+	if err != nil {
+		return 0, err
+	}
+	aligned := (addr + uint64(alignment) - 1) &^ (uint64(alignment) - 1)
+	if aligned != addr {
+		b := h.live[addr]
+		delete(h.live, addr)
+		skew := units.Bytes(aligned - addr)
+		b.addr = aligned
+		b.usable -= skew
+		h.live[aligned] = b
+	}
+	return aligned, nil
+}
+
+// Realloc grows or shrinks a live allocation, preserving its kind.
+// Like C realloc it may move the block; the (simulated) contents are
+// not modelled, so only the size bookkeeping transfers.
+func (h *Heap) Realloc(addr uint64, size units.Bytes) (uint64, error) {
+	b, ok := h.live[addr]
+	if !ok {
+		return 0, fmt.Errorf("memkind: realloc of unknown address %#x", addr)
+	}
+	if size <= 0 {
+		return 0, fmt.Errorf("memkind: non-positive realloc size %v", size)
+	}
+	if size <= b.usable {
+		// Fits in place; update the requested size.
+		h.stats.BytesRequested += size - b.size
+		b.size = size
+		return addr, nil
+	}
+	kind := b.kind
+	if err := h.Free(addr); err != nil {
+		return 0, err
+	}
+	return h.Malloc(kind, size)
+}
+
+// AvailableHBW reports the free bytes on the HBW node (0 in cache
+// mode), the planning figure hbw users poll before large allocations.
+func (h *Heap) AvailableHBW() units.Bytes {
+	if !h.HBWAvailable() {
+		return 0
+	}
+	return h.space.FreeBytes(1)
+}

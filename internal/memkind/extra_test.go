@@ -1,0 +1,108 @@
+package memkind
+
+import (
+	"testing"
+
+	"repro/internal/numa"
+	"repro/internal/units"
+)
+
+func TestPosixMemalign(t *testing.T) {
+	h := heapFor(t, numa.FlatMode)
+	for _, align := range []units.Bytes{8, 64, 4096, 2 * units.MiB} {
+		addr, err := h.PosixMemalign(HBW, align, 1000)
+		if err != nil {
+			t.Fatalf("align %d: %v", align, err)
+		}
+		if addr%uint64(align) != 0 {
+			t.Errorf("address %#x not %d-aligned", addr, align)
+		}
+		if err := h.Free(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.PosixMemalign(Default, 12, 100); err == nil {
+		t.Error("non-power-of-two alignment accepted")
+	}
+	if _, err := h.PosixMemalign(Default, 4, 100); err == nil {
+		t.Error("alignment < 8 accepted")
+	}
+	if _, err := h.PosixMemalign(Default, 64, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestReallocInPlace(t *testing.T) {
+	h := heapFor(t, numa.FlatMode)
+	a, err := h.Malloc(Default, 100) // usable 128
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Realloc(a, 120) // still fits the class
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a {
+		t.Errorf("in-place realloc moved %#x -> %#x", a, b)
+	}
+}
+
+func TestReallocMoves(t *testing.T) {
+	h := heapFor(t, numa.FlatMode)
+	a, err := h.Malloc(HBWPreferred, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Realloc(a, units.MB(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b == a {
+		t.Error("growing realloc should have moved")
+	}
+	// Kind preserved.
+	k, err := h.KindOf(b)
+	if err != nil || k != HBWPreferred {
+		t.Errorf("kind after realloc = %v, %v", k, err)
+	}
+	// Old address is gone.
+	if _, err := h.UsableSize(a); err == nil {
+		t.Error("old address still live after moving realloc")
+	}
+}
+
+func TestReallocErrors(t *testing.T) {
+	h := heapFor(t, numa.FlatMode)
+	if _, err := h.Realloc(0xbad, 100); err == nil {
+		t.Error("realloc of unknown address accepted")
+	}
+	a, _ := h.Malloc(Default, 64)
+	if _, err := h.Realloc(a, 0); err == nil {
+		t.Error("zero-size realloc accepted")
+	}
+}
+
+func TestAvailableHBW(t *testing.T) {
+	h := heapFor(t, numa.FlatMode)
+	before := h.AvailableHBW()
+	if before != 16*units.GiB {
+		t.Fatalf("initial HBW = %v", before)
+	}
+	a, err := h.Malloc(HBW, units.GB(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.AvailableHBW(); got != 12*units.GiB {
+		t.Errorf("after 4 GiB alloc: %v", got)
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if h.AvailableHBW() != before {
+		t.Error("free did not restore HBW capacity")
+	}
+	// Cache mode has none.
+	if heapFor(t, numa.CacheMode).AvailableHBW() != 0 {
+		t.Error("cache mode should report zero HBW")
+	}
+}

@@ -1,0 +1,201 @@
+// Package noc models the KNL on-chip mesh interconnect: a 2D grid of
+// tile positions, dimension-ordered (Y-then-X on KNL) routing, the
+// distributed tag directory that maintains L2 coherence (MESIF), and
+// the cluster modes (all-to-all, quadrant, SNC-4) that control how
+// addresses map to directory homes and memory controllers.
+//
+// The mesh contributes the tile-to-tile and tile-to-memory-controller
+// hop latencies that sit between the L2 miss and the memory device in
+// the latency model of Fig. 3.
+package noc
+
+import (
+	"fmt"
+)
+
+// ClusterMode selects how physical addresses are striped across tag
+// directories and memory controllers.
+type ClusterMode int
+
+const (
+	// AllToAll: an address may be homed on any directory and served by
+	// any memory controller (worst-case traversal).
+	AllToAll ClusterMode = iota
+	// Quadrant: directory and memory controller for an address are in
+	// the same quadrant of the die; the requesting tile may be
+	// anywhere. This is the paper's testbed configuration (§III-A).
+	Quadrant
+	// SNC4: sub-NUMA clustering; requestor, directory, and controller
+	// are all within one quadrant exposed as a NUMA domain.
+	SNC4
+)
+
+// String names the cluster mode as Intel documentation does.
+func (m ClusterMode) String() string {
+	switch m {
+	case AllToAll:
+		return "all-to-all"
+	case Quadrant:
+		return "quadrant"
+	case SNC4:
+		return "SNC-4"
+	}
+	return fmt.Sprintf("ClusterMode(%d)", int(m))
+}
+
+// Coord is a tile position on the mesh grid.
+type Coord struct{ X, Y int }
+
+// Mesh is the on-die interconnect.
+type Mesh struct {
+	Cols, Rows int
+	Mode       ClusterMode
+
+	// HopLatencyNS is the per-hop traversal cost; KNL's mesh runs at
+	// ~1.7 GHz with ~1-cycle-per-stop forwarding plus
+	// injection/ejection overheads folded into the constant.
+	HopLatencyNS float64
+	// DirectoryLookupNS is the tag-directory access cost at the home
+	// tile (the CHA lookup).
+	DirectoryLookupNS float64
+
+	tiles []Coord // active tile coordinates, row-major allocation
+}
+
+// NewMesh builds a mesh with activeTiles tile stops laid out row-major
+// on a cols x rows grid. KNL dies reserve grid positions for memory
+// controllers and IO; those simply do not appear in the tile list.
+func NewMesh(cols, rows, activeTiles int, mode ClusterMode) (*Mesh, error) {
+	if cols <= 0 || rows <= 0 {
+		return nil, fmt.Errorf("noc: bad mesh geometry %dx%d", cols, rows)
+	}
+	if activeTiles <= 0 || activeTiles > cols*rows {
+		return nil, fmt.Errorf("noc: %d active tiles do not fit %dx%d mesh", activeTiles, cols, rows)
+	}
+	m := &Mesh{
+		Cols: cols, Rows: rows, Mode: mode,
+		HopLatencyNS:      1.6,
+		DirectoryLookupNS: 6.0,
+	}
+	for i := 0; i < activeTiles; i++ {
+		m.tiles = append(m.tiles, Coord{X: i % cols, Y: i / cols})
+	}
+	return m, nil
+}
+
+// Tiles returns the number of active tiles.
+func (m *Mesh) Tiles() int { return len(m.tiles) }
+
+// TileCoord returns the grid coordinate of tile id.
+func (m *Mesh) TileCoord(id int) (Coord, error) {
+	if id < 0 || id >= len(m.tiles) {
+		return Coord{}, fmt.Errorf("noc: tile %d out of range [0,%d)", id, len(m.tiles))
+	}
+	return m.tiles[id], nil
+}
+
+// Hops returns the dimension-ordered (Y-then-X) hop count between two
+// coordinates.
+func Hops(a, b Coord) int {
+	dx := a.X - b.X
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := a.Y - b.Y
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// DirectoryHome returns the tile that homes the tag directory entry
+// for a cache-line address, under the configured cluster mode.
+//
+// In quadrant and SNC-4 modes the home is constrained to the quadrant
+// owning the address; in all-to-all it hashes across every tile.
+func (m *Mesh) DirectoryHome(lineAddr uint64) int {
+	n := uint64(len(m.tiles))
+	h := mix(lineAddr)
+	switch m.Mode {
+	case AllToAll:
+		return int(h % n)
+	default:
+		// Quadrant-constrained: pick the quadrant from the address,
+		// then a tile within that quadrant.
+		q := lineAddr >> 6 & 3 // quadrant of this address
+		per := n / 4
+		if per == 0 {
+			return int(h % n)
+		}
+		return int(q*per + h%per)
+	}
+}
+
+// quadrantOf returns which quadrant of the grid a coordinate is in.
+func (m *Mesh) quadrantOf(c Coord) int {
+	q := 0
+	if c.X >= m.Cols/2 {
+		q++
+	}
+	if c.Y >= m.Rows/2 {
+		q += 2
+	}
+	return q
+}
+
+// MissPathLatencyNS estimates the uncontended mesh cost of an L2 miss
+// issued by tile `from`: traversal to the directory home, the
+// directory lookup, and traversal from the home to a memory
+// controller at the die edge. It excludes the memory device time.
+func (m *Mesh) MissPathLatencyNS(from int, lineAddr uint64) (float64, error) {
+	src, err := m.TileCoord(from)
+	if err != nil {
+		return 0, err
+	}
+	home := m.DirectoryHome(lineAddr)
+	dst, err := m.TileCoord(home)
+	if err != nil {
+		return 0, err
+	}
+	h := Hops(src, dst)
+	// Memory controller sits at the die edge of the home's quadrant:
+	// approximate with distance from home to its quadrant edge column.
+	edgeX := 0
+	if dst.X >= m.Cols/2 {
+		edgeX = m.Cols - 1
+	}
+	h += Hops(dst, Coord{X: edgeX, Y: dst.Y})
+	return float64(h)*m.HopLatencyNS + m.DirectoryLookupNS, nil
+}
+
+// AvgMissPathLatencyNS averages MissPathLatencyNS over all tiles and an
+// address sample, giving the mesh constant used by the analytic model.
+func (m *Mesh) AvgMissPathLatencyNS() float64 {
+	const samples = 256
+	total := 0.0
+	n := 0
+	for t := 0; t < len(m.tiles); t++ {
+		for s := 0; s < samples/len(m.tiles)+1; s++ {
+			addr := mix(uint64(t)*2654435761 + uint64(s)*40503)
+			l, err := m.MissPathLatencyNS(t, addr)
+			if err != nil {
+				continue
+			}
+			total += l
+			n++
+		}
+	}
+	if n == 0 {
+		return m.DirectoryLookupNS
+	}
+	return total / float64(n)
+}
+
+// mix is a 64-bit finalizer (splitmix64-style) used to hash addresses
+// onto directory homes.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

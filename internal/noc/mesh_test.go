@@ -1,0 +1,144 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMeshValidation(t *testing.T) {
+	if _, err := NewMesh(0, 6, 1, Quadrant); err == nil {
+		t.Error("zero cols accepted")
+	}
+	if _, err := NewMesh(6, 6, 37, Quadrant); err == nil {
+		t.Error("too many tiles accepted")
+	}
+	if _, err := NewMesh(6, 6, 0, Quadrant); err == nil {
+		t.Error("zero tiles accepted")
+	}
+	m, err := NewMesh(6, 6, 32, Quadrant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tiles() != 32 {
+		t.Fatalf("Tiles = %d, want 32", m.Tiles())
+	}
+}
+
+func TestClusterModeString(t *testing.T) {
+	if AllToAll.String() != "all-to-all" || Quadrant.String() != "quadrant" || SNC4.String() != "SNC-4" {
+		t.Fatal("cluster mode names wrong")
+	}
+	if ClusterMode(7).String() != "ClusterMode(7)" {
+		t.Fatal("unknown mode formatting")
+	}
+}
+
+func TestTileCoord(t *testing.T) {
+	m, _ := NewMesh(6, 6, 32, Quadrant)
+	c, err := m.TileCoord(0)
+	if err != nil || c != (Coord{0, 0}) {
+		t.Fatalf("tile 0 at %v, %v", c, err)
+	}
+	c, err = m.TileCoord(7)
+	if err != nil || c != (Coord{1, 1}) {
+		t.Fatalf("tile 7 at %v (row-major on 6 cols), err %v", c, err)
+	}
+	if _, err := m.TileCoord(32); err == nil {
+		t.Error("out-of-range tile accepted")
+	}
+	if _, err := m.TileCoord(-1); err == nil {
+		t.Error("negative tile accepted")
+	}
+}
+
+func TestHops(t *testing.T) {
+	if Hops(Coord{0, 0}, Coord{0, 0}) != 0 {
+		t.Error("self distance nonzero")
+	}
+	if Hops(Coord{0, 0}, Coord{3, 2}) != 5 {
+		t.Error("manhattan distance wrong")
+	}
+	if Hops(Coord{3, 2}, Coord{0, 0}) != 5 {
+		t.Error("distance not symmetric")
+	}
+}
+
+func TestDirectoryHomeInRangeProperty(t *testing.T) {
+	for _, mode := range []ClusterMode{AllToAll, Quadrant, SNC4} {
+		m, _ := NewMesh(6, 6, 32, mode)
+		f := func(addr uint64) bool {
+			h := m.DirectoryHome(addr)
+			return h >= 0 && h < m.Tiles()
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%v: %v", mode, err)
+		}
+	}
+}
+
+func TestDirectoryHomeDeterministic(t *testing.T) {
+	m, _ := NewMesh(6, 6, 32, Quadrant)
+	for _, a := range []uint64{0, 1, 1 << 40, 0xdeadbeef} {
+		if m.DirectoryHome(a) != m.DirectoryHome(a) {
+			t.Fatalf("home of %#x not deterministic", a)
+		}
+	}
+}
+
+func TestDirectoryHomeSpreads(t *testing.T) {
+	m, _ := NewMesh(6, 6, 32, AllToAll)
+	seen := map[int]int{}
+	for a := uint64(0); a < 4096; a++ {
+		seen[m.DirectoryHome(a*64)]++
+	}
+	if len(seen) < m.Tiles()/2 {
+		t.Fatalf("directory homes poorly spread: only %d of %d tiles used", len(seen), m.Tiles())
+	}
+}
+
+func TestQuadrantConstrainsHome(t *testing.T) {
+	m, _ := NewMesh(6, 6, 32, Quadrant)
+	// In quadrant mode, addresses with the same quadrant bits map into
+	// one contiguous quarter of the tile list.
+	per := m.Tiles() / 4
+	for a := uint64(0); a < 1024; a++ {
+		addr := a << 8 // keep quadrant bits (6..7) zero
+		h := m.DirectoryHome(addr)
+		if h >= per {
+			t.Fatalf("address %#x with quadrant 0 homed at tile %d >= %d", addr, h, per)
+		}
+	}
+}
+
+func TestMissPathLatency(t *testing.T) {
+	m, _ := NewMesh(6, 6, 32, Quadrant)
+	l, err := m.MissPathLatencyNS(0, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l < m.DirectoryLookupNS {
+		t.Fatalf("latency %v below directory cost %v", l, m.DirectoryLookupNS)
+	}
+	maxHops := float64((m.Cols-1)+(m.Rows-1)+m.Cols-1) * m.HopLatencyNS
+	if l > maxHops+m.DirectoryLookupNS {
+		t.Fatalf("latency %v exceeds worst-case path %v", l, maxHops+m.DirectoryLookupNS)
+	}
+	if _, err := m.MissPathLatencyNS(99, 0); err == nil {
+		t.Error("invalid tile accepted")
+	}
+}
+
+func TestAvgMissPathLatencyReasonable(t *testing.T) {
+	m, _ := NewMesh(6, 6, 32, Quadrant)
+	avg := m.AvgMissPathLatencyNS()
+	// Should land between the directory cost alone and the worst case.
+	if avg < m.DirectoryLookupNS || avg > 40 {
+		t.Fatalf("avg mesh miss path = %v ns, want ~10-25 ns", avg)
+	}
+	// Quadrant mode should not be slower than all-to-all on average:
+	// its memory-controller leg is quadrant-local.
+	a2a, _ := NewMesh(6, 6, 32, AllToAll)
+	if avg > a2a.AvgMissPathLatencyNS()*1.25 {
+		t.Fatalf("quadrant (%v) much slower than all-to-all (%v)", avg, a2a.AvgMissPathLatencyNS())
+	}
+}

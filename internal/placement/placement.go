@@ -1,0 +1,327 @@
+// Package placement implements the paper's stated future work (§VI):
+// "In the future, we plan to investigate a finer-grained approach in
+// which we can apply our conclusions to individual data structures and
+// eventually employ Intel KNL hybrid HBM mode whenever necessary."
+//
+// A workload is described as a set of data structures, each with a
+// footprint and a traffic profile. The optimizer chooses, for every
+// structure, whether it lives in HBM or DRAM (flat mode), subject to
+// the 16 GB HBM capacity, to minimize predicted phase time — the
+// memkind-era question "which arrays do I hbw_malloc?" answered with
+// the engine's model.
+package placement
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+// Structure is one application data structure.
+type Structure struct {
+	Name      string
+	Footprint units.Bytes
+
+	// Traffic per execution of the modelled phase.
+	SeqBytes       float64 // streamed bytes
+	RandomAccesses float64 // independent random line accesses
+	ChaseOps       float64 // dependent chains...
+	ChaseLength    float64 // ...of this many accesses each
+}
+
+// Validate checks the structure description.
+func (s Structure) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("placement: structure needs a name")
+	}
+	if s.Footprint <= 0 {
+		return fmt.Errorf("placement: %s: footprint must be positive", s.Name)
+	}
+	if s.SeqBytes < 0 || s.RandomAccesses < 0 || s.ChaseOps < 0 || s.ChaseLength < 0 {
+		return fmt.Errorf("placement: %s: negative traffic", s.Name)
+	}
+	return nil
+}
+
+// Assignment maps structure names to memory bindings (true = HBM).
+type Assignment map[string]bool
+
+// Plan is an evaluated placement.
+type Plan struct {
+	Assignment Assignment
+	Time       units.Nanoseconds
+	HBMUsed    units.Bytes
+	// SpeedupVsDRAM compares against the all-DRAM assignment.
+	SpeedupVsDRAM float64
+}
+
+// String renders the plan like a memkind porting guide.
+func (p Plan) String() string {
+	var names []string
+	for n := range p.Assignment {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "placement plan (%v of HBM used, %.2fx vs all-DRAM):\n", p.HBMUsed, p.SpeedupVsDRAM)
+	for _, n := range names {
+		kind := "MEMKIND_DEFAULT (DRAM)"
+		if p.Assignment[n] {
+			kind = "MEMKIND_HBW     (HBM)"
+		}
+		fmt.Fprintf(&b, "  %-20s -> %s\n", n, kind)
+	}
+	return b.String()
+}
+
+// Optimizer searches placements on a machine.
+type Optimizer struct {
+	Machine *engine.Machine
+	Threads int
+}
+
+// evaluate predicts the phase time of an assignment: each structure's
+// traffic runs against its bound device, and structure times compose
+// additively (the phases interleave over the run).
+func (o *Optimizer) evaluate(structs []Structure, asg Assignment) (units.Nanoseconds, units.Bytes, error) {
+	var total units.Nanoseconds
+	var hbmUsed units.Bytes
+	for _, s := range structs {
+		cfg := engine.DRAM
+		if asg[s.Name] {
+			cfg = engine.HBM
+			hbmUsed += s.Footprint
+		}
+		p := engine.Phase{
+			Name:            s.Name,
+			SeqBytes:        s.SeqBytes,
+			SeqFootprint:    s.Footprint,
+			RandomAccesses:  s.RandomAccesses,
+			RandomFootprint: s.Footprint,
+			ChaseOps:        s.ChaseOps,
+			ChaseLength:     s.ChaseLength,
+			ChaseFootprint:  s.Footprint,
+		}
+		r, err := o.Machine.SolvePhase(cfg, o.Threads, p)
+		if err != nil {
+			return 0, 0, fmt.Errorf("placement: %s: %w", s.Name, err)
+		}
+		total += r.Time
+	}
+	if hbmUsed > o.Machine.Chip.MCDRAM.Capacity {
+		return 0, hbmUsed, fmt.Errorf("placement: assignment exceeds HBM capacity (%v > %v)",
+			hbmUsed, o.Machine.Chip.MCDRAM.Capacity)
+	}
+	return total, hbmUsed, nil
+}
+
+// Optimize picks the best assignment. Up to 16 structures it searches
+// exhaustively (the exact optimum); beyond that it uses the greedy
+// benefit-density heuristic (benefit per HBM byte), which is the
+// classic knapsack relaxation.
+func (o *Optimizer) Optimize(structs []Structure) (Plan, error) {
+	if o.Machine == nil {
+		return Plan{}, fmt.Errorf("placement: nil machine")
+	}
+	if o.Threads <= 0 {
+		return Plan{}, fmt.Errorf("placement: thread count %d must be positive", o.Threads)
+	}
+	if len(structs) == 0 {
+		return Plan{}, fmt.Errorf("placement: no structures")
+	}
+	seen := map[string]bool{}
+	for _, s := range structs {
+		if err := s.Validate(); err != nil {
+			return Plan{}, err
+		}
+		if seen[s.Name] {
+			return Plan{}, fmt.Errorf("placement: duplicate structure %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+
+	allDRAM := Assignment{}
+	baseTime, _, err := o.evaluate(structs, allDRAM)
+	if err != nil {
+		return Plan{}, err
+	}
+
+	var best Plan
+	if len(structs) <= 16 {
+		best, err = o.exhaustive(structs)
+	} else {
+		best, err = o.greedy(structs)
+	}
+	if err != nil {
+		return Plan{}, err
+	}
+	best.SpeedupVsDRAM = float64(baseTime) / float64(best.Time)
+	return best, nil
+}
+
+// exhaustive enumerates all feasible subsets.
+func (o *Optimizer) exhaustive(structs []Structure) (Plan, error) {
+	n := len(structs)
+	best := Plan{Time: units.Nanoseconds(1e30)}
+	found := false
+	for mask := 0; mask < 1<<n; mask++ {
+		asg := Assignment{}
+		var hbm units.Bytes
+		feasible := true
+		for i, s := range structs {
+			if mask>>i&1 == 1 {
+				asg[s.Name] = true
+				hbm += s.Footprint
+				if hbm > o.Machine.Chip.MCDRAM.Capacity {
+					feasible = false
+					break
+				}
+			}
+		}
+		if !feasible {
+			continue
+		}
+		t, used, err := o.evaluate(structs, asg)
+		if err != nil {
+			continue
+		}
+		if t < best.Time {
+			best = Plan{Assignment: asg, Time: t, HBMUsed: used}
+			found = true
+		}
+	}
+	if !found {
+		return Plan{}, fmt.Errorf("placement: no feasible assignment")
+	}
+	return best, nil
+}
+
+// greedy sorts structures by HBM benefit per byte and packs.
+func (o *Optimizer) greedy(structs []Structure) (Plan, error) {
+	type cand struct {
+		s       Structure
+		density float64
+	}
+	var cands []cand
+	for _, s := range structs {
+		single := []Structure{s}
+		d, _, err := o.evaluate(single, Assignment{})
+		if err != nil {
+			return Plan{}, err
+		}
+		h, _, err := o.evaluate(single, Assignment{s.Name: true})
+		if err != nil {
+			continue // does not fit alone
+		}
+		benefit := float64(d - h)
+		if benefit <= 0 {
+			continue // HBM would not help (or would hurt: latency-bound)
+		}
+		cands = append(cands, cand{s, benefit / float64(s.Footprint)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].density > cands[j].density })
+
+	asg := Assignment{}
+	var used units.Bytes
+	for _, c := range cands {
+		if used+c.s.Footprint <= o.Machine.Chip.MCDRAM.Capacity {
+			asg[c.s.Name] = true
+			used += c.s.Footprint
+		}
+	}
+	t, usedB, err := o.evaluate(structs, asg)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{Assignment: asg, Time: t, HBMUsed: usedB}, nil
+}
+
+// HybridPlan additionally considers the hybrid BIOS partitions: the
+// optimizer places what fits into the flat fraction and lets the cache
+// fraction serve the rest, returning the best (partition, assignment)
+// combination. This is the paper's "eventually employ Intel KNL hybrid
+// HBM mode whenever necessary".
+type HybridPlan struct {
+	FlatFraction float64 // 0 = pure cache mode, 1 = pure flat
+	Plan         Plan
+}
+
+// OptimizeHybrid compares the flat placements against hybrid
+// partitions (25/50/75%) and full cache mode, evaluating the spill
+// structures through the cache-mode model.
+func (o *Optimizer) OptimizeHybrid(structs []Structure) (HybridPlan, error) {
+	best := HybridPlan{FlatFraction: 1}
+	flat, err := o.Optimize(structs)
+	if err != nil {
+		return HybridPlan{}, err
+	}
+	best.Plan = flat
+
+	baseTime := float64(flat.Time) * flat.SpeedupVsDRAM // all-DRAM time
+
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75} {
+		t, asg, used, err := o.evaluateHybrid(structs, frac)
+		if err != nil {
+			continue
+		}
+		if t < best.Plan.Time {
+			best = HybridPlan{
+				FlatFraction: frac,
+				Plan: Plan{
+					Assignment:    asg,
+					Time:          t,
+					HBMUsed:       used,
+					SpeedupVsDRAM: baseTime / float64(t),
+				},
+			}
+		}
+	}
+	return best, nil
+}
+
+// evaluateHybrid places greedily into the flat slice; the remainder
+// runs under the cache-mode model with the shrunken cache.
+func (o *Optimizer) evaluateHybrid(structs []Structure, frac float64) (units.Nanoseconds, Assignment, units.Bytes, error) {
+	flatCap := units.Bytes(float64(o.Machine.Chip.MCDRAM.Capacity) * frac)
+	cacheCfg := engine.Cache
+	if frac > 0 && frac < 1 {
+		cacheCfg = engine.MemoryConfig{Kind: engine.Hybrid, HybridFlatFraction: frac}
+	}
+
+	// Sort by single-structure HBM benefit density, pack into flat.
+	ordered := append([]Structure(nil), structs...)
+	sort.Slice(ordered, func(i, j int) bool {
+		return ordered[i].SeqBytes/float64(ordered[i].Footprint) >
+			ordered[j].SeqBytes/float64(ordered[j].Footprint)
+	})
+	asg := Assignment{}
+	var used units.Bytes
+	var total units.Nanoseconds
+	for _, s := range ordered {
+		p := engine.Phase{
+			Name:            s.Name,
+			SeqBytes:        s.SeqBytes,
+			SeqFootprint:    s.Footprint,
+			RandomAccesses:  s.RandomAccesses,
+			RandomFootprint: s.Footprint,
+			ChaseOps:        s.ChaseOps,
+			ChaseLength:     s.ChaseLength,
+			ChaseFootprint:  s.Footprint,
+		}
+		cfg := cacheCfg
+		if frac > 0 && used+s.Footprint <= flatCap {
+			cfg = engine.HBM
+			asg[s.Name] = true
+			used += s.Footprint
+		}
+		r, err := o.Machine.SolvePhase(cfg, o.Threads, p)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		total += r.Time
+	}
+	return total, asg, used, nil
+}

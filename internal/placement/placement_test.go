@@ -1,0 +1,218 @@
+package placement
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+func opt(t *testing.T) *Optimizer {
+	t.Helper()
+	return &Optimizer{Machine: engine.Default(), Threads: 64}
+}
+
+// miniFEStructures is a MiniFE-like decomposition: the bandwidth-
+// hungry matrix, the hot vectors, and cold bookkeeping.
+func miniFEStructures() []Structure {
+	return []Structure{
+		{Name: "csr-matrix", Footprint: units.GB(10), SeqBytes: 100e9},
+		{Name: "cg-vectors", Footprint: units.GB(2), SeqBytes: 40e9},
+		{Name: "mesh-metadata", Footprint: units.GB(8), SeqBytes: 1e9},
+		{Name: "io-buffers", Footprint: units.GB(20), SeqBytes: 0.5e9},
+	}
+}
+
+func TestOptimizePicksBandwidthHungryStructures(t *testing.T) {
+	plan, err := opt(t).Optimize(miniFEStructures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Assignment["csr-matrix"] || !plan.Assignment["cg-vectors"] {
+		t.Errorf("hot structures not placed in HBM: %v", plan.Assignment)
+	}
+	if plan.Assignment["io-buffers"] {
+		t.Error("cold 20 GB structure cannot be in 16 GB HBM")
+	}
+	if plan.HBMUsed > 16*units.GiB {
+		t.Errorf("HBM overcommitted: %v", plan.HBMUsed)
+	}
+	if plan.SpeedupVsDRAM < 2 {
+		t.Errorf("speedup = %.2f, expected >2x for a bandwidth-bound mix", plan.SpeedupVsDRAM)
+	}
+	if !strings.Contains(plan.String(), "MEMKIND_HBW") {
+		t.Error("plan rendering missing kinds")
+	}
+}
+
+func TestOptimizeLeavesLatencyBoundInDRAM(t *testing.T) {
+	// A latency-bound structure (random access) is FASTER in DRAM at
+	// one thread per core — the paper's central negative result. The
+	// optimizer must leave it there.
+	structs := []Structure{
+		{Name: "hash-table", Footprint: units.GB(8), RandomAccesses: 2e9},
+		{Name: "stream-buf", Footprint: units.GB(4), SeqBytes: 50e9},
+	}
+	plan, err := opt(t).Optimize(structs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Assignment["hash-table"] {
+		t.Error("latency-bound structure placed in HBM at 64 threads")
+	}
+	if !plan.Assignment["stream-buf"] {
+		t.Error("bandwidth-bound structure left in DRAM")
+	}
+}
+
+func TestOptimizeLatencyBoundFlipsWithThreads(t *testing.T) {
+	// With 256 threads the same hash table belongs in HBM (Fig. 6d).
+	structs := []Structure{
+		{Name: "hash-table", Footprint: units.GB(8), RandomAccesses: 2e9},
+	}
+	o := opt(t)
+	o.Threads = 256
+	plan, err := o.Optimize(structs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Assignment["hash-table"] {
+		t.Error("at 256 threads the random structure should move to HBM")
+	}
+}
+
+func TestOptimizeRespectsCapacityExactly(t *testing.T) {
+	// Two 10 GB hot structures cannot both fit in 16 GB.
+	structs := []Structure{
+		{Name: "a", Footprint: units.GB(10), SeqBytes: 100e9},
+		{Name: "b", Footprint: units.GB(10), SeqBytes: 90e9},
+	}
+	plan, err := opt(t).Optimize(structs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Assignment["a"] && plan.Assignment["b"] {
+		t.Fatal("20 GB placed in 16 GB HBM")
+	}
+	if !plan.Assignment["a"] {
+		t.Error("the hotter structure should win the capacity")
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	o := opt(t)
+	if _, err := o.Optimize(nil); err == nil {
+		t.Error("empty structure list accepted")
+	}
+	if _, err := o.Optimize([]Structure{{Name: "", Footprint: 1}}); err == nil {
+		t.Error("unnamed structure accepted")
+	}
+	if _, err := o.Optimize([]Structure{{Name: "x", Footprint: 0}}); err == nil {
+		t.Error("zero footprint accepted")
+	}
+	if _, err := o.Optimize([]Structure{
+		{Name: "x", Footprint: 1, SeqBytes: 1},
+		{Name: "x", Footprint: 1, SeqBytes: 1},
+	}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	o.Threads = 0
+	if _, err := o.Optimize(miniFEStructures()); err == nil {
+		t.Error("zero threads accepted")
+	}
+	bad := &Optimizer{Machine: nil, Threads: 64}
+	if _, err := bad.Optimize(miniFEStructures()); err == nil {
+		t.Error("nil machine accepted")
+	}
+}
+
+func TestGreedyMatchesExhaustiveOnSmallCases(t *testing.T) {
+	o := opt(t)
+	structs := miniFEStructures()
+	ex, err := o.exhaustive(structs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := o.greedy(structs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy is a heuristic; require it within 10% of the optimum.
+	if float64(gr.Time) > float64(ex.Time)*1.10 {
+		t.Errorf("greedy %v vs exhaustive %v (>10%% off)", gr.Time, ex.Time)
+	}
+}
+
+func TestGreedyPathForManyStructures(t *testing.T) {
+	var structs []Structure
+	for i := 0; i < 20; i++ {
+		structs = append(structs, Structure{
+			Name:      string(rune('a'+i)) + "-arr",
+			Footprint: units.GB(1.5),
+			SeqBytes:  float64(i) * 5e9,
+		})
+	}
+	plan, err := opt(t).Optimize(structs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.HBMUsed > 16*units.GiB {
+		t.Fatalf("greedy overcommitted HBM: %v", plan.HBMUsed)
+	}
+	// The hottest structures (highest index) must be placed first.
+	if !plan.Assignment["t-arr"] {
+		t.Error("hottest structure not placed")
+	}
+	if plan.Assignment["a-arr"] && plan.Assignment["b-arr"] {
+		t.Error("coldest structures placed while capacity is contended")
+	}
+}
+
+func TestOptimizeNeverSlowerThanAllDRAMProperty(t *testing.T) {
+	o := opt(t)
+	f := func(fp1, fp2 uint8, seq1, seq2 uint16) bool {
+		structs := []Structure{
+			{Name: "s1", Footprint: units.GB(float64(fp1%20) + 0.5), SeqBytes: float64(seq1) * 1e7},
+			{Name: "s2", Footprint: units.GB(float64(fp2%20) + 0.5), SeqBytes: float64(seq2) * 1e7},
+		}
+		plan, err := o.Optimize(structs)
+		if err != nil {
+			return false
+		}
+		// The all-DRAM assignment is always feasible, so the optimum
+		// can never be slower.
+		return plan.SpeedupVsDRAM >= 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimizeHybrid(t *testing.T) {
+	o := opt(t)
+	// Working set larger than HBM: hybrid/cache should be considered.
+	structs := []Structure{
+		{Name: "hot", Footprint: units.GB(6), SeqBytes: 120e9},
+		{Name: "warm", Footprint: units.GB(18), SeqBytes: 60e9},
+	}
+	hp, err := o.OptimizeHybrid(structs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.Plan.Time <= 0 {
+		t.Fatal("no hybrid plan produced")
+	}
+	// The pure-flat plan can only place "hot" (6 GB); the 18 GB
+	// "warm" structure would stay in DRAM. A hybrid or cache plan
+	// routes it through MCDRAM, so the best plan must beat pure flat
+	// DRAM placement of warm.
+	flatOnly, err := o.Optimize(structs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.Plan.Time > flatOnly.Time {
+		t.Errorf("hybrid search (%v) worse than flat-only (%v)", hp.Plan.Time, flatOnly.Time)
+	}
+}

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Fatalf("expected ErrEmpty, got %v", err)
+	}
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || m != 2.5 {
+		t.Fatalf("Mean = %v, %v", m, err)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	h, err := HarmonicMean([]float64{1, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-2) > 1e-12 {
+		t.Fatalf("HarmonicMean = %v, want 2", h)
+	}
+	if _, err := HarmonicMean([]float64{1, 0}); err == nil {
+		t.Fatal("expected error on nonpositive value")
+	}
+	if _, err := HarmonicMean(nil); err != ErrEmpty {
+		t.Fatalf("expected ErrEmpty, got %v", err)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	g, err := GeometricMean([]float64{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-4) > 1e-9 {
+		t.Fatalf("GeometricMean = %v, want 4", g)
+	}
+	if _, err := GeometricMean([]float64{-1}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	s, err := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-2.13808993529939) > 1e-9 {
+		t.Fatalf("StdDev = %v", s)
+	}
+	if _, err := StdDev([]float64{1}); err == nil {
+		t.Fatal("expected error on single sample")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %v %v %v", lo, hi, err)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Fatal("expected ErrEmpty")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, c := range []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2},
+	} {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Fatal("expected range error")
+	}
+	// Input must not be modified.
+	orig := []float64{5, 1, 3}
+	if _, err := Percentile(orig, 50); err != nil {
+		t.Fatal(err)
+	}
+	if orig[0] != 5 || orig[1] != 1 || orig[2] != 3 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(110, 100) != 0.1 {
+		t.Fatalf("RelErr = %v", RelErr(110, 100))
+	}
+	if !math.IsInf(RelErr(1, 0), 1) {
+		t.Fatal("RelErr(1,0) should be +Inf")
+	}
+	if RelErr(0, 0) != 0 {
+		t.Fatal("RelErr(0,0) should be 0")
+	}
+}
+
+func TestWithinFactor(t *testing.T) {
+	if !WithinFactor(2, 3, 2) {
+		t.Fatal("2 should be within 2x of 3")
+	}
+	if WithinFactor(1, 3, 2) {
+		t.Fatal("1 is not within 2x of 3")
+	}
+	if !WithinFactor(6, 3, 2) {
+		t.Fatal("6 should be within 2x of 3")
+	}
+	if WithinFactor(-2, 3, 2) {
+		t.Fatal("sign mismatch must fail")
+	}
+	// f below one is normalized.
+	if !WithinFactor(2, 3, 0.5) {
+		t.Fatal("f<1 should behave like 1/f")
+	}
+}
+
+func TestHarmonicLEArithmeticProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1 // strictly positive
+		}
+		h, err1 := HarmonicMean(xs)
+		g, err3 := GeometricMean(xs)
+		a, err2 := Mean(xs)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		// AM-GM-HM inequality with FP slack.
+		return h <= a*(1+1e-9) && h <= g*(1+1e-9) && g <= a*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

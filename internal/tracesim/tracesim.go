@@ -1,0 +1,296 @@
+// Package tracesim is the functional counterpart of the analytic
+// engine: it replays real access streams through the simulated cache
+// hierarchy (L1 -> L2 -> optional MCDRAM memory-side cache -> memory)
+// and reports hit ratios, traffic, and a simple timing estimate.
+//
+// It exists to validate, at scaled-down sizes, the closed-form hit
+// models the engine uses at paper scale: tests drive the same
+// generators through both layers and require agreement.
+package tracesim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cache"
+	"repro/internal/knl"
+	"repro/internal/units"
+)
+
+// Access is one memory reference.
+type Access struct {
+	Addr uint64
+	Kind cache.AccessKind
+}
+
+// Generator produces a finite access stream.
+type Generator interface {
+	// Next returns the next access, or ok=false at end of stream.
+	Next() (Access, bool)
+	// Reset rewinds the generator for another pass.
+	Reset()
+}
+
+// Sequential streams a region front to back with the given request size.
+type Sequential struct {
+	Base, Size uint64
+	Stride     uint64
+	Kind       cache.AccessKind
+	pos        uint64
+}
+
+// NewSequential builds a sequential generator over [base, base+size).
+func NewSequential(base, size, stride uint64, kind cache.AccessKind) (*Sequential, error) {
+	if size == 0 || stride == 0 {
+		return nil, fmt.Errorf("tracesim: size and stride must be positive")
+	}
+	return &Sequential{Base: base, Size: size, Stride: stride, Kind: kind}, nil
+}
+
+// Next implements Generator.
+func (s *Sequential) Next() (Access, bool) {
+	if s.pos >= s.Size {
+		return Access{}, false
+	}
+	a := Access{Addr: s.Base + s.pos, Kind: s.Kind}
+	s.pos += s.Stride
+	return a, true
+}
+
+// Reset implements Generator.
+func (s *Sequential) Reset() { s.pos = 0 }
+
+// UniformRandom generates count random accesses over a region.
+type UniformRandom struct {
+	Base, Size uint64
+	Count      int64
+	Kind       cache.AccessKind
+	seed       int64
+	rng        *rand.Rand
+	emitted    int64
+}
+
+// NewUniformRandom builds a random generator.
+func NewUniformRandom(base, size uint64, count int64, kind cache.AccessKind, seed int64) (*UniformRandom, error) {
+	if size == 0 || count <= 0 {
+		return nil, fmt.Errorf("tracesim: size and count must be positive")
+	}
+	return &UniformRandom{Base: base, Size: size, Count: count, Kind: kind, seed: seed, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Next implements Generator.
+func (u *UniformRandom) Next() (Access, bool) {
+	if u.emitted >= u.Count {
+		return Access{}, false
+	}
+	u.emitted++
+	off := (u.rng.Uint64() % (u.Size / 8)) * 8
+	return Access{Addr: u.Base + off, Kind: u.Kind}, true
+}
+
+// Reset implements Generator.
+func (u *UniformRandom) Reset() {
+	u.rng = rand.New(rand.NewSource(u.seed))
+	u.emitted = 0
+}
+
+// Config selects the simulated hierarchy.
+type Config struct {
+	L1Size     units.Bytes
+	L1Ways     int
+	L2Size     units.Bytes
+	L2Ways     int
+	MemCache   units.Bytes // 0 disables the memory-side cache (flat mode)
+	Prefetcher bool
+	// Latencies for the timing estimate (ns).
+	L1Lat, L2Lat, MemCacheLat, MemLat float64
+}
+
+// DefaultConfig returns a scaled-down KNL-like hierarchy suitable for
+// trace experiments (full-size MCDRAM would need gigabyte traces).
+func DefaultConfig(memCache units.Bytes) Config {
+	chip := knl.KNL7210()
+	return Config{
+		L1Size: chip.L1DPerCore, L1Ways: chip.L1Assoc,
+		L2Size: chip.L2PerTile, L2Ways: chip.L2Assoc,
+		MemCache:   memCache,
+		Prefetcher: true,
+		L1Lat:      2, L2Lat: float64(chip.Cal.L2HitLatency),
+		MemCacheLat: float64(chip.MCDRAM.IdleLatency),
+		MemLat:      float64(chip.DDR.IdleLatency),
+	}
+}
+
+// Result aggregates a replay.
+type Result struct {
+	Accesses    int64
+	L1          cache.Stats
+	L2          cache.Stats
+	MemCache    cache.Stats
+	MemReads    int64 // lines fetched from backing memory
+	MemWrites   int64 // lines written back to backing memory
+	Prefetches  int64
+	TotalTimeNS float64
+}
+
+// AvgLatencyNS returns the mean access latency of the replay.
+func (r Result) AvgLatencyNS() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return r.TotalTimeNS / float64(r.Accesses)
+}
+
+// Simulator replays access streams.
+type Simulator struct {
+	cfg  Config
+	l1   *cache.SetAssoc
+	l2   *cache.SetAssoc
+	mc   *cache.MemSideCache
+	pf   *cache.StreamPrefetcher
+	res  Result
+	tick uint64
+}
+
+// New builds a simulator.
+func New(cfg Config) (*Simulator, error) {
+	l1, err := cache.NewSetAssoc("L1D", cfg.L1Size, cfg.L1Ways, units.CacheLine)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := cache.NewSetAssoc("L2", cfg.L2Size, cfg.L2Ways, units.CacheLine)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{cfg: cfg, l1: l1, l2: l2}
+	if cfg.MemCache > 0 {
+		mc, err := cache.NewMemSideCache(cfg.MemCache, units.CacheLine)
+		if err != nil {
+			return nil, err
+		}
+		s.mc = mc
+	}
+	if cfg.Prefetcher {
+		s.pf = cache.NewStreamPrefetcher(16, 8, units.CacheLine)
+	}
+	return s, nil
+}
+
+// Access performs one reference through the hierarchy and returns its
+// latency in nanoseconds.
+func (s *Simulator) Access(a Access) float64 {
+	s.tick++
+	s.res.Accesses++
+
+	if hit, _, _ := s.l1.Access(a.Addr, a.Kind); hit {
+		s.res.TotalTimeNS += s.cfg.L1Lat
+		return s.cfg.L1Lat
+	}
+	// Miss in L1: consult prefetcher on the L2 stream.
+	if s.pf != nil {
+		for _, pa := range s.pf.Observe(a.Addr, s.tick) {
+			if !s.l2.Contains(pa) {
+				s.res.Prefetches++
+				s.fill(pa)
+				if _, wb := s.l2.Install(pa); wb {
+					s.res.MemWrites++
+				}
+			}
+		}
+	}
+	// One L2 access decides hit/miss; on a miss the line is installed
+	// (write-allocate) and a dirty victim may need writing back.
+	hit, wbAddr, wb := s.l2.Access(a.Addr, a.Kind)
+	if wb {
+		s.writeback(wbAddr)
+	}
+	if hit {
+		s.l1.Install(a.Addr)
+		lat := s.cfg.L2Lat
+		s.res.TotalTimeNS += lat
+		return lat
+	}
+	// L2 miss: fetch from memory (possibly via the memory-side cache).
+	lat := s.fill(a.Addr)
+	s.l1.Install(a.Addr)
+	s.res.TotalTimeNS += lat
+	return lat
+}
+
+// fill fetches a line from the memory system, returning its latency.
+func (s *Simulator) fill(addr uint64) float64 {
+	if s.mc == nil {
+		s.res.MemReads++
+		return s.cfg.MemLat
+	}
+	hit, wb := s.mc.Access(addr, cache.Read)
+	if wb {
+		s.res.MemWrites++
+	}
+	if hit {
+		return s.cfg.MemCacheLat
+	}
+	s.res.MemReads++
+	// Tag check in MCDRAM + DRAM access.
+	return s.cfg.MemCacheLat*0.3 + s.cfg.MemLat
+}
+
+// writeback sends a dirty line toward memory.
+func (s *Simulator) writeback(addr uint64) {
+	if s.mc == nil {
+		s.res.MemWrites++
+		return
+	}
+	if _, wb := s.mc.Access(addr, cache.Write); wb {
+		s.res.MemWrites++
+	}
+}
+
+// Run replays a generator to exhaustion.
+func (s *Simulator) Run(g Generator) {
+	for {
+		a, ok := g.Next()
+		if !ok {
+			return
+		}
+		s.Access(a)
+	}
+}
+
+// RunPasses replays a generator `passes` times, resetting in between,
+// and returns stats for the final pass only (steady state).
+func (s *Simulator) RunPasses(g Generator, passes int) (Result, error) {
+	if passes <= 0 {
+		return Result{}, fmt.Errorf("tracesim: passes must be positive")
+	}
+	for p := 0; p < passes-1; p++ {
+		g.Reset()
+		s.Run(g)
+	}
+	s.ResetStats()
+	g.Reset()
+	s.Run(g)
+	return s.Result(), nil
+}
+
+// Result returns the accumulated statistics.
+func (s *Simulator) Result() Result {
+	r := s.res
+	r.L1 = s.l1.Stats()
+	r.L2 = s.l2.Stats()
+	if s.mc != nil {
+		r.MemCache = s.mc.Stats()
+	}
+	return r
+}
+
+// ResetStats clears counters but keeps cache contents (for steady-
+// state measurement).
+func (s *Simulator) ResetStats() {
+	s.res = Result{}
+	s.l1.ResetStats()
+	s.l2.ResetStats()
+	if s.mc != nil {
+		s.mc.ResetStats()
+	}
+}

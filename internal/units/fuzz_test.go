@@ -1,0 +1,24 @@
+package units
+
+import "testing"
+
+// FuzzParseBytes checks that the size parser never panics and that
+// accepted inputs round-trip through formatting sanely.
+func FuzzParseBytes(f *testing.F) {
+	for _, seed := range []string{"16GB", "1.5 GiB", "512K", "64", "0.5g", "", "x", "-3GB", "9999999999T"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		b, err := ParseBytes(s)
+		if err != nil {
+			return
+		}
+		if b < 0 {
+			t.Fatalf("ParseBytes(%q) accepted negative size %d", s, b)
+		}
+		// Formatting an accepted value must itself parse.
+		if _, err := ParseBytes(b.String()); err != nil {
+			t.Fatalf("String() of accepted value %d does not re-parse: %v", b, err)
+		}
+	})
+}

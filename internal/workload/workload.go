@@ -1,0 +1,62 @@
+// Package workload defines the interface every benchmark in the
+// evaluation implements: metadata for Table I, a performance model
+// feeding the timing engine, and the standard problem-size and
+// thread sweeps of the paper's figures.
+package workload
+
+import (
+	"errors"
+
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+// Class labels match Table I's "Type" column.
+const (
+	ClassScientific    = "Scientific"
+	ClassDataAnalytics = "Data analytics"
+)
+
+// Pattern labels match Table I's "Access Pattern" column.
+const (
+	PatternSequential = "Sequential"
+	PatternRandom     = "Random"
+)
+
+// Info is a workload's Table I row plus its reporting metric.
+type Info struct {
+	Name     string
+	Class    string // ClassScientific or ClassDataAnalytics
+	Pattern  string // PatternSequential or PatternRandom
+	MaxScale units.Bytes
+	Metric   string // e.g. "GFLOPS", "TEPS", "Lookups/s"
+}
+
+// Model is a workload performance model: it predicts the workload's
+// reported metric for a problem size under a memory configuration and
+// thread count, on a given machine.
+type Model interface {
+	Info() Info
+
+	// Predict returns the metric value (higher is better). It returns
+	// engine.ErrDoesNotFit when the problem cannot be allocated under
+	// cfg, and ErrNotMeasured for configurations the paper could not
+	// run (DGEMM at 256 threads).
+	Predict(m *engine.Machine, cfg engine.MemoryConfig, size units.Bytes, threads int) (float64, error)
+
+	// PaperSizes returns the problem sizes (x axis) of the workload's
+	// Fig. 4 panel.
+	PaperSizes() []units.Bytes
+
+	// Fig6Size returns the fixed problem size used for the thread
+	// sweep of Fig. 6 (0 if the workload has no Fig. 6 panel).
+	Fig6Size() units.Bytes
+}
+
+// ErrNotMeasured marks configurations the paper reports as not
+// runnable ("results relative to DGEMM with 256 hardware threads are
+// not available as the run can not complete successfully").
+var ErrNotMeasured = errors.New("workload: configuration not measurable (matches paper)")
+
+// PaperThreads is the Fig. 6 x axis.
+func PaperThreads() []int { return []int{64, 128, 192, 256} }

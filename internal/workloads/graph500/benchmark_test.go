@@ -1,0 +1,50 @@
+package graph500
+
+import (
+	"testing"
+)
+
+func TestRunBenchmark(t *testing.T) {
+	res, err := RunBenchmark(BenchmarkSpec{
+		Scale: 10, Edgefactor: 8, Roots: 8, Threads: 4, Seed: 5, Validate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vertices != 1024 {
+		t.Errorf("vertices = %d", res.Vertices)
+	}
+	if res.RootsRun == 0 {
+		t.Fatal("no roots ran")
+	}
+	if res.HarmonicTEPS <= 0 {
+		t.Fatal("no TEPS")
+	}
+	// Harmonic mean sits within [min, max].
+	if res.HarmonicTEPS < res.MinTEPS || res.HarmonicTEPS > res.MaxTEPS {
+		t.Errorf("harmonic %v outside [%v, %v]", res.HarmonicTEPS, res.MinTEPS, res.MaxTEPS)
+	}
+	if res.DirectedEdges <= 0 || res.BuildTime <= 0 {
+		t.Error("build accounting missing")
+	}
+}
+
+func TestRunBenchmarkDefaults(t *testing.T) {
+	res, err := RunBenchmark(BenchmarkSpec{Scale: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults: edgefactor 16, 64 roots (or as many as exist).
+	if res.DirectedEdges == 0 {
+		t.Fatal("no edges with default edgefactor")
+	}
+	if res.RootsRun == 0 {
+		t.Fatal("no roots with defaults")
+	}
+}
+
+func TestRunBenchmarkBadScale(t *testing.T) {
+	if _, err := RunBenchmark(BenchmarkSpec{Scale: 0, Seed: 1}); err == nil {
+		t.Error("scale 0 accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package graph500
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// BFS runs a level-synchronized top-down parallel BFS from root and
+// returns the parent array (parent[root] = root; unreached = -1) and
+// the number of edges traversed (for TEPS).
+func (g *Graph) BFS(root int64, threads int) ([]int64, int64, error) {
+	if root < 0 || root >= g.N {
+		return nil, 0, fmt.Errorf("graph500: root %d out of range", root)
+	}
+	if threads <= 0 {
+		return nil, 0, fmt.Errorf("graph500: thread count %d must be positive", threads)
+	}
+	parent := make([]int64, g.N)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[root] = root
+
+	frontier := []int64{root}
+	var traversed int64
+	for len(frontier) > 0 {
+		nextLists := make([][]int64, threads)
+		var trav int64
+		var wg sync.WaitGroup
+		chunk := (len(frontier) + threads - 1) / threads
+		for t := 0; t < threads; t++ {
+			lo := t * chunk
+			hi := lo + chunk
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(t, lo, hi int) {
+				defer wg.Done()
+				var local []int64
+				var localTrav int64
+				for _, u := range frontier[lo:hi] {
+					for k := g.XOff[u]; k < g.XOff[u+1]; k++ {
+						v := g.Adj[k]
+						localTrav++
+						// Claim v with CAS on the parent slot, the
+						// OpenMP reference's __sync_bool_compare_and_swap.
+						if atomic.LoadInt64(&parent[v]) == -1 &&
+							atomic.CompareAndSwapInt64(&parent[v], -1, u) {
+							local = append(local, v)
+						}
+					}
+				}
+				nextLists[t] = local
+				atomic.AddInt64(&trav, localTrav)
+			}(t, lo, hi)
+		}
+		wg.Wait()
+		traversed += trav
+		frontier = frontier[:0]
+		for _, l := range nextLists {
+			frontier = append(frontier, l...)
+		}
+	}
+	return parent, traversed, nil
+}
+
+// ValidateBFSTree checks the Graph500 validation rules: the root is
+// its own parent, every reached vertex has a parent edge that exists
+// in the graph, and parent depths differ by exactly one level.
+func (g *Graph) ValidateBFSTree(root int64, parent []int64) error {
+	if int64(len(parent)) != g.N {
+		return fmt.Errorf("graph500: parent array length %d for n=%d", len(parent), g.N)
+	}
+	if parent[root] != root {
+		return fmt.Errorf("graph500: root %d has parent %d", root, parent[root])
+	}
+	// Compute depths by walking up; memoize with -2 marking in-progress.
+	depth := make([]int64, g.N)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[root] = 0
+	var walk func(v int64) (int64, error)
+	walk = func(v int64) (int64, error) {
+		if depth[v] >= 0 {
+			return depth[v], nil
+		}
+		if depth[v] == -2 {
+			return 0, fmt.Errorf("graph500: parent cycle at vertex %d", v)
+		}
+		depth[v] = -2
+		p := parent[v]
+		if p < 0 || p >= g.N {
+			return 0, fmt.Errorf("graph500: vertex %d has invalid parent %d", v, p)
+		}
+		d, err := walk(p)
+		if err != nil {
+			return 0, err
+		}
+		depth[v] = d + 1
+		return depth[v], nil
+	}
+	for v := int64(0); v < g.N; v++ {
+		if parent[v] == -1 {
+			continue
+		}
+		if _, err := walk(v); err != nil {
+			return err
+		}
+		if v == root {
+			continue
+		}
+		// Parent edge must exist.
+		p := parent[v]
+		found := false
+		for k := g.XOff[p]; k < g.XOff[p+1]; k++ {
+			if g.Adj[k] == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("graph500: tree edge (%d,%d) not in graph", p, v)
+		}
+		if depth[v] != depth[p]+1 {
+			return fmt.Errorf("graph500: vertex %d depth %d but parent depth %d", v, depth[v], depth[p])
+		}
+	}
+	return nil
+}

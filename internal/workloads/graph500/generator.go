@@ -1,0 +1,112 @@
+// Package graph500 reimplements the Graph500 benchmark (reference
+// 2.1.4 semantics): a Kronecker (R-MAT style) edge-list generator, CSR
+// graph construction, an OpenMP-style top-down BFS, BFS tree
+// validation, and the harmonic-mean TEPS metric. The model layer
+// regenerates Fig. 4d and Fig. 6c.
+package graph500
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kronecker initiator probabilities of the Graph500 spec.
+const (
+	kronA = 0.57
+	kronB = 0.19
+	kronC = 0.19
+)
+
+// Edge is one undirected edge.
+type Edge struct{ U, V int64 }
+
+// GenerateEdges produces edgefactor*2^scale Kronecker edges over
+// 2^scale vertices, deterministically for a seed.
+func GenerateEdges(scale, edgefactor int, seed int64) ([]Edge, error) {
+	if scale < 1 || scale > 34 {
+		return nil, fmt.Errorf("graph500: scale %d out of [1,34]", scale)
+	}
+	if edgefactor < 1 {
+		return nil, fmt.Errorf("graph500: edgefactor %d must be positive", edgefactor)
+	}
+	n := int64(1) << scale
+	m := n * int64(edgefactor)
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, m)
+	for i := range edges {
+		var u, v int64
+		for level := 0; level < scale; level++ {
+			r := rng.Float64()
+			u <<= 1
+			v <<= 1
+			switch {
+			case r < kronA:
+				// quadrant (0,0)
+			case r < kronA+kronB:
+				v |= 1
+			case r < kronA+kronB+kronC:
+				u |= 1
+			default:
+				u |= 1
+				v |= 1
+			}
+		}
+		edges[i] = Edge{U: u, V: v}
+	}
+	// Permute vertex labels so degree does not correlate with id,
+	// as the spec requires.
+	perm := rng.Perm(int(n))
+	for i := range edges {
+		edges[i].U = int64(perm[edges[i].U])
+		edges[i].V = int64(perm[edges[i].V])
+	}
+	return edges, nil
+}
+
+// Graph is a CSR adjacency structure over int64 vertices.
+type Graph struct {
+	N    int64
+	XOff []int64 // n+1 offsets
+	Adj  []int64 // neighbour lists (both directions of each edge)
+}
+
+// BuildCSR symmetrizes the edge list (both directions stored,
+// self-loops dropped, duplicates kept, as in the reference code) and
+// builds CSR.
+func BuildCSR(n int64, edges []Edge) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("graph500: vertex count %d must be positive", n)
+	}
+	g := &Graph{N: n, XOff: make([]int64, n+1)}
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("graph500: edge (%d,%d) out of range", e.U, e.V)
+		}
+		if e.U == e.V {
+			continue
+		}
+		g.XOff[e.U+1]++
+		g.XOff[e.V+1]++
+	}
+	for i := int64(0); i < n; i++ {
+		g.XOff[i+1] += g.XOff[i]
+	}
+	g.Adj = make([]int64, g.XOff[n])
+	fill := make([]int64, n)
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		g.Adj[g.XOff[e.U]+fill[e.U]] = e.V
+		fill[e.U]++
+		g.Adj[g.XOff[e.V]+fill[e.V]] = e.U
+		fill[e.V]++
+	}
+	return g, nil
+}
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int64) int64 { return g.XOff[v+1] - g.XOff[v] }
+
+// DirectedEdges returns the number of stored directed edges.
+func (g *Graph) DirectedEdges() int64 { return int64(len(g.Adj)) }

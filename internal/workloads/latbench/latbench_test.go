@@ -1,0 +1,123 @@
+package latbench
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+func TestBuildChaseIsFullCycle(t *testing.T) {
+	for _, n := range []int{2, 3, 16, 1000} {
+		p, err := BuildChase(n, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sattolo guarantees one cycle: walking n steps from 0 visits
+		// every slot exactly once and returns to 0.
+		seen := make([]bool, n)
+		idx := int32(0)
+		for s := 0; s < n; s++ {
+			if seen[idx] {
+				t.Fatalf("n=%d: revisited %d after %d steps", n, idx, s)
+			}
+			seen[idx] = true
+			idx = p[idx]
+		}
+		if idx != 0 {
+			t.Fatalf("n=%d: cycle did not close (ended at %d)", n, idx)
+		}
+	}
+}
+
+func TestBuildChaseErrors(t *testing.T) {
+	if _, err := BuildChase(1, 0); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := BuildChase(0, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestBuildChaseDeterministic(t *testing.T) {
+	a, _ := BuildChase(64, 7)
+	b, _ := BuildChase(64, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different chases")
+		}
+	}
+	c, _ := BuildChase(64, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical chases")
+	}
+}
+
+func TestWalkProperty(t *testing.T) {
+	f := func(seed int64, stepsRaw uint16) bool {
+		p, err := BuildChase(128, seed)
+		if err != nil {
+			return false
+		}
+		steps := int(stepsRaw % 1024)
+		// Walking n steps returns to start (full cycle), so walking
+		// steps and steps+128 must agree.
+		return Walk(p, steps) == Walk(p, steps+128)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkDual(t *testing.T) {
+	p, _ := BuildChase(128, 3)
+	a, b := WalkDual(p, 128)
+	if a != 0 {
+		t.Fatalf("chain A did not close: %d", a)
+	}
+	if b != 64 {
+		t.Fatalf("chain B did not close: %d", b)
+	}
+}
+
+func TestModelReproducesFig3(t *testing.T) {
+	m := engine.Default()
+	mdl := Model{}
+
+	// Tier 1: ~10 ns under 1 MB.
+	v, err := mdl.Predict(m, engine.DRAM, 256*units.KiB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 15 {
+		t.Errorf("256 KiB latency = %.1f, want ~10 ns", v)
+	}
+	// Tier 2: ~200 ns at 16 MB, DRAM 15-20%+ faster than HBM.
+	d, _ := mdl.Predict(m, engine.DRAM, units.MB(16), 1)
+	h, _ := mdl.Predict(m, engine.HBM, units.MB(16), 1)
+	if d < 150 || d > 260 {
+		t.Errorf("DRAM 16 MB latency = %.1f, want ~200 ns", d)
+	}
+	if gap := (h - d) / d; gap < 0.1 || gap > 0.25 {
+		t.Errorf("gap = %.1f%%, want 15-20%%", gap*100)
+	}
+	// Tier 3: rising to ~400 ns at 1 GB.
+	g, _ := mdl.Predict(m, engine.DRAM, units.GB(1), 1)
+	if g < 330 || g > 480 {
+		t.Errorf("1 GB latency = %.1f, want ~400 ns", g)
+	}
+	if len(mdl.PaperSizes()) != 14 {
+		t.Errorf("Fig. 3 sweep has %d points, want 14 (128K..1G)", len(mdl.PaperSizes()))
+	}
+	if mdl.Fig6Size() != 0 || mdl.Info().Metric != "ns" {
+		t.Error("metadata wrong")
+	}
+}

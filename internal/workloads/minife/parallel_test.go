@@ -1,0 +1,116 @@
+package minife
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParSpMVMatchesSerial(t *testing.T) {
+	mtx, err := Assemble27Point(7, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := mtx.N
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%11) - 5
+	}
+	ySer := make([]float64, n)
+	if err := mtx.SpMV(x, ySer); err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 3, 8, 64} {
+		yPar := make([]float64, n)
+		if err := mtx.ParSpMV(x, yPar, threads); err != nil {
+			t.Fatal(err)
+		}
+		for i := range ySer {
+			if ySer[i] != yPar[i] {
+				t.Fatalf("threads=%d: y[%d] = %v vs serial %v", threads, i, yPar[i], ySer[i])
+			}
+		}
+	}
+	if err := mtx.ParSpMV(x, make([]float64, 3), 2); err == nil {
+		t.Error("short y accepted")
+	}
+	if err := mtx.ParSpMV(x, make([]float64, n), 0); err == nil {
+		t.Error("zero threads accepted")
+	}
+}
+
+func TestParDot(t *testing.T) {
+	a := make([]float64, 1001)
+	b := make([]float64, 1001)
+	for i := range a {
+		a[i] = float64(i)
+		b[i] = float64(1001 - i)
+	}
+	want := dot(a, b)
+	for _, threads := range []int{1, 2, 7, 16} {
+		got := parDot(a, b, threads)
+		if math.Abs(got-want) > 1e-6*math.Abs(want) {
+			t.Errorf("threads=%d: parDot = %v, want %v", threads, got, want)
+		}
+	}
+}
+
+func TestParCGSolves(t *testing.T) {
+	mtx, err := Assemble27Point(8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := mtx.N
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = math.Sin(float64(i))
+	}
+	b := make([]float64, n)
+	if err := mtx.SpMV(want, b); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	res, err := ParCG(mtx, b, x, 1e-10, 800, 8)
+	if err != nil {
+		t.Fatalf("ParCG failed after %d iters (res %g): %v", res.Iterations, res.Residual, err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-5 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestParCGMatchesSerialIterations(t *testing.T) {
+	mtx, _ := Assemble27Point(5, 5, 5)
+	n := mtx.N
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i % 9)
+	}
+	x1 := make([]float64, n)
+	r1, err1 := CG(mtx, b, x1, 1e-8, 400)
+	x2 := make([]float64, n)
+	r2, err2 := ParCG(mtx, b, x2, 1e-8, 400, 4)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("solvers failed: %v / %v", err1, err2)
+	}
+	// Iteration counts agree within a couple of steps (parallel
+	// reductions round differently).
+	diff := r1.Iterations - r2.Iterations
+	if diff < -3 || diff > 3 {
+		t.Errorf("iterations: serial %d vs parallel %d", r1.Iterations, r2.Iterations)
+	}
+}
+
+func TestParCGErrors(t *testing.T) {
+	mtx, _ := Assemble27Point(2, 2, 2)
+	if _, err := ParCG(mtx, make([]float64, 1), make([]float64, 8), 1e-6, 10, 2); err == nil {
+		t.Error("short b accepted")
+	}
+	if _, err := ParCG(mtx, make([]float64, 8), make([]float64, 8), 1e-6, 10, 0); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := ParCG(mtx, make([]float64, 8), make([]float64, 8), 1e-6, 0, 2); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}

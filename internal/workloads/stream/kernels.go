@@ -1,0 +1,112 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Kernel identifies one of the four STREAM kernels. The paper reports
+// triad; the full set is provided for completeness and for the trace
+// simulator's traffic-mix experiments.
+type Kernel int
+
+const (
+	// Copy: a[i] = c[i]
+	Copy Kernel = iota
+	// Scale: a[i] = s*c[i]
+	Scale
+	// Add: a[i] = b[i] + c[i]
+	Add
+	// TriadKernel: a[i] = b[i] + s*c[i]
+	TriadKernel
+)
+
+// String names the kernel as STREAM does.
+func (k Kernel) String() string {
+	switch k {
+	case Copy:
+		return "Copy"
+	case Scale:
+		return "Scale"
+	case Add:
+		return "Add"
+	case TriadKernel:
+		return "Triad"
+	}
+	return fmt.Sprintf("Kernel(%d)", int(k))
+}
+
+// BytesPerElement returns the STREAM-counted traffic per element
+// (reads + writes, 8 B each; no write-allocate with streaming stores).
+func (k Kernel) BytesPerElement() int64 {
+	switch k {
+	case Copy, Scale:
+		return 16 // 1 read + 1 write
+	default:
+		return 24 // 2 reads + 1 write
+	}
+}
+
+// FlopsPerElement returns the arithmetic per element.
+func (k Kernel) FlopsPerElement() int64 {
+	switch k {
+	case Copy:
+		return 0
+	case Scale, Add:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Run executes one kernel over the arrays with the given thread count
+// and returns the STREAM-counted bytes moved.
+func Run(k Kernel, a, b, c []float64, scalar float64, threads int) (int64, error) {
+	n := len(a)
+	if len(b) != n || len(c) != n {
+		return 0, fmt.Errorf("stream: mismatched lengths %d/%d/%d", n, len(b), len(c))
+	}
+	if threads <= 0 {
+		return 0, fmt.Errorf("stream: thread count %d must be positive", threads)
+	}
+	if threads > n && n > 0 {
+		threads = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			switch k {
+			case Copy:
+				copy(a[lo:hi], c[lo:hi])
+			case Scale:
+				for i := lo; i < hi; i++ {
+					a[i] = scalar * c[i]
+				}
+			case Add:
+				for i := lo; i < hi; i++ {
+					a[i] = b[i] + c[i]
+				}
+			default:
+				for i := lo; i < hi; i++ {
+					a[i] = b[i] + scalar*c[i]
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return int64(n) * k.BytesPerElement(), nil
+}
+
+// Kernels returns all four kernels in STREAM order.
+func Kernels() []Kernel { return []Kernel{Copy, Scale, Add, TriadKernel} }

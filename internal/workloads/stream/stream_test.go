@@ -1,0 +1,126 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func TestTriadCorrectness(t *testing.T) {
+	n := 1000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i)
+		c[i] = float64(2 * i)
+	}
+	bytes, err := Triad(a, b, c, 3.0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes != int64(n)*24 {
+		t.Fatalf("bytes = %d, want %d", bytes, n*24)
+	}
+	for i := range a {
+		want := float64(i) + 3.0*float64(2*i)
+		if a[i] != want {
+			t.Fatalf("a[%d] = %v, want %v", i, a[i], want)
+		}
+	}
+}
+
+func TestTriadErrors(t *testing.T) {
+	if _, err := Triad(make([]float64, 3), make([]float64, 4), make([]float64, 3), 1, 1); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := Triad(nil, nil, nil, 1, 0); err == nil {
+		t.Error("zero threads accepted")
+	}
+}
+
+func TestTriadThreadCountIrrelevantToResult(t *testing.T) {
+	f := func(seed uint8, threadsRaw uint8) bool {
+		n := 257 // odd size to exercise uneven chunks
+		threads := int(threadsRaw%16) + 1
+		b := make([]float64, n)
+		c := make([]float64, n)
+		for i := range b {
+			b[i] = float64(int(seed) + i)
+			c[i] = float64(i * i % 97)
+		}
+		a1 := make([]float64, n)
+		a2 := make([]float64, n)
+		if _, err := Triad(a1, b, c, 1.5, 1); err != nil {
+			return false
+		}
+		if _, err := Triad(a2, b, c, 1.5, threads); err != nil {
+			return false
+		}
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModelFig2Anchors(t *testing.T) {
+	m := engine.Default()
+	mdl := Model{}
+
+	d, err := mdl.Predict(m, engine.DRAM, units.GB(8), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-77) > 4 {
+		t.Errorf("DRAM triad = %.1f GB/s, want ~77", d)
+	}
+	h, err := mdl.Predict(m, engine.HBM, units.GB(8), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 305 || h > 345 {
+		t.Errorf("HBM triad = %.1f GB/s, want ~330", h)
+	}
+	if _, err := mdl.Predict(m, engine.HBM, units.GB(20), 64); err == nil {
+		t.Error("oversized HBM run accepted (Fig. 2 stops the HBM line)")
+	}
+}
+
+func TestModelFig5HTScaling(t *testing.T) {
+	m := engine.Default()
+	mdl := Model{}
+	h1, _ := mdl.Predict(m, engine.HBM, units.GB(8), 64)
+	h2, _ := mdl.Predict(m, engine.HBM, units.GB(8), 128)
+	if r := h2 / h1; r < 1.2 || r > 1.35 {
+		t.Errorf("ht2/ht1 = %.3f, want ~1.27", r)
+	}
+	d1, _ := mdl.Predict(m, engine.DRAM, units.GB(8), 64)
+	d4, _ := mdl.Predict(m, engine.DRAM, units.GB(8), 256)
+	if math.Abs(d4-d1) > 2 {
+		t.Errorf("DRAM should be HT-insensitive: %v vs %v", d1, d4)
+	}
+}
+
+func TestModelInfoAndSizes(t *testing.T) {
+	mdl := Model{}
+	info := mdl.Info()
+	if info.Name != "STREAM" || info.Pattern != workload.PatternSequential {
+		t.Errorf("info = %+v", info)
+	}
+	if len(mdl.PaperSizes()) == 0 || len(mdl.Fig5Sizes()) != 5 {
+		t.Error("size sweeps wrong")
+	}
+	if mdl.Fig6Size() != 0 {
+		t.Error("STREAM has no fig6 panel")
+	}
+}

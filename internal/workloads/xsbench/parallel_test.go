@@ -1,0 +1,75 @@
+package xsbench
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunParallelMatchesExpectedRange(t *testing.T) {
+	g, err := Build(10, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, probes, err := g.RunParallel(2000, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each lookup sums 10 isotopes x 5 channels of [0,1) values: the
+	// per-lookup average lies in (0, 50).
+	if avg <= 0 || avg >= 50 {
+		t.Fatalf("verification average = %v", avg)
+	}
+	if probes <= 0 {
+		t.Fatal("no search probes recorded")
+	}
+	// Binary search depth is bounded by log2(640) ~ 10 per lookup.
+	if probes > 2000*11 {
+		t.Fatalf("probe count %d exceeds search-depth bound", probes)
+	}
+}
+
+func TestRunParallelDeterministicPerConfig(t *testing.T) {
+	g, _ := Build(5, 32, 9)
+	a1, p1, err := g.RunParallel(1000, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, p2, err := g.RunParallel(1000, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 || p1 != p2 {
+		t.Fatal("same seed and thread count must reproduce")
+	}
+}
+
+func TestRunParallelThreadCountStableStatistic(t *testing.T) {
+	// Different thread counts draw different random streams, but the
+	// average converges to the same statistic.
+	g, _ := Build(8, 64, 11)
+	a1, _, err := g.RunParallel(20000, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a8, _, err := g.RunParallel(20000, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a1-a8)/a1 > 0.05 {
+		t.Fatalf("thread-count changed the statistic: %v vs %v", a1, a8)
+	}
+}
+
+func TestRunParallelErrors(t *testing.T) {
+	g, _ := Build(3, 8, 1)
+	if _, _, err := g.RunParallel(0, 1, 1); err == nil {
+		t.Error("zero lookups accepted")
+	}
+	if _, _, err := g.RunParallel(10, 0, 1); err == nil {
+		t.Error("zero threads accepted")
+	}
+	// More threads than lookups is clamped, not an error.
+	if _, _, err := g.RunParallel(2, 8, 1); err != nil {
+		t.Errorf("thread clamping failed: %v", err)
+	}
+}

@@ -347,6 +347,43 @@ func BenchmarkClusterStrongScaling(b *testing.B) {
 	b.ReportMetric(sweet, "hbm-sweet-spot-nodes")
 }
 
+// BenchmarkTraceReplayBatched streams a footprint ~10x the old test
+// sizes through the cache-mode hierarchy using the batched fast path.
+func BenchmarkTraceReplayBatched(b *testing.B) {
+	const footprint = 40 << 20
+	b.SetBytes(footprint)
+	for i := 0; i < b.N; i++ {
+		sim, err := tracesim.New(tracesim.DefaultConfig(8 << 20))
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := tracesim.NewSequential(0, footprint, 64, cache.Read)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.Run(g)
+	}
+}
+
+// BenchmarkTraceReplaySharded replays the same stream through four
+// set-interleaved workers (identical aggregate counts, concurrent
+// simulation).
+func BenchmarkTraceReplaySharded(b *testing.B) {
+	const footprint = 40 << 20
+	b.SetBytes(footprint)
+	for i := 0; i < b.N; i++ {
+		sim, err := tracesim.NewSharded(tracesim.DefaultConfig(8<<20), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := tracesim.NewUniformRandom(0, footprint, footprint/64, cache.Read, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.Run(g)
+	}
+}
+
 // --- Functional kernels (real Go performance) ------------------------
 
 func BenchmarkFunctionalTriad(b *testing.B) {

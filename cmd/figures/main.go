@@ -6,6 +6,7 @@
 //	figures                 # render all experiments as text
 //	figures -exp fig4b      # one experiment
 //	figures -csv            # CSV output
+//	figures -j 4            # run experiments through a 4-worker pool
 //	figures -verify         # paper-vs-reproduction check table
 //	figures -verify -md     # the same as a Markdown table (EXPERIMENTS.md)
 package main
@@ -14,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -24,6 +26,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	verify := flag.Bool("verify", false, "run paper-vs-reproduction checks")
 	md := flag.Bool("md", false, "with -verify: render Markdown")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "experiment worker pool size")
 	flag.Parse()
 
 	sys, err := core.NewSystem()
@@ -32,7 +35,7 @@ func main() {
 	}
 
 	if *verify {
-		checks, err := harness.VerifyAll(sys)
+		checks, err := harness.VerifyAllN(sys, *jobs)
 		if err != nil {
 			fatal(err)
 		}
@@ -66,25 +69,27 @@ func main() {
 		return
 	}
 
-	var exps []harness.Experiment
+	// Experiments run concurrently through the bounded pool; results
+	// print in paper order regardless of completion order.
+	var results []harness.RunResult
 	if *exp == "all" {
-		exps = harness.All()
+		results = harness.RunAll(sys, *jobs)
 	} else {
 		e, err := harness.ByID(*exp)
 		if err != nil {
 			fatal(err)
 		}
-		exps = []harness.Experiment{e}
-	}
-	for _, e := range exps {
 		tbl, err := e.Run(sys)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		results = []harness.RunResult{{Experiment: e, Table: tbl, Err: err}}
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			fatal(fmt.Errorf("%s: %w", r.Experiment.ID, r.Err))
 		}
 		if *csv {
-			fmt.Print(tbl.RenderCSV())
+			fmt.Print(r.Table.RenderCSV())
 		} else {
-			fmt.Println(tbl.Render())
+			fmt.Println(r.Table.Render())
 		}
 	}
 }

@@ -5,7 +5,9 @@
 //
 //	trace -pattern seq    -footprint 8MB  -memcache 0
 //	trace -pattern random -footprint 32MB -accesses 500000
+//	trace -pattern chase  -footprint 16MB -accesses 1000000
 //	trace -pattern seq    -footprint 6MB  -memcache 4MB -passes 3
+//	trace -pattern random -footprint 64MB -shards 4       # parallel replay
 package main
 
 import (
@@ -18,8 +20,14 @@ import (
 	"repro/internal/units"
 )
 
+// replayer is satisfied by both the scalar and the sharded simulator.
+type replayer interface {
+	RunPasses(tracesim.Generator, int) (tracesim.Result, error)
+}
+
 func main() {
-	pattern := flag.String("pattern", "seq", "access pattern: seq|random")
+	pattern := flag.String("pattern", "seq", "access pattern: seq|random|chase")
+	shards := flag.Int("shards", 1, "parallel replay shards (1 = scalar)")
 	footprint := flag.String("footprint", "8MB", "region size")
 	accesses := flag.Int64("accesses", 200000, "random accesses (random pattern)")
 	memcache := flag.String("memcache", "0", "memory-side cache size (0 = flat mode)")
@@ -39,7 +47,12 @@ func main() {
 	}
 	cfg := tracesim.DefaultConfig(mc)
 	cfg.Prefetcher = *prefetch
-	sim, err := tracesim.New(cfg)
+	var sim replayer
+	if *shards > 1 {
+		sim, err = tracesim.NewSharded(cfg, *shards)
+	} else {
+		sim, err = tracesim.New(cfg)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -53,8 +66,10 @@ func main() {
 		gen, err = tracesim.NewSequential(0, uint64(fp), 64, kind)
 	case "random":
 		gen, err = tracesim.NewUniformRandom(0, uint64(fp), *accesses, kind, *seed)
+	case "chase":
+		gen, err = tracesim.NewPointerChase(0, uint64(fp), *accesses, kind, *seed)
 	default:
-		err = fmt.Errorf("unknown pattern %q (seq|random)", *pattern)
+		err = fmt.Errorf("unknown pattern %q (seq|random|chase)", *pattern)
 	}
 	if err != nil {
 		fatal(err)
@@ -63,8 +78,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("pattern=%s footprint=%v memcache=%v prefetch=%v passes=%d\n",
-		*pattern, fp, mc, *prefetch, *passes)
+	fmt.Printf("pattern=%s footprint=%v memcache=%v prefetch=%v passes=%d shards=%d\n",
+		*pattern, fp, mc, *prefetch, *passes, *shards)
 	fmt.Printf("accesses:      %d\n", res.Accesses)
 	fmt.Printf("L1  hit ratio: %.3f (%d/%d)\n", res.L1.HitRatio(), res.L1.Hits, res.L1.Hits+res.L1.Misses)
 	fmt.Printf("L2  hit ratio: %.3f (%d/%d)\n", res.L2.HitRatio(), res.L2.Hits, res.L2.Hits+res.L2.Misses)

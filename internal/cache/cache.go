@@ -12,10 +12,20 @@
 //     infeasible.
 //
 // Tests cross-validate the two layers on overlapping configurations.
+//
+// The functional layer is the hot path of trace replay, so SetAssoc is
+// organised for speed: geometry is restricted to power-of-two line and
+// set counts so set/tag extraction is shift/mask (no div or mod), tags
+// are stored line-granular in a contiguous slice separate from LRU and
+// dirty state (a tag probe touches one or two cache lines of host
+// memory), the tag scan is unrolled for the common 4/8/16-way
+// geometries, and an MRU memo short-circuits repeated references to
+// the line touched by the immediately preceding operation.
 package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/units"
 )
@@ -32,9 +42,9 @@ const (
 
 // Stats counts cache events.
 type Stats struct {
-	Hits, Misses   int64
-	Evictions      int64
-	DirtyWritebaks int64
+	Hits, Misses    int64
+	Evictions       int64
+	DirtyWritebacks int64
 }
 
 // HitRatio returns hits/(hits+misses), or 0 for an untouched cache.
@@ -46,31 +56,55 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.Hits) / float64(t)
 }
 
-// line is one resident cache line.
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	lru   uint64 // last-touch tick
+// Add accumulates other into s (used when merging sharded replays).
+func (s *Stats) Add(other Stats) {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Evictions += other.Evictions
+	s.DirtyWritebacks += other.DirtyWritebacks
 }
 
 // SetAssoc is a set-associative write-back, write-allocate cache with
 // LRU replacement.
+//
+// State is kept struct-of-arrays: tags (stored as tag+1 with 0 marking
+// an invalid way) in one slice so the hit scan is a contiguous
+// eight-byte compare loop, last-touch ticks and dirty flags in
+// parallel slices touched only on hits and evictions.
 type SetAssoc struct {
 	name     string
 	lineSize units.Bytes
 	sets     int
 	ways     int
-	data     []line // sets*ways
-	tick     uint64
-	stats    Stats
+
+	lineShift uint   // log2(lineSize)
+	setMask   uint64 // sets-1
+	setShift  uint   // log2(sets)
+
+	tags  []uint64 // sets*ways; stored tag+1, 0 = invalid
+	lru   []uint64 // sets*ways; last-touch tick
+	dirty []bool   // sets*ways
+	vcnt  []int32  // per set: number of valid ways (skips the invalid-way scan once full)
+
+	// MRU memo: index of the line touched by the immediately
+	// preceding hit/install, or -1. Lets consecutive references to
+	// one line skip the set scan entirely.
+	mru     int
+	mruLine uint64
+
+	tick  uint64
+	stats Stats
 }
 
 // NewSetAssoc builds a cache of the given capacity, associativity and
-// line size. Capacity must be an exact multiple of ways*lineSize.
+// line size. Capacity must be an exact multiple of ways*lineSize, the
+// line size a power of two, and the resulting set count a power of two.
 func NewSetAssoc(name string, capacity units.Bytes, ways int, lineSize units.Bytes) (*SetAssoc, error) {
 	if capacity <= 0 || ways <= 0 || lineSize <= 0 || capacity%lineSize != 0 {
 		return nil, fmt.Errorf("cache: bad geometry cap=%v ways=%d line=%v", capacity, ways, lineSize)
+	}
+	if lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("cache: line size %v must be a power of two", lineSize)
 	}
 	lines := int64(capacity / lineSize)
 	if lines%int64(ways) != 0 || lines == 0 {
@@ -81,11 +115,18 @@ func NewSetAssoc(name string, capacity units.Bytes, ways int, lineSize units.Byt
 		return nil, fmt.Errorf("cache: set count %d must be a power of two", sets)
 	}
 	return &SetAssoc{
-		name:     name,
-		lineSize: lineSize,
-		sets:     sets,
-		ways:     ways,
-		data:     make([]line, int(lines)),
+		name:      name,
+		lineSize:  lineSize,
+		sets:      sets,
+		ways:      ways,
+		lineShift: uint(bits.TrailingZeros64(uint64(lineSize))),
+		setMask:   uint64(sets - 1),
+		setShift:  uint(bits.TrailingZeros64(uint64(sets))),
+		tags:      make([]uint64, int(lines)),
+		lru:       make([]uint64, int(lines)),
+		dirty:     make([]bool, int(lines)),
+		vcnt:      make([]int32, sets),
+		mru:       -1,
 	}, nil
 }
 
@@ -109,97 +150,222 @@ func (c *SetAssoc) Stats() Stats { return c.stats }
 // ResetStats clears the event counters but keeps contents.
 func (c *SetAssoc) ResetStats() { c.stats = Stats{} }
 
-func (c *SetAssoc) index(addr uint64) (set int, tag uint64) {
-	lineAddr := addr / uint64(c.lineSize)
-	return int(lineAddr % uint64(c.sets)), lineAddr / uint64(c.sets)
+// findWay returns the way offset of stored tag stag in the set at
+// base, or -1. Unrolled for the common associativities: the slice is
+// contiguous, so each probe is a handful of compares in one or two
+// host cache lines.
+func (c *SetAssoc) findWay(base int, stag uint64) int {
+	switch c.ways {
+	case 4:
+		t := (*[4]uint64)(c.tags[base : base+4])
+		if t[0] == stag {
+			return 0
+		}
+		if t[1] == stag {
+			return 1
+		}
+		if t[2] == stag {
+			return 2
+		}
+		if t[3] == stag {
+			return 3
+		}
+		return -1
+	case 8:
+		t := (*[8]uint64)(c.tags[base : base+8])
+		if t[0] == stag {
+			return 0
+		}
+		if t[1] == stag {
+			return 1
+		}
+		if t[2] == stag {
+			return 2
+		}
+		if t[3] == stag {
+			return 3
+		}
+		if t[4] == stag {
+			return 4
+		}
+		if t[5] == stag {
+			return 5
+		}
+		if t[6] == stag {
+			return 6
+		}
+		if t[7] == stag {
+			return 7
+		}
+		return -1
+	case 16:
+		t := (*[16]uint64)(c.tags[base : base+16])
+		for i := 0; i < 16; i += 4 {
+			if t[i] == stag {
+				return i
+			}
+			if t[i+1] == stag {
+				return i + 1
+			}
+			if t[i+2] == stag {
+				return i + 2
+			}
+			if t[i+3] == stag {
+				return i + 3
+			}
+		}
+		return -1
+	}
+	for i, t := range c.tags[base : base+c.ways] {
+		if t == stag {
+			return i
+		}
+	}
+	return -1
 }
 
-// Access performs one access. It returns whether it hit, and if a
-// dirty line had to be written back, its line address (else 0) with
-// wb=true.
-func (c *SetAssoc) Access(addr uint64, kind AccessKind) (hit bool, wbAddr uint64, wb bool) {
-	c.tick++
-	set, tag := c.index(addr)
-	base := set * c.ways
-	victim := base
-	for i := base; i < base+c.ways; i++ {
-		l := &c.data[i]
-		if l.valid && l.tag == tag {
-			l.lru = c.tick
-			if kind == Write {
-				l.dirty = true
-			}
-			c.stats.Hits++
-			return true, 0, false
-		}
-		if !c.data[i].valid {
-			victim = i
-		} else if c.data[victim].valid && c.data[i].lru < c.data[victim].lru {
+// victimWay picks the replacement way: an invalid way while the set
+// is not yet full (every invalid way is observationally equivalent, so
+// the choice among them is free), else the least-recently-used way
+// (earliest index on ties). The per-set valid count makes the common
+// steady-state case a single LRU scan with no invalid-way probe.
+func (c *SetAssoc) victimWay(set int, base int) int {
+	if int(c.vcnt[set]) < c.ways {
+		c.vcnt[set]++
+		return c.findWay(base, 0)
+	}
+	lru := c.lru[base : base+c.ways]
+	victim := 0
+	min := lru[0]
+	for i := 1; i < len(lru); i++ {
+		if lru[i] < min {
+			min = lru[i]
 			victim = i
 		}
 	}
+	return victim
+}
+
+// AccessLine performs one access by line address (byte address divided
+// by the line size). It reports whether it hit and, when a dirty
+// victim had to be written back, the victim's line address with
+// wb=true. This is the trace-replay fast path: no byte/line
+// conversion, shift/mask indexing, MRU short-circuit.
+func (c *SetAssoc) AccessLine(lineAddr uint64, kind AccessKind) (hit bool, wbLine uint64, wb bool) {
+	c.tick++
+	if c.mru >= 0 && lineAddr == c.mruLine {
+		c.lru[c.mru] = c.tick
+		if kind == Write {
+			c.dirty[c.mru] = true
+		}
+		c.stats.Hits++
+		return true, 0, false
+	}
+	set := lineAddr & c.setMask
+	stag := (lineAddr >> c.setShift) + 1
+	base := int(set) * c.ways
+	if way := c.findWay(base, stag); way >= 0 {
+		idx := base + way
+		c.lru[idx] = c.tick
+		if kind == Write {
+			c.dirty[idx] = true
+		}
+		c.stats.Hits++
+		c.mru, c.mruLine = idx, lineAddr
+		return true, 0, false
+	}
 	c.stats.Misses++
-	v := &c.data[victim]
-	if v.valid {
+	idx := base + c.victimWay(int(set), base)
+	if c.tags[idx] != 0 {
 		c.stats.Evictions++
-		if v.dirty {
-			c.stats.DirtyWritebaks++
-			wbAddr = (v.tag*uint64(c.sets) + uint64(set)) * uint64(c.lineSize)
+		if c.dirty[idx] {
+			c.stats.DirtyWritebacks++
+			wbLine = (c.tags[idx]-1)<<c.setShift | set
 			wb = true
 		}
 	}
-	v.valid = true
-	v.tag = tag
-	v.dirty = kind == Write
-	v.lru = c.tick
-	return false, wbAddr, wb
+	c.tags[idx] = stag
+	c.dirty[idx] = kind == Write
+	c.lru[idx] = c.tick
+	c.mru, c.mruLine = idx, lineAddr
+	return false, wbLine, wb
 }
 
-// Contains reports whether the line holding addr is resident (without
-// updating LRU or stats); used by tests and the prefetcher.
-func (c *SetAssoc) Contains(addr uint64) bool {
-	set, tag := c.index(addr)
-	base := set * c.ways
-	for i := base; i < base+c.ways; i++ {
-		if c.data[i].valid && c.data[i].tag == tag {
-			return true
-		}
+// TouchMRU re-touches the line affected by the immediately preceding
+// Access/AccessLine/Install on this cache, exactly as a repeated hit
+// on that line would (tick, LRU, dirty, hit count). Callers must
+// guarantee no other operation intervened; the trace simulator uses it
+// to coalesce consecutive references to one line.
+func (c *SetAssoc) TouchMRU(kind AccessKind) {
+	c.tick++
+	c.lru[c.mru] = c.tick
+	if kind == Write {
+		c.dirty[c.mru] = true
 	}
-	return false
+	c.stats.Hits++
 }
 
-// Install inserts a line without counting a demand miss (prefetch
-// fill). It returns writeback info like Access.
-func (c *SetAssoc) Install(addr uint64) (wbAddr uint64, wb bool) {
-	if c.Contains(addr) {
+// Access performs one access by byte address. It returns whether it
+// hit, and if a dirty line had to be written back, its byte address
+// (else 0) with wb=true.
+func (c *SetAssoc) Access(addr uint64, kind AccessKind) (hit bool, wbAddr uint64, wb bool) {
+	hit, wbLine, wb := c.AccessLine(addr>>c.lineShift, kind)
+	if wb {
+		wbAddr = wbLine << c.lineShift
+	}
+	return hit, wbAddr, wb
+}
+
+// ContainsLine reports whether the given line is resident (without
+// updating LRU or stats); used by tests and the prefetcher.
+func (c *SetAssoc) ContainsLine(lineAddr uint64) bool {
+	if c.mru >= 0 && lineAddr == c.mruLine {
+		return true
+	}
+	set := lineAddr & c.setMask
+	stag := (lineAddr >> c.setShift) + 1
+	return c.findWay(int(set)*c.ways, stag) >= 0
+}
+
+// Contains reports whether the line holding addr is resident.
+func (c *SetAssoc) Contains(addr uint64) bool {
+	return c.ContainsLine(addr >> c.lineShift)
+}
+
+// InstallLine inserts a line (by line address) without counting a
+// demand miss (prefetch fill). It returns writeback info like
+// AccessLine.
+func (c *SetAssoc) InstallLine(lineAddr uint64) (wbLine uint64, wb bool) {
+	if c.ContainsLine(lineAddr) {
 		return 0, false
 	}
 	c.tick++
-	set, tag := c.index(addr)
-	base := set * c.ways
-	victim := base
-	for i := base; i < base+c.ways; i++ {
-		if !c.data[i].valid {
-			victim = i
-			break
-		}
-		if c.data[i].lru < c.data[victim].lru {
-			victim = i
-		}
-	}
-	v := &c.data[victim]
-	if v.valid {
+	set := lineAddr & c.setMask
+	stag := (lineAddr >> c.setShift) + 1
+	base := int(set) * c.ways
+	idx := base + c.victimWay(int(set), base)
+	if c.tags[idx] != 0 {
 		c.stats.Evictions++
-		if v.dirty {
-			c.stats.DirtyWritebaks++
-			wbAddr = (v.tag*uint64(c.sets) + uint64(set)) * uint64(c.lineSize)
+		if c.dirty[idx] {
+			c.stats.DirtyWritebacks++
+			wbLine = (c.tags[idx]-1)<<c.setShift | set
 			wb = true
 		}
 	}
-	v.valid = true
-	v.tag = tag
-	v.dirty = false
-	v.lru = c.tick
+	c.tags[idx] = stag
+	c.dirty[idx] = false
+	c.lru[idx] = c.tick
+	c.mru, c.mruLine = idx, lineAddr
+	return wbLine, wb
+}
+
+// Install inserts a line by byte address without counting a demand
+// miss (prefetch fill). It returns writeback info like Access.
+func (c *SetAssoc) Install(addr uint64) (wbAddr uint64, wb bool) {
+	wbLine, wb := c.InstallLine(addr >> c.lineShift)
+	if wb {
+		wbAddr = wbLine << c.lineShift
+	}
 	return wbAddr, wb
 }
 
@@ -207,12 +373,18 @@ func (c *SetAssoc) Install(addr uint64) (wbAddr uint64, wb bool) {
 // written back.
 func (c *SetAssoc) Flush() int64 {
 	var wb int64
-	for i := range c.data {
-		if c.data[i].valid && c.data[i].dirty {
+	for i := range c.tags {
+		if c.tags[i] != 0 && c.dirty[i] {
 			wb++
 		}
-		c.data[i] = line{}
+		c.tags[i] = 0
+		c.dirty[i] = false
+		c.lru[i] = 0
 	}
-	c.stats.DirtyWritebaks += wb
+	for i := range c.vcnt {
+		c.vcnt[i] = 0
+	}
+	c.mru = -1
+	c.stats.DirtyWritebacks += wb
 	return wb
 }

@@ -90,8 +90,8 @@ func TestDirtyWriteback(t *testing.T) {
 	if wb {
 		t.Fatal("clean line triggered writeback")
 	}
-	if c.Stats().DirtyWritebaks != 1 {
-		t.Fatalf("writeback count = %d", c.Stats().DirtyWritebaks)
+	if c.Stats().DirtyWritebacks != 1 {
+		t.Fatalf("writeback count = %d", c.Stats().DirtyWritebacks)
 	}
 }
 
@@ -169,5 +169,98 @@ func TestFitWorkingSetAlwaysHitsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// naiveLRU is a deliberately simple reference model: per-set slices in
+// recency order. The fast SetAssoc implementation (shift/mask
+// indexing, SoA tags, MRU memo, unrolled scans) must agree with it
+// event-for-event.
+type naiveLRU struct {
+	sets, ways                          int
+	lineSize                            uint64
+	order                               [][]naiveLine // per set, index 0 = LRU, last = MRU
+	hits, misses, evictions, writebacks int64
+}
+
+type naiveLine struct {
+	tag   uint64
+	dirty bool
+}
+
+func newNaiveLRU(sets, ways int, lineSize uint64) *naiveLRU {
+	return &naiveLRU{sets: sets, ways: ways, lineSize: lineSize, order: make([][]naiveLine, sets)}
+}
+
+func (n *naiveLRU) access(addr uint64, kind AccessKind) (hit bool, wbAddr uint64, wb bool) {
+	lineAddr := addr / n.lineSize
+	set := int(lineAddr % uint64(n.sets))
+	tag := lineAddr / uint64(n.sets)
+	q := n.order[set]
+	for i := range q {
+		if q[i].tag == tag {
+			l := q[i]
+			if kind == Write {
+				l.dirty = true
+			}
+			n.order[set] = append(append(q[:i:i], q[i+1:]...), l)
+			n.hits++
+			return true, 0, false
+		}
+	}
+	n.misses++
+	if len(q) == n.ways {
+		v := q[0]
+		n.evictions++
+		if v.dirty {
+			n.writebacks++
+			wbAddr = (v.tag*uint64(n.sets) + uint64(set)) * n.lineSize
+			wb = true
+		}
+		q = q[1:]
+	}
+	n.order[set] = append(append([]naiveLine{}, q...), naiveLine{tag: tag, dirty: kind == Write})
+	return false, wbAddr, wb
+}
+
+// TestSetAssocMatchesNaiveModel replays a mixed random/sequential
+// stream through SetAssoc and the reference model and requires
+// identical per-access outcomes and aggregate counters.
+func TestSetAssocMatchesNaiveModel(t *testing.T) {
+	for _, ways := range []int{1, 2, 4, 8, 16, 3} {
+		sets := 8
+		c, err := NewSetAssoc("ref", units.Bytes(sets*ways*64), ways, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := newNaiveLRU(sets, ways, 64)
+		// Deterministic pseudo-random stream with heavy set reuse and
+		// same-line repeats (exercises the MRU memo).
+		state := uint64(12345)
+		var last uint64
+		for i := 0; i < 20000; i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			addr := (state >> 33) % uint64(sets*ways*64*3)
+			if state&7 == 0 {
+				addr = last // repeated same-line reference
+			}
+			last = addr
+			kind := Read
+			if state&16 != 0 {
+				kind = Write
+			}
+			h1, a1, w1 := c.Access(addr, kind)
+			h2, a2, w2 := ref.access(addr, kind)
+			if h1 != h2 || w1 != w2 || a1 != a2 {
+				t.Fatalf("ways=%d access %d addr=%#x: fast (%v,%#x,%v) vs naive (%v,%#x,%v)",
+					ways, i, addr, h1, a1, w1, h2, a2, w2)
+			}
+		}
+		st := c.Stats()
+		if st.Hits != ref.hits || st.Misses != ref.misses ||
+			st.Evictions != ref.evictions || st.DirtyWritebacks != ref.writebacks {
+			t.Fatalf("ways=%d counters: fast %+v vs naive hits=%d misses=%d ev=%d wb=%d",
+				ways, st, ref.hits, ref.misses, ref.evictions, ref.writebacks)
+		}
 	}
 }

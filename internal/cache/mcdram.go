@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/units"
 )
@@ -14,11 +15,15 @@ import (
 // direct mapping is what produces the bandwidth cliff of Fig. 2 and
 // the paper's repeated "higher conflict misses" remarks.
 type MemSideCache struct {
-	lineSize units.Bytes
-	sets     int64
-	tags     []uint64 // tag+1, 0 = invalid
-	dirty    []uint64 // bitset
-	stats    Stats
+	lineSize  units.Bytes
+	lineShift uint
+	sets      int64
+	pow2      bool
+	setMask   uint64   // sets-1, valid when pow2
+	setShift  uint     // log2(sets), valid when pow2
+	tags      []uint64 // tag+1, 0 = invalid
+	dirty     []uint64 // bitset
+	stats     Stats
 }
 
 // NewMemSideCache builds a direct-mapped memory-side cache. On the
@@ -28,13 +33,23 @@ func NewMemSideCache(capacity units.Bytes, lineSize units.Bytes) (*MemSideCache,
 	if capacity <= 0 || lineSize <= 0 || capacity%lineSize != 0 {
 		return nil, fmt.Errorf("cache: bad memory-side cache geometry cap=%v line=%v", capacity, lineSize)
 	}
+	if lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("cache: line size %v must be a power of two", lineSize)
+	}
 	sets := int64(capacity / lineSize)
-	return &MemSideCache{
-		lineSize: lineSize,
-		sets:     sets,
-		tags:     make([]uint64, sets),
-		dirty:    make([]uint64, (sets+63)/64),
-	}, nil
+	m := &MemSideCache{
+		lineSize:  lineSize,
+		lineShift: uint(bits.TrailingZeros64(uint64(lineSize))),
+		sets:      sets,
+		tags:      make([]uint64, sets),
+		dirty:     make([]uint64, (sets+63)/64),
+	}
+	if sets&(sets-1) == 0 {
+		m.pow2 = true
+		m.setMask = uint64(sets - 1)
+		m.setShift = uint(bits.TrailingZeros64(uint64(sets)))
+	}
+	return m, nil
 }
 
 // Capacity returns the cache capacity.
@@ -58,13 +73,20 @@ func (m *MemSideCache) setDirty(set int64, d bool) {
 	}
 }
 
-// Access performs one access by physical address. It reports whether
+// AccessLine performs one access by line address. It reports whether
 // it hit in MCDRAM and whether the (direct-mapped) victim required a
-// DDR writeback.
-func (m *MemSideCache) Access(addr uint64, kind AccessKind) (hit bool, wb bool) {
-	lineAddr := addr / uint64(m.lineSize)
-	set := int64(lineAddr % uint64(m.sets))
-	tag := lineAddr/uint64(m.sets) + 1
+// DDR writeback. Power-of-two set counts (the common case) index by
+// mask; others fall back to modulo.
+func (m *MemSideCache) AccessLine(lineAddr uint64, kind AccessKind) (hit bool, wb bool) {
+	var set int64
+	var tag uint64
+	if m.pow2 {
+		set = int64(lineAddr & m.setMask)
+		tag = lineAddr>>m.setShift + 1
+	} else {
+		set = int64(lineAddr % uint64(m.sets))
+		tag = lineAddr/uint64(m.sets) + 1
+	}
 	if m.tags[set] == tag {
 		m.stats.Hits++
 		if kind == Write {
@@ -76,13 +98,18 @@ func (m *MemSideCache) Access(addr uint64, kind AccessKind) (hit bool, wb bool) 
 	if m.tags[set] != 0 {
 		m.stats.Evictions++
 		if m.isDirty(set) {
-			m.stats.DirtyWritebaks++
+			m.stats.DirtyWritebacks++
 			wb = true
 		}
 	}
 	m.tags[set] = tag
 	m.setDirty(set, kind == Write)
 	return false, wb
+}
+
+// Access performs one access by physical byte address.
+func (m *MemSideCache) Access(addr uint64, kind AccessKind) (hit bool, wb bool) {
+	return m.AccessLine(addr>>m.lineShift, kind)
 }
 
 // Resident returns the number of valid lines (for occupancy tests).

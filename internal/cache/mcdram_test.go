@@ -55,8 +55,8 @@ func TestMemSideCacheWriteback(t *testing.T) {
 	if _, wb := m.Access(8*64, Read); wb {
 		t.Fatal("clean victim written back")
 	}
-	if m.Stats().DirtyWritebaks != 1 {
-		t.Fatalf("writebacks = %d", m.Stats().DirtyWritebaks)
+	if m.Stats().DirtyWritebacks != 1 {
+		t.Fatalf("writebacks = %d", m.Stats().DirtyWritebacks)
 	}
 }
 

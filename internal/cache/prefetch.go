@@ -18,12 +18,14 @@ type StreamPrefetcher struct {
 
 	lineSize units.Bytes
 	entries  []pfStream
+	buf      []uint64 // reused result buffer (ObserveLines/Observe)
 	issued   int64
 	useful   int64
 }
 
 type pfStream struct {
 	lastLine uint64
+	frontier uint64 // highest line already issued for this stream (0 = none)
 	hits     int
 	valid    bool
 	lru      uint64
@@ -37,16 +39,19 @@ func NewStreamPrefetcher(streams, depth int, lineSize units.Bytes) *StreamPrefet
 		Depth:    depth,
 		lineSize: lineSize,
 		entries:  make([]pfStream, streams),
+		buf:      make([]uint64, depth),
 	}
 }
 
 // Issued returns how many prefetches were issued.
 func (p *StreamPrefetcher) Issued() int64 { return p.issued }
 
-// Observe feeds a demand access to the prefetcher and returns the
-// addresses to prefetch (possibly none).
-func (p *StreamPrefetcher) Observe(addr uint64, tick uint64) []uint64 {
-	lineAddr := addr / uint64(p.lineSize)
+// ObserveLines feeds a demand line address to the prefetcher and
+// returns the line addresses to prefetch (possibly none). The returned
+// slice aliases an internal buffer and is only valid until the next
+// call — the hot replay loop consumes it immediately, so no per-access
+// allocation occurs.
+func (p *StreamPrefetcher) ObserveLines(lineAddr uint64, tick uint64) []uint64 {
 	// Find a stream this access continues.
 	for i := range p.entries {
 		e := &p.entries[i]
@@ -55,10 +60,24 @@ func (p *StreamPrefetcher) Observe(addr uint64, tick uint64) []uint64 {
 			e.hits++
 			e.lru = tick
 			if e.hits >= 2 {
-				out := make([]uint64, 0, p.Depth)
-				for d := 1; d <= p.Depth; d++ {
-					out = append(out, (lineAddr+uint64(d))*uint64(p.lineSize))
+				// Keep Depth lines of lookahead ahead of the demand
+				// pointer, but issue each line only once per stream:
+				// the frontier watermark turns steady-state coverage
+				// into one new prefetch per demand line instead of
+				// re-issuing the whole window.
+				start := lineAddr + 1
+				if e.frontier+1 > start {
+					start = e.frontier + 1
 				}
+				end := lineAddr + uint64(p.Depth)
+				if start > end {
+					return nil
+				}
+				out := p.buf[:0]
+				for l := start; l <= end; l++ {
+					out = append(out, l)
+				}
+				e.frontier = end
 				p.issued += int64(len(out))
 				return out
 			}
@@ -78,4 +97,15 @@ func (p *StreamPrefetcher) Observe(addr uint64, tick uint64) []uint64 {
 	}
 	p.entries[victim] = pfStream{lastLine: lineAddr, hits: 1, valid: true, lru: tick}
 	return nil
+}
+
+// Observe feeds a demand byte address to the prefetcher and returns
+// the byte addresses to prefetch (possibly none). Like ObserveLines,
+// the returned slice is only valid until the next call.
+func (p *StreamPrefetcher) Observe(addr uint64, tick uint64) []uint64 {
+	out := p.ObserveLines(addr/uint64(p.lineSize), tick)
+	for i, line := range out {
+		out[i] = line * uint64(p.lineSize)
+	}
+	return out
 }

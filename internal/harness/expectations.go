@@ -19,7 +19,25 @@ type Check struct {
 // of the paper against the reproduction. The same claims are enforced
 // by the test suite; this function exists so that cmd/figures can emit
 // the EXPERIMENTS.md comparison table.
+//
+// The experiments are independent, so their tables are produced
+// through the bounded concurrent pool (RunAll); the checks themselves
+// are evaluated serially afterwards, which keeps the check order — and
+// therefore the rendered comparison table — deterministic.
 func VerifyAll(sys *core.System) ([]Check, error) {
+	return VerifyAllN(sys, 0)
+}
+
+// VerifyAllN is VerifyAll with an explicit experiment worker count
+// (<=0 uses GOMAXPROCS); cmd/figures threads its -j flag through here.
+func VerifyAllN(sys *core.System, workers int) ([]Check, error) {
+	tables := map[string]*Table{}
+	for _, r := range RunAll(sys, workers) {
+		if r.Err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", r.Experiment.ID, r.Err)
+		}
+		tables[r.Experiment.ID] = r.Table
+	}
 	var checks []Check
 	add := func(exp, name, paper string, got float64, gotFmt string, pass bool) {
 		checks = append(checks, Check{
@@ -34,10 +52,7 @@ func VerifyAll(sys *core.System) ([]Check, error) {
 	add("latency", "HBM idle latency", "154.0 ns", float64(h), "%.1f ns", h == 154.0)
 
 	// --- Fig. 2.
-	fig2, err := Fig2(sys)
-	if err != nil {
-		return nil, err
-	}
+	fig2 := tables["fig2"]
 	dram8, err := fig2.ValueAt(8, "DRAM")
 	if err != nil {
 		return nil, err
@@ -57,10 +72,7 @@ func VerifyAll(sys *core.System) ([]Check, error) {
 	add("fig2", "cache-mode below DRAM past ~24 GB", "crossover", cache24/dram24, "%.2fx of DRAM", cache24 < dram24)
 
 	// --- Fig. 3.
-	fig3, err := Fig3(sys)
-	if err != nil {
-		return nil, err
-	}
+	fig3 := tables["fig3"]
 	l2tier, _ := fig3.ValueAt(0.125, "DRAM")
 	add("fig3", "L2 tier latency (<1 MB)", "~10 ns", l2tier, "%.1f ns", l2tier < 15)
 	mid, _ := fig3.ValueAt(16, "DRAM")
@@ -71,60 +83,42 @@ func VerifyAll(sys *core.System) ([]Check, error) {
 	add("fig3", "DRAM faster than HBM", "15-20%", gap, "%.1f%%", gap >= 10 && gap <= 25)
 
 	// --- Fig. 4a.
-	fig4a, err := Fig4a(sys)
-	if err != nil {
-		return nil, err
-	}
+	fig4a := tables["fig4a"]
 	imp, _ := fig4a.ValueAt(6, "HBM/DRAM")
 	add("fig4a", "DGEMM HBM improvement", "~2x", imp, "%.2fx", imp >= 1.6 && imp <= 2.6)
 	hbm6, _ := fig4a.ValueAt(6, "HBM")
 	add("fig4a", "DGEMM HBM GFLOPS", "~600 GFLOPS", hbm6, "%.0f GFLOPS", within(hbm6, 600, 1.35))
 
 	// --- Fig. 4b.
-	fig4b, err := Fig4b(sys)
-	if err != nil {
-		return nil, err
-	}
+	fig4b := tables["fig4b"]
 	impB, _ := fig4b.ValueAt(7.2, "HBM/DRAM")
 	add("fig4b", "MiniFE HBM improvement", "~3x", impB, "%.2fx", impB >= 2.4 && impB <= 3.5)
 	cacheB, _ := fig4b.ValueAt(28.8, "Cache/DRAM")
 	add("fig4b", "MiniFE cache improvement at 2x capacity", "1.05x", cacheB, "%.2fx", cacheB >= 0.9 && cacheB <= 1.25)
 
 	// --- Fig. 4c.
-	fig4c, err := Fig4c(sys)
-	if err != nil {
-		return nil, err
-	}
+	fig4c := tables["fig4c"]
 	gupsD, _ := fig4c.ValueAt(8, "DRAM")
 	add("fig4c", "GUPS absolute", "~0.0107 GUPS", gupsD, "%.4f GUPS", within(gupsD, 0.0107, 1.15))
 	gupsImp, _ := fig4c.ValueAt(8, "HBM/DRAM")
 	add("fig4c", "GUPS: DRAM best", "HBM <= DRAM", gupsImp, "%.3fx", gupsImp <= 1.0)
 
 	// --- Fig. 4d.
-	fig4d, err := Fig4d(sys)
-	if err != nil {
-		return nil, err
-	}
+	fig4d := tables["fig4d"]
 	teps, _ := fig4d.ValueAt(1.1, "DRAM")
 	add("fig4d", "Graph500 TEPS scale", "1-2.5e8", teps, "%.3g TEPS", teps >= 1e8 && teps <= 3e8)
 	g35, _ := fig4d.ValueAt(35, "Cache/DRAM")
 	add("fig4d", "DRAM over cache at 35 GB", "~1.3x", 1/g35, "%.2fx", 1/g35 >= 1.15 && 1/g35 <= 1.5)
 
 	// --- Fig. 4e.
-	fig4e, err := Fig4e(sys)
-	if err != nil {
-		return nil, err
-	}
+	fig4e := tables["fig4e"]
 	xs, _ := fig4e.ValueAt(5.6, "DRAM")
 	add("fig4e", "XSBench lookups/s scale", "~2.5-3e6", xs, "%.3g", xs >= 1.5e6 && xs <= 3.5e6)
 	xsImp, _ := fig4e.ValueAt(5.6, "HBM/DRAM")
 	add("fig4e", "XSBench: DRAM best at 64 threads", "HBM <= DRAM", xsImp, "%.3fx", xsImp <= 1.0)
 
 	// --- Fig. 5.
-	fig5, err := Fig5(sys)
-	if err != nil {
-		return nil, err
-	}
+	fig5 := tables["fig5"]
 	h1, _ := fig5.ValueAt(8, "HBM ht=1")
 	h2, _ := fig5.ValueAt(8, "HBM ht=2")
 	add("fig5", "HBM ht=2 over ht=1", "1.27x", h2/h1, "%.2fx", within(h2/h1, 1.27, 1.07))
@@ -134,20 +128,14 @@ func VerifyAll(sys *core.System) ([]Check, error) {
 	add("fig5", "DRAM insensitive to HT", "overlapping lines", d4/d1, "%.3fx", within(d4/d1, 1, 1.03))
 
 	// --- Fig. 6a.
-	fig6a, err := Fig6a(sys)
-	if err != nil {
-		return nil, err
-	}
+	fig6a := tables["fig6a"]
 	a192, _ := fig6a.ValueAt(192, "HBM spdup")
 	add("fig6a", "DGEMM HBM speedup at 192 threads", "1.7x", a192, "%.2fx", within(a192, 1.7, 1.15))
 	c256, _ := fig6a.CellAt(256, "HBM")
 	add("fig6a", "DGEMM at 256 threads", "run fails", 0, "absent%.0s", c256.Err != nil)
 
 	// --- Fig. 6b.
-	fig6b, err := Fig6b(sys)
-	if err != nil {
-		return nil, err
-	}
+	fig6b := tables["fig6b"]
 	b192, _ := fig6b.ValueAt(192, "HBM spdup")
 	add("fig6b", "MiniFE HBM speedup at 192 threads", "1.7x", b192, "%.2fx", b192 >= 1.4 && b192 <= 1.9)
 	b256, _ := fig6b.ValueAt(256, "HBM")
@@ -155,10 +143,7 @@ func VerifyAll(sys *core.System) ([]Check, error) {
 	add("fig6b", "MiniFE HBM@4HT vs DRAM", "3.8x", b256/bd64, "%.2fx", b256/bd64 >= 3.2 && b256/bd64 <= 5.2)
 
 	// --- Fig. 6c.
-	fig6c, err := Fig6c(sys)
-	if err != nil {
-		return nil, err
-	}
+	fig6c := tables["fig6c"]
 	peak128 := true
 	for _, col := range []string{"DRAM", "HBM", "Cache Mode"} {
 		v64, _ := fig6c.ValueAt(64, col)
@@ -177,10 +162,7 @@ func VerifyAll(sys *core.System) ([]Check, error) {
 	add("fig6c", "DRAM remains best", "DRAM best", gd128/gh128, "%.3fx of HBM", gd128 >= gh128)
 
 	// --- Fig. 6d.
-	fig6d, err := Fig6d(sys)
-	if err != nil {
-		return nil, err
-	}
+	fig6d := tables["fig6d"]
 	x256, _ := fig6d.ValueAt(256, "HBM spdup")
 	add("fig6d", "XSBench HBM speedup at 256 threads", "2.5x", x256, "%.2fx", x256 >= 2.2 && x256 <= 3.5)
 	xd256, _ := fig6d.ValueAt(256, "DRAM spdup")

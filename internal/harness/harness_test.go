@@ -2,6 +2,7 @@ package harness
 
 import (
 	"errors"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -163,6 +164,64 @@ func TestVerifyAllPasses(t *testing.T) {
 	for _, id := range []string{"latency", "fig2", "fig3", "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig5", "fig6a", "fig6b", "fig6c", "fig6d"} {
 		if !covered[id] {
 			t.Errorf("no checks for %s", id)
+		}
+	}
+}
+
+// TestRunAllMatchesSerial requires the concurrent pool to produce the
+// same tables, in the same order, as a serial loop over All().
+func TestRunAllMatchesSerial(t *testing.T) {
+	s := sys(t)
+	serial := RunAll(s, 1)
+	concurrent := RunAll(s, 8)
+	if len(serial) != len(concurrent) || len(serial) != len(All()) {
+		t.Fatalf("result lengths: serial %d, concurrent %d, experiments %d",
+			len(serial), len(concurrent), len(All()))
+	}
+	for i := range serial {
+		if serial[i].Err != nil || concurrent[i].Err != nil {
+			t.Fatalf("%s: serial err %v, concurrent err %v",
+				serial[i].Experiment.ID, serial[i].Err, concurrent[i].Err)
+		}
+		if serial[i].Experiment.ID != concurrent[i].Experiment.ID {
+			t.Fatalf("order diverged at %d: %s vs %s", i,
+				serial[i].Experiment.ID, concurrent[i].Experiment.ID)
+		}
+		if serial[i].Table.Render() != concurrent[i].Table.Render() {
+			t.Errorf("%s: concurrent table differs from serial", serial[i].Experiment.ID)
+		}
+	}
+}
+
+// TestVerifyAllConcurrentDeterministic runs the (internally
+// concurrent) VerifyAll under elevated parallelism and requires the
+// exact check list of a prior run: same order, same rendered values,
+// all passing.
+func TestVerifyAllConcurrentDeterministic(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	if prev < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	s := sys(t)
+	first, err := VerifyAll(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := VerifyAll(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(again) {
+		t.Fatalf("check counts differ: %d vs %d", len(first), len(again))
+	}
+	for i := range first {
+		if first[i] != again[i] {
+			t.Errorf("check %d differs across runs: %+v vs %+v", i, first[i], again[i])
+		}
+		if !first[i].Pass {
+			t.Errorf("%s / %s failed under concurrency: paper %s, got %s",
+				first[i].Experiment, first[i].Name, first[i].Paper, first[i].Got)
 		}
 	}
 }

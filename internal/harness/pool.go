@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// RunResult pairs an experiment with its outcome.
+type RunResult struct {
+	Experiment Experiment
+	Table      *Table
+	Err        error
+}
+
+// RunAll executes every experiment through a bounded worker pool and
+// returns the results in paper order. Experiments are independent and
+// only read the system model, so they parallelise freely; workers<=0
+// uses GOMAXPROCS. With workers=1 the execution order (and therefore
+// every table) is identical to a serial loop over All().
+func RunAll(sys *core.System, workers int) []RunResult {
+	return runPool(sys, All(), workers)
+}
+
+// runPool fans exps out over a bounded pool, preserving input order in
+// the result slice.
+func runPool(sys *core.System, exps []Experiment, workers int) []RunResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	results := make([]RunResult, len(exps))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(exps) {
+					return
+				}
+				tbl, err := exps[i].Run(sys)
+				results[i] = RunResult{Experiment: exps[i], Table: tbl, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

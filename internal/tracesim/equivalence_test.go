@@ -1,0 +1,263 @@
+package tracesim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// scalarOnly hides a generator's batch method so Run takes the
+// one-access-at-a-time path.
+type scalarOnly struct{ g Generator }
+
+func (s scalarOnly) Next() (Access, bool) { return s.g.Next() }
+func (s scalarOnly) Reset()               { s.g.Reset() }
+
+// generators returns fresh fixed-seed instances of every built-in
+// generator, keyed by name.
+func generators(t *testing.T) map[string]func() BatchGenerator {
+	t.Helper()
+	return map[string]func() BatchGenerator{
+		"sequential": func() BatchGenerator {
+			g, err := NewSequential(0, 4<<20, 64, cache.Read)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		},
+		"sequential-writes": func() BatchGenerator {
+			g, err := NewSequential(1<<12, 2<<20, 32, cache.Write)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		},
+		"random": func() BatchGenerator {
+			g, err := NewUniformRandom(0, 8<<20, 200000, cache.Read, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		},
+		"random-writes": func() BatchGenerator {
+			g, err := NewUniformRandom(0, 4<<20, 120000, cache.Write, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		},
+		"chase": func() BatchGenerator {
+			g, err := NewPointerChase(0, 2<<20, 150000, cache.Read, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		},
+	}
+}
+
+func configs() map[string]Config {
+	flat := DefaultConfig(0)
+	cacheMode := DefaultConfig(4 << 20)
+	noPF := DefaultConfig(4 << 20)
+	noPF.Prefetcher = false
+	return map[string]Config{"flat": flat, "cache-mode": cacheMode, "no-prefetch": noPF}
+}
+
+// requireEqualResults demands identical event counts; the time
+// estimate may differ in summation order only, so it gets an epsilon.
+func requireEqualResults(t *testing.T, label string, want, got Result) {
+	t.Helper()
+	if got.Accesses != want.Accesses {
+		t.Errorf("%s: accesses %d != %d", label, got.Accesses, want.Accesses)
+	}
+	for _, lvl := range []struct {
+		name      string
+		want, got cache.Stats
+	}{
+		{"L1", want.L1, got.L1},
+		{"L2", want.L2, got.L2},
+		{"MemCache", want.MemCache, got.MemCache},
+	} {
+		if lvl.want != lvl.got {
+			t.Errorf("%s: %s stats %+v != %+v", label, lvl.name, lvl.got, lvl.want)
+		}
+	}
+	if got.MemReads != want.MemReads || got.MemWrites != want.MemWrites {
+		t.Errorf("%s: traffic reads/writes %d/%d != %d/%d",
+			label, got.MemReads, got.MemWrites, want.MemReads, want.MemWrites)
+	}
+	if got.Prefetches != want.Prefetches {
+		t.Errorf("%s: prefetches %d != %d", label, got.Prefetches, want.Prefetches)
+	}
+	if want.TotalTimeNS != 0 {
+		if rel := math.Abs(got.TotalTimeNS-want.TotalTimeNS) / want.TotalTimeNS; rel > 1e-9 {
+			t.Errorf("%s: time %.3f != %.3f (rel %.2g)", label, got.TotalTimeNS, want.TotalTimeNS, rel)
+		}
+	}
+}
+
+// TestBatchedMatchesScalar proves the chunked replay path is
+// bit-identical to one-access-at-a-time replay for every generator and
+// hierarchy configuration.
+func TestBatchedMatchesScalar(t *testing.T) {
+	for cfgName, cfg := range configs() {
+		for genName, mk := range generators(t) {
+			scalarSim, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchSim, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scalarSim.Run(scalarOnly{mk()})
+			batchSim.Run(mk())
+			requireEqualResults(t, cfgName+"/"+genName, scalarSim.Result(), batchSim.Result())
+		}
+	}
+}
+
+// TestShardedMatchesScalar proves the concurrent sharded replay merges
+// to exactly the scalar aggregate counts for every generator,
+// configuration, and shard count.
+func TestShardedMatchesScalar(t *testing.T) {
+	for cfgName, cfg := range configs() {
+		for genName, mk := range generators(t) {
+			ref, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.Run(mk())
+			want := ref.Result()
+			for _, shards := range []int{1, 2, 4, 8} {
+				sh, err := NewSharded(cfg, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sh.Run(mk())
+				requireEqualResults(t, cfgName+"/"+genName+"/shards="+string(rune('0'+shards)), want, sh.Result())
+			}
+		}
+	}
+}
+
+// TestShardedRunPassesMatchesScalar covers the steady-state
+// (multi-pass, reset-in-between) path.
+func TestShardedRunPassesMatchesScalar(t *testing.T) {
+	cfg := DefaultConfig(4 << 20)
+	g1, _ := NewUniformRandom(0, 8<<20, 100000, cache.Read, 3)
+	g2, _ := NewUniformRandom(0, 8<<20, 100000, cache.Read, 3)
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.RunPasses(g1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewSharded(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sh.RunPasses(g2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualResults(t, "run-passes", want, got)
+}
+
+// TestShardedValidation exercises the geometry preconditions.
+func TestShardedValidation(t *testing.T) {
+	cfg := DefaultConfig(0)
+	if _, err := NewSharded(cfg, 0); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := NewSharded(cfg, 3); err == nil {
+		t.Error("non-power-of-two shards accepted")
+	}
+	if _, err := NewSharded(cfg, 4); err != nil {
+		t.Errorf("4 shards rejected: %v", err)
+	}
+	bad := DefaultConfig(3 * 64) // 3 lines: not divisible by 2 shards
+	if _, err := NewSharded(bad, 2); err == nil {
+		t.Error("indivisible memory-side cache accepted")
+	}
+}
+
+// TestPointerChaseGenerator checks the permutation walk: every line of
+// the region is visited exactly once per cycle and the walk is
+// reproducible after Reset.
+func TestPointerChaseGenerator(t *testing.T) {
+	const lines = 64
+	g, err := NewPointerChase(0, lines*64, lines, cache.Read, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]int{}
+	first := make([]uint64, 0, lines)
+	for {
+		a, ok := g.Next()
+		if !ok {
+			break
+		}
+		seen[a.Addr]++
+		first = append(first, a.Addr)
+	}
+	if len(seen) != lines {
+		t.Fatalf("cycle visited %d distinct lines, want %d", len(seen), lines)
+	}
+	for addr, n := range seen {
+		if n != 1 {
+			t.Fatalf("line %#x visited %d times", addr, n)
+		}
+		if addr%64 != 0 || addr >= lines*64 {
+			t.Fatalf("address %#x outside region or misaligned", addr)
+		}
+	}
+	g.Reset()
+	for i := range first {
+		a, ok := g.Next()
+		if !ok || a.Addr != first[i] {
+			t.Fatalf("reset walk diverges at step %d", i)
+		}
+	}
+	if _, err := NewPointerChase(0, 32, 10, cache.Read, 1); err == nil {
+		t.Error("sub-line region accepted")
+	}
+	if _, err := NewPointerChase(0, 640, 0, cache.Read, 1); err == nil {
+		t.Error("zero steps accepted")
+	}
+}
+
+// TestSequentialNextBatchMatchesNext checks chunk boundaries.
+func TestSequentialNextBatchMatchesNext(t *testing.T) {
+	a, _ := NewSequential(100, 1000, 64, cache.Read)
+	b, _ := NewSequential(100, 1000, 64, cache.Read)
+	buf := make([]Access, 7) // deliberately odd chunk size
+	var batched []Access
+	for {
+		n := b.NextBatch(buf)
+		if n == 0 {
+			break
+		}
+		batched = append(batched, buf[:n]...)
+	}
+	var scalar []Access
+	for {
+		acc, ok := a.Next()
+		if !ok {
+			break
+		}
+		scalar = append(scalar, acc)
+	}
+	if len(batched) != len(scalar) {
+		t.Fatalf("batched %d accesses, scalar %d", len(batched), len(scalar))
+	}
+	for i := range scalar {
+		if batched[i] != scalar[i] {
+			t.Fatalf("access %d: %+v != %+v", i, batched[i], scalar[i])
+		}
+	}
+}

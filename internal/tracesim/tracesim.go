@@ -6,10 +6,31 @@
 // It exists to validate, at scaled-down sizes, the closed-form hit
 // models the engine uses at paper scale: tests drive the same
 // generators through both layers and require agreement.
+//
+// # Performance architecture
+//
+// Replay is the hot path of the whole repository, so it is built in
+// three gears:
+//
+//   - Scalar: Simulator.Access replays one reference. All cache
+//     indexing is shift/mask (internal/cache stores line-granular
+//     tags), and consecutive references to the same 64 B line are
+//     coalesced into an L1 MRU touch that skips the set scan.
+//   - Batched: generators that implement BatchGenerator deliver
+//     accesses in ~4k chunks (NextBatch), amortising interface
+//     dispatch; Run uses this automatically. Batched replay produces
+//     bit-identical Results to scalar replay.
+//   - Sharded: ShardedSimulator (sharded.go) partitions the stream
+//     across N workers by cache-set interleaving and replays them
+//     concurrently with per-tile-L2 semantics, merging Results.
+//     Aggregate hit/miss/writeback counts match scalar replay exactly.
+//
+// See the repository doc.go for how to benchmark the three gears.
 package tracesim
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"repro/internal/cache"
@@ -30,6 +51,19 @@ type Generator interface {
 	// Reset rewinds the generator for another pass.
 	Reset()
 }
+
+// BatchGenerator is implemented by generators that can deliver many
+// accesses per call. Replay uses it to amortise interface dispatch
+// over large chunks; NextBatch fills buf and returns how many entries
+// were written (0 at end of stream).
+type BatchGenerator interface {
+	Generator
+	NextBatch(buf []Access) int
+}
+
+// batchSize is the replay chunk: large enough to amortise dispatch,
+// small enough to stay resident in the host L1/L2.
+const batchSize = 4096
 
 // Sequential streams a region front to back with the given request size.
 type Sequential struct {
@@ -55,6 +89,19 @@ func (s *Sequential) Next() (Access, bool) {
 	a := Access{Addr: s.Base + s.pos, Kind: s.Kind}
 	s.pos += s.Stride
 	return a, true
+}
+
+// NextBatch implements BatchGenerator.
+func (s *Sequential) NextBatch(buf []Access) int {
+	n := 0
+	pos, kind := s.pos, s.Kind
+	for n < len(buf) && pos < s.Size {
+		buf[n] = Access{Addr: s.Base + pos, Kind: kind}
+		pos += s.Stride
+		n++
+	}
+	s.pos = pos
+	return n
 }
 
 // Reset implements Generator.
@@ -88,10 +135,95 @@ func (u *UniformRandom) Next() (Access, bool) {
 	return Access{Addr: u.Base + off, Kind: u.Kind}, true
 }
 
+// NextBatch implements BatchGenerator. The draw sequence is identical
+// to repeated Next calls, so batched and scalar replay see the same
+// stream.
+func (u *UniformRandom) NextBatch(buf []Access) int {
+	n := 0
+	words := u.Size / 8
+	for n < len(buf) && u.emitted < u.Count {
+		u.emitted++
+		off := (u.rng.Uint64() % words) * 8
+		buf[n] = Access{Addr: u.Base + off, Kind: u.Kind}
+		n++
+	}
+	return n
+}
+
 // Reset implements Generator.
 func (u *UniformRandom) Reset() {
 	u.rng = rand.New(rand.NewSource(u.seed))
 	u.emitted = 0
+}
+
+// PointerChase walks a seeded single-cycle random permutation of the
+// cache lines in a region: every access depends on the previous one,
+// the line sequence has no spatial locality, and a full cycle touches
+// every line exactly once. It is the trace-level analogue of the
+// latency benchmark's pointer chase (Fig. 3).
+type PointerChase struct {
+	Base  uint64
+	Steps int64
+	Kind  cache.AccessKind
+
+	next    []uint32 // permutation: next[i] is the line after line i
+	cur     uint32
+	emitted int64
+}
+
+// NewPointerChase builds a chase over size bytes (at least one cache
+// line) issuing the given number of dependent accesses.
+func NewPointerChase(base, size uint64, steps int64, kind cache.AccessKind, seed int64) (*PointerChase, error) {
+	lines := size / uint64(units.CacheLine)
+	if lines == 0 || steps <= 0 {
+		return nil, fmt.Errorf("tracesim: chase needs at least one line and positive steps")
+	}
+	if lines > 1<<31 {
+		return nil, fmt.Errorf("tracesim: chase region %d lines too large", lines)
+	}
+	next := make([]uint32, lines)
+	for i := range next {
+		next[i] = uint32(i)
+	}
+	// Sattolo's algorithm: a uniform random single-cycle permutation,
+	// so the walk visits every line before repeating.
+	rng := rand.New(rand.NewSource(seed))
+	for i := len(next) - 1; i > 0; i-- {
+		j := rng.Intn(i)
+		next[i], next[j] = next[j], next[i]
+	}
+	return &PointerChase{Base: base, Steps: steps, Kind: kind, next: next}, nil
+}
+
+// Next implements Generator.
+func (p *PointerChase) Next() (Access, bool) {
+	if p.emitted >= p.Steps {
+		return Access{}, false
+	}
+	p.emitted++
+	a := Access{Addr: p.Base + uint64(p.cur)*uint64(units.CacheLine), Kind: p.Kind}
+	p.cur = p.next[p.cur]
+	return a, true
+}
+
+// NextBatch implements BatchGenerator.
+func (p *PointerChase) NextBatch(buf []Access) int {
+	n := 0
+	cur := p.cur
+	for n < len(buf) && p.emitted < p.Steps {
+		p.emitted++
+		buf[n] = Access{Addr: p.Base + uint64(cur)*uint64(units.CacheLine), Kind: p.Kind}
+		cur = p.next[cur]
+		n++
+	}
+	p.cur = cur
+	return n
+}
+
+// Reset implements Generator.
+func (p *PointerChase) Reset() {
+	p.cur = 0
+	p.emitted = 0
 }
 
 // Config selects the simulated hierarchy.
@@ -141,15 +273,86 @@ func (r Result) AvgLatencyNS() float64 {
 	return r.TotalTimeNS / float64(r.Accesses)
 }
 
+// memSys is the memory system below the L2: the optional memory-side
+// cache plus traffic counters. The scalar simulator owns one; each
+// shard worker owns one shard of it — sharing the implementation is
+// what keeps the two replay paths' latency/traffic models in
+// lock-step, which the exact-equivalence guarantee depends on.
+type memSys struct {
+	mc          *cache.MemSideCache
+	memCacheLat float64
+	memLat      float64
+	memReads    int64
+	memWrites   int64
+}
+
+func newMemSys(cfg Config, capacity units.Bytes) (memSys, error) {
+	m := memSys{memCacheLat: cfg.MemCacheLat, memLat: cfg.MemLat}
+	if capacity > 0 {
+		mc, err := cache.NewMemSideCache(capacity, units.CacheLine)
+		if err != nil {
+			return memSys{}, err
+		}
+		m.mc = mc
+	}
+	return m, nil
+}
+
+// fillLine fetches a line from the memory system, returning its latency.
+func (m *memSys) fillLine(line uint64) float64 {
+	if m.mc == nil {
+		m.memReads++
+		return m.memLat
+	}
+	hit, wb := m.mc.AccessLine(line, cache.Read)
+	if wb {
+		m.memWrites++
+	}
+	if hit {
+		return m.memCacheLat
+	}
+	m.memReads++
+	// Tag check in MCDRAM + DRAM access.
+	return m.memCacheLat*0.3 + m.memLat
+}
+
+// writebackLine sends a dirty line toward memory.
+func (m *memSys) writebackLine(line uint64) {
+	if m.mc == nil {
+		m.memWrites++
+		return
+	}
+	if _, wb := m.mc.AccessLine(line, cache.Write); wb {
+		m.memWrites++
+	}
+}
+
+// resetStats clears the traffic counters but keeps contents.
+func (m *memSys) resetStats() {
+	m.memReads, m.memWrites = 0, 0
+	if m.mc != nil {
+		m.mc.ResetStats()
+	}
+}
+
 // Simulator replays access streams.
 type Simulator struct {
-	cfg  Config
-	l1   *cache.SetAssoc
-	l2   *cache.SetAssoc
-	mc   *cache.MemSideCache
-	pf   *cache.StreamPrefetcher
-	res  Result
-	tick uint64
+	cfg       Config
+	lineShift uint
+	l1        *cache.SetAssoc
+	l2        *cache.SetAssoc
+	mem       memSys
+	pf        *cache.StreamPrefetcher
+	res       Result
+	tick      uint64
+
+	// Same-line coalescing: the line touched by the previous access
+	// is guaranteed resident in L1, so a repeat reference is an L1
+	// MRU touch with no set scan.
+	lastLine uint64
+	haveLast bool
+
+	batch []Access // reused chunk buffer for batched Run
 }
 
 // New builds a simulator.
@@ -162,13 +365,16 @@ func New(cfg Config) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Simulator{cfg: cfg, l1: l1, l2: l2}
-	if cfg.MemCache > 0 {
-		mc, err := cache.NewMemSideCache(cfg.MemCache, units.CacheLine)
-		if err != nil {
-			return nil, err
-		}
-		s.mc = mc
+	mem, err := newMemSys(cfg, cfg.MemCache)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:       cfg,
+		lineShift: uint(bits.TrailingZeros64(uint64(units.CacheLine))),
+		l1:        l1,
+		l2:        l2,
+		mem:       mem,
 	}
 	if cfg.Prefetcher {
 		s.pf = cache.NewStreamPrefetcher(16, 8, units.CacheLine)
@@ -179,75 +385,81 @@ func New(cfg Config) (*Simulator, error) {
 // Access performs one reference through the hierarchy and returns its
 // latency in nanoseconds.
 func (s *Simulator) Access(a Access) float64 {
+	return s.accessLine(a.Addr>>s.lineShift, a.Kind)
+}
+
+// accessLine is the replay fast path, operating on line addresses.
+func (s *Simulator) accessLine(line uint64, kind cache.AccessKind) float64 {
 	s.tick++
 	s.res.Accesses++
 
-	if hit, _, _ := s.l1.Access(a.Addr, a.Kind); hit {
+	if s.haveLast && line == s.lastLine {
+		// Coalesced: the previous access left this line in L1 as the
+		// MRU way; touch it without a set scan.
+		s.l1.TouchMRU(kind)
 		s.res.TotalTimeNS += s.cfg.L1Lat
 		return s.cfg.L1Lat
 	}
-	// Miss in L1: consult prefetcher on the L2 stream.
+	s.lastLine, s.haveLast = line, true
+
+	if hit, _, _ := s.l1.AccessLine(line, kind); hit {
+		s.res.TotalTimeNS += s.cfg.L1Lat
+		return s.cfg.L1Lat
+	}
+	// Miss in L1 (the line is now installed there, write-allocate):
+	// consult the prefetcher on the L2 stream.
 	if s.pf != nil {
-		for _, pa := range s.pf.Observe(a.Addr, s.tick) {
-			if !s.l2.Contains(pa) {
+		for _, pl := range s.pf.ObserveLines(line, s.tick) {
+			if !s.l2.ContainsLine(pl) {
 				s.res.Prefetches++
-				s.fill(pa)
-				if _, wb := s.l2.Install(pa); wb {
-					s.res.MemWrites++
+				s.mem.fillLine(pl) // prefetch fills do not add replay time
+				if _, wb := s.l2.InstallLine(pl); wb {
+					s.mem.memWrites++
 				}
 			}
 		}
 	}
 	// One L2 access decides hit/miss; on a miss the line is installed
 	// (write-allocate) and a dirty victim may need writing back.
-	hit, wbAddr, wb := s.l2.Access(a.Addr, a.Kind)
+	hit, wbLine, wb := s.l2.AccessLine(line, kind)
 	if wb {
-		s.writeback(wbAddr)
+		s.mem.writebackLine(wbLine)
 	}
 	if hit {
-		s.l1.Install(a.Addr)
 		lat := s.cfg.L2Lat
 		s.res.TotalTimeNS += lat
 		return lat
 	}
 	// L2 miss: fetch from memory (possibly via the memory-side cache).
-	lat := s.fill(a.Addr)
-	s.l1.Install(a.Addr)
+	lat := s.mem.fillLine(line)
 	s.res.TotalTimeNS += lat
 	return lat
 }
 
-// fill fetches a line from the memory system, returning its latency.
-func (s *Simulator) fill(addr uint64) float64 {
-	if s.mc == nil {
-		s.res.MemReads++
-		return s.cfg.MemLat
-	}
-	hit, wb := s.mc.Access(addr, cache.Read)
-	if wb {
-		s.res.MemWrites++
-	}
-	if hit {
-		return s.cfg.MemCacheLat
-	}
-	s.res.MemReads++
-	// Tag check in MCDRAM + DRAM access.
-	return s.cfg.MemCacheLat*0.3 + s.cfg.MemLat
-}
-
-// writeback sends a dirty line toward memory.
-func (s *Simulator) writeback(addr uint64) {
-	if s.mc == nil {
-		s.res.MemWrites++
-		return
-	}
-	if _, wb := s.mc.Access(addr, cache.Write); wb {
-		s.res.MemWrites++
+// AccessBatch replays a chunk of accesses.
+func (s *Simulator) AccessBatch(batch []Access) {
+	shift := s.lineShift
+	for _, a := range batch {
+		s.accessLine(a.Addr>>shift, a.Kind)
 	}
 }
 
-// Run replays a generator to exhaustion.
+// Run replays a generator to exhaustion. Generators implementing
+// BatchGenerator are replayed in chunks, which produces bit-identical
+// results while amortising per-access interface dispatch.
 func (s *Simulator) Run(g Generator) {
+	if bg, ok := g.(BatchGenerator); ok {
+		if s.batch == nil {
+			s.batch = make([]Access, batchSize)
+		}
+		for {
+			n := bg.NextBatch(s.batch)
+			if n == 0 {
+				return
+			}
+			s.AccessBatch(s.batch[:n])
+		}
+	}
 	for {
 		a, ok := g.Next()
 		if !ok {
@@ -278,8 +490,10 @@ func (s *Simulator) Result() Result {
 	r := s.res
 	r.L1 = s.l1.Stats()
 	r.L2 = s.l2.Stats()
-	if s.mc != nil {
-		r.MemCache = s.mc.Stats()
+	r.MemReads = s.mem.memReads
+	r.MemWrites = s.mem.memWrites
+	if s.mem.mc != nil {
+		r.MemCache = s.mem.mc.Stats()
 	}
 	return r
 }
@@ -290,7 +504,5 @@ func (s *Simulator) ResetStats() {
 	s.res = Result{}
 	s.l1.ResetStats()
 	s.l2.ResetStats()
-	if s.mc != nil {
-		s.mc.ResetStats()
-	}
+	s.mem.resetStats()
 }

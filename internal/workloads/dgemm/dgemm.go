@@ -7,6 +7,7 @@ package dgemm
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"repro/internal/engine"
@@ -33,40 +34,88 @@ func Multiply(a, b, c []float64, n, threads int) error {
 	for i := range c {
 		c[i] = 0
 	}
-	blocks := (n + blockDim - 1) / blockDim
+	// Parallel grain: row bands sized so every worker gets several
+	// tasks even when n/blockDim < threads (the old one-band-per-block
+	// split left most workers idle for small matrices). Each C row is
+	// owned by exactly one band, so results are independent of the
+	// thread count.
+	band := blockDim
+	if g := n / (4 * threads); g < band {
+		band = g
+	}
+	if band < 8 {
+		band = 8
+	}
+	bands := (n + band - 1) / band
+	workers := threads
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	if workers > bands {
+		workers = bands
+	}
 	var wg sync.WaitGroup
-	work := make(chan int, blocks)
-	for w := 0; w < threads; w++ {
+	work := make(chan int, bands)
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for bi := range work {
-				i0, i1 := bi*blockDim, min((bi+1)*blockDim, n)
-				for bk := 0; bk < blocks; bk++ {
-					k0, k1 := bk*blockDim, min((bk+1)*blockDim, n)
-					for bj := 0; bj < blocks; bj++ {
-						j0, j1 := bj*blockDim, min((bj+1)*blockDim, n)
-						for i := i0; i < i1; i++ {
-							for k := k0; k < k1; k++ {
-								aik := a[i*n+k]
-								ci := c[i*n+j0 : i*n+j1]
-								bk := b[k*n+j0 : k*n+j1]
-								for j := range bk {
-									ci[j] += aik * bk[j]
-								}
-							}
-						}
-					}
-				}
+				multiplyBand(a, b, c, n, bi*band, min((bi+1)*band, n))
 			}
 		}()
 	}
-	for bi := 0; bi < blocks; bi++ {
+	for bi := 0; bi < bands; bi++ {
 		work <- bi
 	}
 	close(work)
 	wg.Wait()
 	return nil
+}
+
+// multiplyBand computes rows [i0, i1) of C using the blocked
+// algorithm. The inner kernel is register-blocked over four
+// consecutive k values — four rows of B stream against one row of C,
+// quartering the store traffic per flop — and dispatches to the FMA
+// microkernel on CPUs that have it.
+func multiplyBand(a, b, c []float64, n, i0, i1 int) {
+	blocks := (n + blockDim - 1) / blockDim
+	for bk := 0; bk < blocks; bk++ {
+		k0, k1 := bk*blockDim, min((bk+1)*blockDim, n)
+		for bj := 0; bj < blocks; bj++ {
+			j0, j1 := bj*blockDim, min((bj+1)*blockDim, n)
+			for i := i0; i < i1; i++ {
+				ci := c[i*n+j0 : i*n+j1]
+				ar := a[i*n : i*n+n]
+				k := k0
+				for ; k+3 < k1; k += 4 {
+					b0 := b[k*n+j0 : k*n+j1]
+					b1 := b[(k+1)*n+j0 : (k+1)*n+j1]
+					b2 := b[(k+2)*n+j0 : (k+2)*n+j1]
+					b3 := b[(k+3)*n+j0 : (k+3)*n+j1]
+					axpy4(ci, b0, b1, b2, b3, ar[k], ar[k+1], ar[k+2], ar[k+3])
+				}
+				for ; k < k1; k++ {
+					aik := ar[k]
+					bkr := b[k*n+j0 : k*n+j1][:len(ci)]
+					for j := range bkr {
+						ci[j] += aik * bkr[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// axpy4Go is the portable register-blocked kernel.
+func axpy4Go(c, b0, b1, b2, b3 []float64, a0, a1, a2, a3 float64) {
+	b0 = b0[:len(c)]
+	b1 = b1[:len(c)]
+	b2 = b2[:len(c)]
+	b3 = b3[:len(c)]
+	for j := range c {
+		c[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+	}
 }
 
 func min(a, b int) int {

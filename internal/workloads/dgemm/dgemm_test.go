@@ -178,3 +178,34 @@ func TestModelInfo(t *testing.T) {
 		t.Error("Fig. 4a has 5 sizes")
 	}
 }
+
+// TestAxpy4MatchesScalar pins the dispatching kernel (FMA assembly on
+// CPUs that have it, portable Go elsewhere) against a plain scalar
+// reference across lengths that exercise the 8-wide loop, the 4-wide
+// step, and the scalar tail.
+func TestAxpy4MatchesScalar(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 12, 15, 16, 17, 31, 64, 100} {
+		c := make([]float64, n)
+		want := make([]float64, n)
+		b0 := make([]float64, n)
+		b1 := make([]float64, n)
+		b2 := make([]float64, n)
+		b3 := make([]float64, n)
+		for j := 0; j < n; j++ {
+			c[j] = float64(j%11) - 5
+			want[j] = c[j]
+			b0[j] = float64(j%7) * 0.5
+			b1[j] = float64(j%13) * -0.25
+			b2[j] = float64(j % 3)
+			b3[j] = float64(j%17) * 1.5
+		}
+		a0, a1, a2, a3 := 1.25, -2.5, 0.75, 3.0
+		axpy4(c, b0, b1, b2, b3, a0, a1, a2, a3)
+		for j := 0; j < n; j++ {
+			want[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			if math.Abs(c[j]-want[j]) > 1e-12*math.Abs(want[j])+1e-15 {
+				t.Fatalf("n=%d j=%d: got %v want %v", n, j, c[j], want[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+//go:build amd64
+
+package dgemm
+
+// Implemented in kernel_amd64.s.
+func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// Implemented in kernel_amd64.s.
+func xgetbvAsm() (eax, edx uint32)
+
+// Implemented in kernel_amd64.s.
+//
+//go:noescape
+func axpy4FMA(c, b0, b1, b2, b3 *float64, n int, a0, a1, a2, a3 float64)
+
+// useFMA reports whether the CPU and OS support the AVX2+FMA
+// microkernel (AVX2 and FMA CPUID flags plus OS-enabled YMM state).
+var useFMA = detectFMA()
+
+func detectFMA() bool {
+	maxLeaf, _, _, _ := cpuidAsm(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&fmaBit == 0 || ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	// The OS must save/restore XMM and YMM state across context
+	// switches before AVX may be used.
+	xeax, _ := xgetbvAsm()
+	if xeax&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidAsm(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}
+
+// axpy4 computes c[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j],
+// dispatching to the FMA microkernel when available. The b slices must
+// be at least len(c) long.
+func axpy4(c, b0, b1, b2, b3 []float64, a0, a1, a2, a3 float64) {
+	if useFMA && len(c) >= 4 {
+		m := len(c) &^ 3
+		axpy4FMA(&c[0], &b0[0], &b1[0], &b2[0], &b3[0], m, a0, a1, a2, a3)
+		for j := m; j < len(c); j++ {
+			c[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+		}
+		return
+	}
+	axpy4Go(c, b0, b1, b2, b3, a0, a1, a2, a3)
+}

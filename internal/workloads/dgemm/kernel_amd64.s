@@ -1,0 +1,75 @@
+#include "textflag.h"
+
+// func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func axpy4FMA(c, b0, b1, b2, b3 *float64, n int, a0, a1, a2, a3 float64)
+//
+// c[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j] for j in [0, n).
+// n must be a non-negative multiple of 4. The main loop retires 16
+// flops per iteration on two independent YMM accumulators.
+TEXT ·axpy4FMA(SB), NOSPLIT, $0-80
+	MOVQ c+0(FP), DI
+	MOVQ b0+8(FP), SI
+	MOVQ b1+16(FP), R8
+	MOVQ b2+24(FP), R9
+	MOVQ b3+32(FP), R10
+	MOVQ n+40(FP), CX
+	VBROADCASTSD a0+48(FP), Y0
+	VBROADCASTSD a1+56(FP), Y1
+	VBROADCASTSD a2+64(FP), Y2
+	VBROADCASTSD a3+72(FP), Y3
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+	CMPQ AX, DX
+	JGE  tail4
+
+loop8:
+	VMOVUPD     (DI)(AX*8), Y4
+	VMOVUPD     32(DI)(AX*8), Y5
+	VFMADD231PD (SI)(AX*8), Y0, Y4
+	VFMADD231PD 32(SI)(AX*8), Y0, Y5
+	VFMADD231PD (R8)(AX*8), Y1, Y4
+	VFMADD231PD 32(R8)(AX*8), Y1, Y5
+	VFMADD231PD (R9)(AX*8), Y2, Y4
+	VFMADD231PD 32(R9)(AX*8), Y2, Y5
+	VFMADD231PD (R10)(AX*8), Y3, Y4
+	VFMADD231PD 32(R10)(AX*8), Y3, Y5
+	VMOVUPD     Y4, (DI)(AX*8)
+	VMOVUPD     Y5, 32(DI)(AX*8)
+	ADDQ        $8, AX
+	CMPQ        AX, DX
+	JLT         loop8
+
+tail4:
+	CMPQ AX, CX
+	JGE  done
+	VMOVUPD     (DI)(AX*8), Y4
+	VFMADD231PD (SI)(AX*8), Y0, Y4
+	VFMADD231PD (R8)(AX*8), Y1, Y4
+	VFMADD231PD (R9)(AX*8), Y2, Y4
+	VFMADD231PD (R10)(AX*8), Y3, Y4
+	VMOVUPD     Y4, (DI)(AX*8)
+	ADDQ        $4, AX
+	JMP         tail4
+
+done:
+	VZEROUPPER
+	RET

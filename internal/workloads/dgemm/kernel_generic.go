@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package dgemm
+
+// axpy4 computes c[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j].
+// Non-amd64 builds always take the portable kernel.
+func axpy4(c, b0, b1, b2, b3 []float64, a0, a1, a2, a3 float64) {
+	axpy4Go(c, b0, b1, b2, b3, a0, a1, a2, a3)
+}

@@ -2,7 +2,9 @@ package stream
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Kernel identifies one of the four STREAM kernels. The paper reports
@@ -72,40 +74,85 @@ func Run(k Kernel, a, b, c []float64, scalar float64, threads int) (int64, error
 	if threads > n && n > 0 {
 		threads = n
 	}
-	var wg sync.WaitGroup
+	// Chunk boundaries follow the logical thread count (each element
+	// is written exactly once, so results are partition-independent),
+	// but no more goroutines are spawned than can actually run: extra
+	// ones only add scheduling overhead.
 	chunk := (n + threads - 1) / threads
-	for t := 0; t < threads; t++ {
-		lo := t * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
+	workers := threads
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	var wg sync.WaitGroup
+	var next int64
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func() {
 			defer wg.Done()
-			switch k {
-			case Copy:
-				copy(a[lo:hi], c[lo:hi])
-			case Scale:
-				for i := lo; i < hi; i++ {
-					a[i] = scalar * c[i]
+			for {
+				t := int(atomic.AddInt64(&next, 1)) - 1
+				lo := t * chunk
+				if lo >= n {
+					return
 				}
-			case Add:
-				for i := lo; i < hi; i++ {
-					a[i] = b[i] + c[i]
+				hi := lo + chunk
+				if hi > n {
+					hi = n
 				}
-			default:
-				for i := lo; i < hi; i++ {
-					a[i] = b[i] + scalar*c[i]
-				}
+				runChunk(k, a[lo:hi], b[lo:hi], c[lo:hi], scalar)
 			}
-		}(lo, hi)
+		}()
 	}
 	wg.Wait()
 	return int64(n) * k.BytesPerElement(), nil
+}
+
+// runChunk executes one kernel over aligned sub-slices. The loops are
+// four-way unrolled with slice-length hints so the compiler drops the
+// bounds checks.
+func runChunk(k Kernel, a, b, c []float64, scalar float64) {
+	switch k {
+	case Copy:
+		copy(a, c)
+	case Scale:
+		c = c[:len(a)]
+		i := 0
+		for ; i+3 < len(a); i += 4 {
+			a[i] = scalar * c[i]
+			a[i+1] = scalar * c[i+1]
+			a[i+2] = scalar * c[i+2]
+			a[i+3] = scalar * c[i+3]
+		}
+		for ; i < len(a); i++ {
+			a[i] = scalar * c[i]
+		}
+	case Add:
+		b = b[:len(a)]
+		c = c[:len(a)]
+		i := 0
+		for ; i+3 < len(a); i += 4 {
+			a[i] = b[i] + c[i]
+			a[i+1] = b[i+1] + c[i+1]
+			a[i+2] = b[i+2] + c[i+2]
+			a[i+3] = b[i+3] + c[i+3]
+		}
+		for ; i < len(a); i++ {
+			a[i] = b[i] + c[i]
+		}
+	default:
+		b = b[:len(a)]
+		c = c[:len(a)]
+		i := 0
+		for ; i+3 < len(a); i += 4 {
+			a[i] = b[i] + scalar*c[i]
+			a[i+1] = b[i+1] + scalar*c[i+1]
+			a[i+2] = b[i+2] + scalar*c[i+2]
+			a[i+3] = b[i+3] + scalar*c[i+3]
+		}
+		for ; i < len(a); i++ {
+			a[i] = b[i] + scalar*c[i]
+		}
+	}
 }
 
 // Kernels returns all four kernels in STREAM order.

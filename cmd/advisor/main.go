@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -17,12 +19,27 @@ import (
 )
 
 func main() {
-	patternStr := flag.String("pattern", "sequential", "access pattern: sequential|random")
-	sizeStr := flag.String("size", "8GB", "working-set size")
-	threads := flag.Int("threads", 64, "baseline thread count")
-	ht := flag.Bool("ht", false, "application scales past one thread per core")
-	latHide := flag.Bool("latency-hiding", false, "random accesses are independent (HT can pipeline them)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h/--help already printed usage; exit 0
+		}
+		fmt.Fprintln(os.Stderr, "advisor:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("advisor", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	patternStr := fs.String("pattern", "sequential", "access pattern: sequential|random")
+	sizeStr := fs.String("size", "8GB", "working-set size")
+	threads := fs.Int("threads", 64, "baseline thread count")
+	ht := fs.Bool("ht", false, "application scales past one thread per core")
+	latHide := fs.Bool("latency-hiding", false, "random accesses are independent (HT can pipeline them)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var pattern core.AccessPattern
 	switch *patternStr {
@@ -31,27 +48,24 @@ func main() {
 	case "random":
 		pattern = core.RandomPattern
 	default:
-		fmt.Fprintf(os.Stderr, "advisor: unknown pattern %q\n", *patternStr)
-		os.Exit(2)
+		return fmt.Errorf("unknown pattern %q (sequential|random)", *patternStr)
 	}
 	size, err := units.ParseBytes(*sizeStr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "advisor:", err)
-		os.Exit(2)
+		return err
 	}
 	sys, err := core.NewSystem()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "advisor:", err)
-		os.Exit(1)
+		return err
 	}
 	rec, err := sys.Advise(core.AppProfile{
 		Pattern: pattern, WorkingSet: size, Threads: *threads,
 		CanUseHT: *ht, LatencyHide: *latHide,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "advisor:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("profile: %s access, %v working set, %d baseline threads\n", pattern, size, *threads)
-	fmt.Print(rec.String())
+	fmt.Fprintf(stdout, "profile: %s access, %v working set, %d baseline threads\n", pattern, size, *threads)
+	fmt.Fprint(stdout, rec.String())
+	return nil
 }

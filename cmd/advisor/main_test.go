@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), err
+}
+
+func TestSequentialFitsHBM(t *testing.T) {
+	out, err := runCmd(t, "-pattern", "sequential", "-size", "8GB", "-ht")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "HBM") {
+		t.Errorf("sequential 8GB should recommend HBM:\n%s", out)
+	}
+	if !strings.Contains(out, "recommended configuration") {
+		t.Errorf("missing recommendation line:\n%s", out)
+	}
+}
+
+func TestRandomSingleThreadPrefersDRAM(t *testing.T) {
+	out, err := runCmd(t, "-pattern", "random", "-size", "8GB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "DRAM") {
+		t.Errorf("random without HT should recommend DRAM:\n%s", out)
+	}
+}
+
+func TestRandomLatencyHidingPrefersHBM(t *testing.T) {
+	out, err := runCmd(t, "-pattern", "random", "-size", "5.6GB", "-ht", "-latency-hiding")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "HBM") {
+		t.Errorf("random + latency hiding should recommend HBM:\n%s", out)
+	}
+}
+
+func TestOversizedWorkingSetPrefersInterleave(t *testing.T) {
+	out, err := runCmd(t, "-pattern", "sequential", "-size", "100GB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Interleave") {
+		t.Errorf("working set beyond DRAM should interleave:\n%s", out)
+	}
+}
+
+func TestErrorsReturned(t *testing.T) {
+	cases := [][]string{
+		{"-pattern", "diagonal"},
+		{"-size", "wat"},
+		{"-size", "1000GB"}, // exceeds node memory entirely
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		if _, err := runCmd(t, args...); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}

@@ -7,8 +7,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -18,89 +20,86 @@ import (
 	"repro/internal/workload"
 )
 
-// chipForSKU selects a machine preset by marketing number.
-func chipForSKU(sku string) (knl.ChipSpec, error) {
-	switch sku {
-	case "7210", "":
-		return knl.KNL7210(), nil
-	case "7230":
-		return knl.KNL7230(), nil
-	case "7250":
-		return knl.KNL7250(), nil
-	case "7290":
-		return knl.KNL7290(), nil
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h/--help already printed usage; exit 0
+		}
+		fmt.Fprintln(os.Stderr, "knlsim:", err)
+		os.Exit(1)
 	}
-	return knl.ChipSpec{}, fmt.Errorf("unknown SKU %q (7210|7230|7250|7290)", sku)
 }
 
-func main() {
-	wl := flag.String("workload", "STREAM", "workload name (STREAM, TinyMemBench, DGEMM, MiniFE, GUPS, Graph500, XSBench)")
-	cfgStr := flag.String("config", "dram", "memory configuration: dram|hbm|cache|interleave|hybrid:F")
-	sizeStr := flag.String("size", "8GB", "problem size (workload-specific meaning)")
-	threads := flag.Int("threads", 64, "total OpenMP-style threads")
-	sweep := flag.Bool("sweep-threads", false, "sweep 64/128/192/256 threads")
-	list := flag.Bool("list", false, "list workloads and exit")
-	sku := flag.String("sku", "7210", "KNL SKU: 7210 (testbed) | 7230 | 7250 | 7290")
-	flag.Parse()
+// run is the testable body of the command: flag parsing and execution
+// with errors returned instead of os.Exit buried in helpers.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("knlsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wl := fs.String("workload", "STREAM", "workload name (STREAM, TinyMemBench, DGEMM, MiniFE, GUPS, Graph500, XSBench)")
+	cfgStr := fs.String("config", "dram", "memory configuration: dram|hbm|cache|interleave|hybrid:F")
+	sizeStr := fs.String("size", "8GB", "problem size (workload-specific meaning)")
+	threads := fs.Int("threads", 64, "total OpenMP-style threads")
+	sweep := fs.Bool("sweep-threads", false, "sweep 64/128/192/256 threads")
+	list := fs.Bool("list", false, "list workloads and exit")
+	sku := fs.String("sku", "7210", "KNL SKU: 7210 (testbed) | 7230 | 7250 | 7290")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	sys, err := core.NewSystem()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *sku != "7210" {
-		chip, err := chipForSKU(*sku)
+		chip, err := knl.ChipForSKU(*sku)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		mach, err := engine.NewMachine(chip)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		sys.Machine = mach
 	}
 	if *list {
-		fmt.Printf("%-14s %-15s %-12s %-10s %s\n", "name", "type", "pattern", "max scale", "metric")
+		fmt.Fprintf(stdout, "%-14s %-15s %-12s %-10s %s\n", "name", "type", "pattern", "max scale", "metric")
 		for _, m := range sys.Workloads() {
 			i := m.Info()
-			fmt.Printf("%-14s %-15s %-12s %-10s %s\n", i.Name, i.Class, i.Pattern, i.MaxScale, i.Metric)
+			fmt.Fprintf(stdout, "%-14s %-15s %-12s %-10s %s\n", i.Name, i.Class, i.Pattern, i.MaxScale, i.Metric)
 		}
-		return
+		return nil
 	}
 
 	cfg, err := engine.ParseConfig(*cfgStr)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	size, err := units.ParseBytes(*sizeStr)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	mdl, err := sys.Workload(*wl)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	info := mdl.Info()
-	fmt.Printf("machine: %s | workload: %s | size: %v | config: %v (numactl --%v)\n",
+	fmt.Fprintf(stdout, "machine: %s | workload: %s | size: %v | config: %v (numactl --%v)\n",
 		sys.Machine.Chip.Name, info.Name, size, cfg, core.PlacementPolicy(cfg))
 
-	run := func(th int) {
+	runOne := func(th int) {
 		v, err := mdl.Predict(sys.Machine, cfg, size, th)
 		if err != nil {
-			fmt.Printf("  threads=%-4d %s: not measurable (%v)\n", th, info.Metric, err)
+			fmt.Fprintf(stdout, "  threads=%-4d %s: not measurable (%v)\n", th, info.Metric, err)
 			return
 		}
-		fmt.Printf("  threads=%-4d %s: %.4g\n", th, info.Metric, v)
+		fmt.Fprintf(stdout, "  threads=%-4d %s: %.4g\n", th, info.Metric, v)
 	}
 	if *sweep {
 		for _, th := range workload.PaperThreads() {
-			run(th)
+			runOne(th)
 		}
-		return
+		return nil
 	}
-	run(*threads)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "knlsim:", err)
-	os.Exit(1)
+	runOne(*threads)
+	return nil
 }

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+func runCmd(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), err
+}
+
+func TestList(t *testing.T) {
+	out, err := runCmd(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wl := range []string{"STREAM", "TinyMemBench", "DGEMM", "MiniFE", "GUPS", "Graph500", "XSBench"} {
+		if !strings.Contains(out, wl) {
+			t.Errorf("-list output missing %s:\n%s", wl, out)
+		}
+	}
+}
+
+func TestSingleRunMatchesPredict(t *testing.T) {
+	out, err := runCmd(t, "-workload", "STREAM", "-config", "hbm", "-size", "8GB", "-threads", "64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sys.Predict("STREAM", engine.HBM, units.GB(8), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, fmt.Sprintf("%.4g", want)) {
+		t.Errorf("output does not contain Predict value %.4g:\n%s", want, out)
+	}
+}
+
+func TestThreadSweep(t *testing.T) {
+	out, err := runCmd(t, "-workload", "XSBench", "-config", "cache", "-size", "5.6GB", "-sweep-threads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range []string{"threads=64", "threads=128", "threads=192", "threads=256"} {
+		if !strings.Contains(out, th) {
+			t.Errorf("sweep output missing %s:\n%s", th, out)
+		}
+	}
+}
+
+func TestNotMeasurableReported(t *testing.T) {
+	// DGEMM at 256 threads matches the paper's unrunnable configuration
+	// and must be reported, not fail the command.
+	out, err := runCmd(t, "-workload", "DGEMM", "-config", "hbm", "-size", "6GB", "-threads", "256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "not measurable") {
+		t.Errorf("expected a not-measurable line:\n%s", out)
+	}
+}
+
+func TestAlternativeSKU(t *testing.T) {
+	out, err := runCmd(t, "-sku", "7250", "-workload", "STREAM", "-config", "hbm", "-size", "4GB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "7250") {
+		t.Errorf("machine banner missing SKU:\n%s", out)
+	}
+}
+
+func TestHelpIsNotAnOrdinaryError(t *testing.T) {
+	// main() exits 0 on -h by special-casing flag.ErrHelp; run() must
+	// surface exactly that sentinel.
+	var stdout, stderr strings.Builder
+	err := run([]string{"-h"}, &stdout, &stderr)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(stderr.String(), "-workload") {
+		t.Error("usage text not printed")
+	}
+}
+
+func TestErrorsReturned(t *testing.T) {
+	cases := [][]string{
+		{"-workload", "NoSuch"},
+		{"-config", "bogus"},
+		{"-size", "wat"},
+		{"-sku", "9999"},
+		{"-definitely-not-a-flag"},
+	}
+	for _, args := range cases {
+		if _, err := runCmd(t, args...); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}

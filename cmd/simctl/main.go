@@ -1,0 +1,320 @@
+// Command simctl is the shell client of the simd simulation service:
+//
+//	simctl -addr http://127.0.0.1:8077 workloads
+//	simctl run -workload STREAM -config hbm -size 8GB -threads 128
+//	simctl campaign -workloads STREAM,GUPS -configs dram,hbm,cache \
+//	    -sizes 2GB,8GB,24GB -threads 64,128
+//	simctl campaign -spec sweep.json -async
+//	simctl campaign -experiments all
+//	simctl job j000001
+//
+// Campaign submissions stream the job's progress to stderr and render
+// the aggregate tables to stdout when the sweep completes.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h/--help already printed usage; exit 0
+		}
+		fmt.Fprintln(os.Stderr, "simctl:", err)
+		os.Exit(1)
+	}
+}
+
+const usage = `usage: simctl [-addr URL] <workloads|experiments|run|campaign|job> [flags]`
+
+// run dispatches the subcommands; it is the testable body of the
+// command.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("simctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", envOr("SIMD_ADDR", "http://127.0.0.1:8077"), "simd base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("%s", usage)
+	}
+	client := service.NewClient(*addr)
+	ctx := context.Background()
+	switch rest[0] {
+	case "workloads":
+		return cmdWorkloads(ctx, client, stdout)
+	case "experiments":
+		return cmdExperiments(ctx, client, stdout)
+	case "run":
+		return cmdRun(ctx, client, rest[1:], stdout, stderr)
+	case "campaign":
+		return cmdCampaign(ctx, client, rest[1:], stdout, stderr)
+	case "job":
+		return cmdJob(ctx, client, rest[1:], stdout)
+	}
+	return fmt.Errorf("unknown subcommand %q\n%s", rest[0], usage)
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+func cmdWorkloads(ctx context.Context, c *service.Client, stdout io.Writer) error {
+	wls, err := c.Workloads(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%-14s %-15s %-12s %-10s %s\n", "name", "type", "pattern", "max scale", "metric")
+	for _, w := range wls {
+		fmt.Fprintf(stdout, "%-14s %-15s %-12s %-10s %s\n", w.Name, w.Class, w.Pattern, w.MaxScale, w.Metric)
+	}
+	return nil
+}
+
+func cmdExperiments(ctx context.Context, c *service.Client, stdout io.Writer) error {
+	exps, err := c.Experiments(ctx)
+	if err != nil {
+		return err
+	}
+	for _, e := range exps {
+		fmt.Fprintf(stdout, "%-10s %s\n", e.ID, e.Title)
+	}
+	return nil
+}
+
+func cmdRun(ctx context.Context, c *service.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("simctl run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wl := fs.String("workload", "", "workload name")
+	cfg := fs.String("config", "dram", "memory configuration: dram|hbm|cache|interleave|hybrid:F")
+	size := fs.String("size", "8GB", "problem size")
+	threads := fs.Int("threads", 64, "thread count")
+	sku := fs.String("sku", "", "KNL SKU (default 7210)")
+	fidelity := fs.String("fidelity", "", "execution fidelity: model (default) | trace")
+	asJSON := fs.Bool("json", false, "print the raw JSON response")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := c.Run(ctx, service.RunRequest{
+		Workload: *wl, Config: *cfg, Size: *size, Threads: *threads, SKU: *sku, Fidelity: *fidelity,
+	})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return printJSON(stdout, resp)
+	}
+	tag := ""
+	if resp.Cached {
+		tag = " (cached)"
+	}
+	if resp.Unavailable != "" {
+		fmt.Fprintf(stdout, "%s %s %s threads=%d: not measurable (%s)%s\n",
+			resp.Workload, resp.Config, resp.Size, resp.Threads, resp.Unavailable, tag)
+		return nil
+	}
+	fmt.Fprintf(stdout, "%s %s %s threads=%d: %s = %.4g%s\n",
+		resp.Workload, resp.Config, resp.Size, resp.Threads, resp.Metric, resp.Value, tag)
+	return nil
+}
+
+// parseList splits a comma list, dropping empties.
+func parseList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range parseList(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad thread count %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func cmdCampaign(ctx context.Context, c *service.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("simctl campaign", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	specPath := fs.String("spec", "", "JSON campaign spec file (flags below override its axes)")
+	name := fs.String("name", "", "campaign name")
+	workloads := fs.String("workloads", "", "comma-separated workload names")
+	configs := fs.String("configs", "", "comma-separated memory configurations")
+	sizes := fs.String("sizes", "", "comma-separated problem sizes")
+	gridFrom := fs.String("grid-from", "", "geometric size grid start")
+	gridTo := fs.String("grid-to", "", "geometric size grid end")
+	gridPoints := fs.Int("grid-points", 0, "geometric size grid point count")
+	threads := fs.String("threads", "", "comma-separated thread counts (default 64)")
+	experiments := fs.String("experiments", "", "comma-separated paper experiment IDs, or 'all'")
+	sku := fs.String("sku", "", "KNL SKU (default 7210)")
+	fidelity := fs.String("fidelity", "", "execution fidelity: model (default) | trace")
+	async := fs.Bool("async", false, "submit and print the job ID without waiting")
+	asJSON := fs.Bool("json", false, "print the raw JSON result")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var spec campaign.Spec
+	if *specPath != "" {
+		buf, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(buf, &spec); err != nil {
+			return fmt.Errorf("spec %s: %w", *specPath, err)
+		}
+	}
+	if *name != "" {
+		spec.Name = *name
+	}
+	if *workloads != "" {
+		spec.Workloads = parseList(*workloads)
+	}
+	if *configs != "" {
+		spec.Configs = parseList(*configs)
+	}
+	if *sizes != "" {
+		spec.Sizes = parseList(*sizes)
+	}
+	if *gridFrom != "" || *gridTo != "" || *gridPoints > 0 {
+		// Merge with a spec file's grid so a single flag can adjust
+		// one axis of it.
+		grid := campaign.Grid{}
+		if spec.SizeGrid != nil {
+			grid = *spec.SizeGrid
+		}
+		if *gridFrom != "" {
+			grid.From = *gridFrom
+		}
+		if *gridTo != "" {
+			grid.To = *gridTo
+		}
+		if *gridPoints > 0 {
+			grid.Points = *gridPoints
+		}
+		spec.SizeGrid = &grid
+	}
+	if *threads != "" {
+		th, err := parseInts(*threads)
+		if err != nil {
+			return err
+		}
+		spec.Threads = th
+	}
+	if *experiments != "" {
+		spec.Experiments = parseList(*experiments)
+	}
+	if *sku != "" {
+		spec.SKU = *sku
+	}
+	if *fidelity != "" {
+		spec.Fidelity = *fidelity
+	}
+
+	resp, err := c.SubmitCampaign(ctx, spec, false)
+	if err != nil {
+		return err
+	}
+	if *async {
+		fmt.Fprintf(stdout, "job %s submitted (%s)\n", resp.Job.ID, resp.Job.State)
+		return nil
+	}
+
+	// Follow the progress stream, then fetch the result.
+	err = c.StreamJob(ctx, resp.Job.ID, func(info service.JobInfo) {
+		if info.Total > 0 {
+			fmt.Fprintf(stderr, "\rjob %s: %s %d/%d", info.ID, info.State, info.Done, info.Total)
+		} else {
+			fmt.Fprintf(stderr, "\rjob %s: %s", info.ID, info.State)
+		}
+	})
+	fmt.Fprintln(stderr)
+	if err != nil {
+		return err
+	}
+	final, err := c.WaitResult(ctx, resp.Job.ID)
+	if err != nil {
+		return err
+	}
+	if final.Job.State == service.JobFailed {
+		return fmt.Errorf("campaign failed: %s", final.Job.Error)
+	}
+	if *asJSON {
+		return printJSON(stdout, final.Result)
+	}
+	return renderResult(stdout, final.Result)
+}
+
+func renderResult(stdout io.Writer, res *service.CampaignResult) error {
+	if res == nil {
+		return fmt.Errorf("no result returned")
+	}
+	from := "computed"
+	if res.Cached {
+		from = "served from campaign cache"
+	}
+	fmt.Fprintf(stdout, "campaign %s: %d points (%d before dedup), %d point-cache hits, %.3g ms, %s\n",
+		shortKey(res.Key), res.Points, res.Expanded, res.CacheHits, res.ElapsedMS, from)
+	for _, tbl := range res.Tables {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, tbl)
+	}
+	for _, e := range res.Experiments {
+		fmt.Fprintln(stdout)
+		if e.Error != "" {
+			fmt.Fprintf(stdout, "%s: error: %s\n", e.ID, e.Error)
+			continue
+		}
+		fmt.Fprint(stdout, e.Rendered)
+	}
+	return nil
+}
+
+func shortKey(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	return k
+}
+
+func cmdJob(ctx context.Context, c *service.Client, args []string, stdout io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: simctl job <id>")
+	}
+	resp, err := c.Job(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	return printJSON(stdout, resp)
+}
+
+func printJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/service"
+)
+
+// startServer runs a full service over httptest and returns its URL.
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv := service.NewServer(service.Options{Workers: 4, QueueDepth: 64})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = srv.Close(context.Background())
+	})
+	return ts.URL
+}
+
+func runCLI(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), err
+}
+
+func TestWorkloadsSubcommand(t *testing.T) {
+	url := startServer(t)
+	out, _, err := runCLI(t, "-addr", url, "workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wl := range []string{"STREAM", "DGEMM", "MiniFE", "GUPS", "Graph500", "XSBench", "TinyMemBench"} {
+		if !strings.Contains(out, wl) {
+			t.Errorf("workloads output missing %s:\n%s", wl, out)
+		}
+	}
+}
+
+func TestExperimentsSubcommand(t *testing.T) {
+	url := startServer(t)
+	out, _, err := runCLI(t, "-addr", url, "experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fig2") || !strings.Contains(out, "table1") {
+		t.Errorf("experiments output:\n%s", out)
+	}
+}
+
+func TestRunSubcommand(t *testing.T) {
+	url := startServer(t)
+	out, _, err := runCLI(t, "-addr", url, "run",
+		"-workload", "STREAM", "-config", "hbm", "-size", "8GB", "-threads", "64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "GB/s =") {
+		t.Errorf("run output:\n%s", out)
+	}
+	// Second identical run must be marked cached.
+	out, _, err = runCLI(t, "-addr", url, "run",
+		"-workload", "STREAM", "-config", "hbm", "-size", "8GB", "-threads", "64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(cached)") {
+		t.Errorf("repeat run not cached:\n%s", out)
+	}
+}
+
+func TestCampaignSubcommandFlags(t *testing.T) {
+	url := startServer(t)
+	out, progress, err := runCLI(t, "-addr", url, "campaign",
+		"-workloads", "STREAM,GUPS",
+		"-configs", "dram,hbm,cache",
+		"-sizes", "2GB,8GB,24GB",
+		"-threads", "64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "18 points") {
+		t.Errorf("campaign summary wrong:\n%s", out)
+	}
+	for _, want := range []string{"STREAM, 64 threads", "GUPS, 64 threads", "DRAM", "HBM", "Cache Mode", "best"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("campaign tables missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(progress, "done") {
+		t.Errorf("no progress stream on stderr:\n%s", progress)
+	}
+	// Resubmission must report the campaign cache.
+	out, _, err = runCLI(t, "-addr", url, "campaign",
+		"-workloads", "GUPS,STREAM", // reordered: same campaign key
+		"-configs", "cache,hbm,dram",
+		"-sizes", "24GB,8GB,2GB",
+		"-threads", "64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "served from campaign cache") {
+		t.Errorf("resubmission not served from cache:\n%s", out)
+	}
+}
+
+func TestCampaignSubcommandSpecFile(t *testing.T) {
+	url := startServer(t)
+	spec := campaign.Spec{
+		Name:      "from-file",
+		Workloads: []string{"XSBench"},
+		Configs:   []string{"dram", "hbm"},
+		SizeGrid:  &campaign.Grid{From: "1GB", To: "4GB", Points: 3},
+	}
+	buf, _ := json.Marshal(spec)
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runCLI(t, "-addr", url, "campaign", "-spec", path, "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res service.CampaignResult
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("bad -json output: %v\n%s", err, out)
+	}
+	if res.Points != 6 || res.Name != "from-file" {
+		t.Fatalf("result %+v", res)
+	}
+
+	// A single grid flag merges with the file's grid instead of
+	// replacing it: -grid-points 4 keeps the file's from/to bounds.
+	out, _, err = runCLI(t, "-addr", url, "campaign", "-spec", path, "-grid-points", "4", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res4 service.CampaignResult
+	if err := json.Unmarshal([]byte(out), &res4); err != nil {
+		t.Fatalf("bad -json output: %v\n%s", err, out)
+	}
+	if res4.Points != 8 { // 1 workload x 2 configs x 4 grid points
+		t.Fatalf("grid-points override: points = %d, want 8", res4.Points)
+	}
+}
+
+func TestCampaignAsyncAndJobSubcommand(t *testing.T) {
+	url := startServer(t)
+	out, _, err := runCLI(t, "-addr", url, "campaign",
+		"-workloads", "STREAM", "-configs", "dram", "-sizes", "1GB", "-async")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := strings.Fields(out)
+	if len(fields) < 2 || fields[0] != "job" {
+		t.Fatalf("async output: %q", out)
+	}
+	id := fields[1]
+	// Poll until terminal via the job subcommand.
+	deadlineOut := ""
+	for i := 0; i < 200; i++ {
+		jout, _, err := runCLI(t, "-addr", url, "job", id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadlineOut = jout
+		if strings.Contains(jout, `"state": "done"`) {
+			return
+		}
+	}
+	t.Fatalf("job never completed:\n%s", deadlineOut)
+}
+
+func TestExperimentCampaign(t *testing.T) {
+	url := startServer(t)
+	out, _, err := runCLI(t, "-addr", url, "campaign", "-experiments", "table1,latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "TABLE1") || !strings.Contains(out, "LATENCY") {
+		t.Errorf("experiment campaign output:\n%s", out)
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	url := startServer(t)
+	if _, _, err := runCLI(t, "-addr", url); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if _, _, err := runCLI(t, "-addr", url, "frobnicate"); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if _, _, err := runCLI(t, "-addr", url, "run", "-workload", "NoSuch", "-config", "dram", "-size", "1GB"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, _, err := runCLI(t, "-addr", url, "job"); err == nil {
+		t.Error("job without id accepted")
+	}
+	if _, _, err := runCLI(t, "-addr", url, "campaign", "-threads", "abc"); err == nil {
+		t.Error("bad threads accepted")
+	}
+}

@@ -1,0 +1,99 @@
+// Command simd hosts the simulation service: the paper's what-if
+// queries and campaign sweeps behind an HTTP JSON API with a bounded
+// job queue, content-addressed result caching, /metrics and /healthz.
+//
+//	simd -addr 127.0.0.1:8077 -workers 8
+//
+// Endpoints:
+//
+//	GET  /healthz                 liveness
+//	GET  /metrics                 Prometheus text metrics
+//	GET  /v1/workloads            registered workloads
+//	GET  /v1/experiments          paper experiments
+//	POST /v1/run                  one synchronous prediction
+//	POST /v1/campaigns[?wait=1]   submit a declarative sweep
+//	GET  /v1/jobs/{id}            poll a job
+//	GET  /v1/jobs/{id}/result     block for a job's result
+//	GET  /v1/jobs/{id}/stream     NDJSON progress feed
+//
+// Use cmd/simctl to talk to it from the shell.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h/--help already printed usage; exit 0
+		}
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command: it serves until the
+// context delivered by signal.NotifyContext (or flag errors) end it.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("simd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8077", "listen address")
+	workers := fs.Int("workers", 0, "job workers and per-campaign fan-out (0: GOMAXPROCS)")
+	depth := fs.Int("queue", 256, "pending job queue depth")
+	cacheSize := fs.Int("cache", 0, "result cache bound in entries (0: default 64k)")
+	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := service.NewServer(service.Options{
+		Workers:    *workers,
+		QueueDepth: *depth,
+		CacheSize:  *cacheSize,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(stdout, "simd: serving on http://%s\n", ln.Addr())
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "simd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain connections: %w", err)
+	}
+	if err := srv.Close(shutdownCtx); err != nil {
+		return fmt.Errorf("drain job queue: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(stdout, "simd: bye")
+	return nil
+}

@@ -52,4 +52,38 @@
 // the pre-optimisation numbers, BENCH_FAST.json the numbers after the
 // fast-path work (same machine, 1 CPU). CI runs a -benchtime=1x smoke
 // of the same benchmarks so regressions fail loudly.
+//
+// # Service architecture
+//
+// Everything above is also servable. internal/service wraps the run
+// path (core.System -> engine/workload Predict, the harness
+// experiments, and a trace-fidelity mode that replays pattern-shaped
+// streams through the functional cache hierarchy) behind an HTTP JSON
+// API hosted by cmd/simd and spoken to by cmd/simctl or
+// service.Client:
+//
+//   - Content-addressed result cache. Every request resolves to a
+//     canonical campaign.Point whose SHA-256 key ignores spelling
+//     ("8GB" == "8192MB", "hbm" == "MCDRAM"); outcomes are cached
+//     under that key with singleflight semantics, so repeated sweep
+//     points are free and concurrent duplicates compute once. Whole
+//     campaigns are content-addressed the same way (sorted point
+//     keys), so resubmitting a sweep returns the aggregated result
+//     without touching a single point (>= 10x, measured >1000x for
+//     trace campaigns — BENCH_SERVE.json).
+//   - Bounded job queue. POST /v1/campaigns enqueues onto a fixed
+//     worker pool (the PR-1 harness pool pattern made long-lived);
+//     the pending queue is bounded and overflow returns 503. Jobs
+//     expose polling (GET /v1/jobs/{id}), blocking result fetch
+//     (/result) and an NDJSON progress stream (/stream).
+//   - Declarative campaigns. internal/campaign expands workload x
+//     config x size-grid x thread grids into deduplicated point sets
+//     and aggregates outcomes into per-workload tables; the paper's
+//     experiments are servable alongside ("experiments": ["all"]).
+//   - Operations. /healthz, Prometheus-text /metrics (request,
+//     cache, queue counters), and graceful shutdown that drains HTTP
+//     connections and then the job queue.
+//
+// See examples/service for programmatic submission against an
+// in-process server, and BENCH_SERVE.json for the serving baselines.
 package repro

@@ -1,0 +1,69 @@
+// Example service demonstrates programmatic campaign submission
+// against an in-process simulation server: the same service.Server
+// that cmd/simd hosts, mounted on an httptest listener, driven
+// through service.Client — no external process needed.
+//
+//	go run ./examples/service
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"repro/internal/campaign"
+	"repro/internal/service"
+)
+
+func main() {
+	// An in-process server: the full service (queue, caches, metrics)
+	// behind a loopback listener.
+	srv := service.NewServer(service.Options{Workers: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		_ = srv.Close(context.Background())
+	}()
+	client := service.NewClient(ts.URL)
+	ctx := context.Background()
+
+	// One synchronous what-if query.
+	one, err := client.Run(ctx, service.RunRequest{
+		Workload: "MiniFE", Config: "hbm", Size: "7.2GB", Threads: 192,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single run: MiniFE on HBM at 7.2GB/192t -> %.0f %s\n\n", one.Value, one.Metric)
+
+	// A declarative campaign: the paper's Fig. 4-style sweep as one
+	// submission. wait=true blocks until the aggregate tables exist.
+	spec := campaign.Spec{
+		Name:      "fig4-style sweep",
+		Workloads: []string{"DGEMM", "XSBench"},
+		Configs:   []string{"dram", "hbm", "cache"},
+		SizeGrid:  &campaign.Grid{From: "1GB", To: "16GB", Points: 5},
+		Threads:   []int{64},
+	}
+	resp, err := client.SubmitCampaign(ctx, spec, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := resp.Result
+	fmt.Printf("campaign %q: %d points, %d point-cache hits, %.3g ms\n",
+		spec.Name, res.Points, res.CacheHits, res.ElapsedMS)
+	for _, tbl := range res.Tables {
+		fmt.Println()
+		fmt.Print(tbl)
+	}
+
+	// Resubmit the identical sweep: the content-addressed campaign
+	// cache serves it without recomputing a single point.
+	again, err := client.SubmitCampaign(ctx, spec, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nresubmission served from cache: %v (%.3g ms)\n",
+		again.Result.Cached, again.Result.ElapsedMS)
+}

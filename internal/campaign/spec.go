@@ -1,0 +1,254 @@
+// Package campaign turns declarative sweep specifications — workload x
+// memory configuration x problem-size grid x thread grid — into
+// deduplicated sets of fully-resolved simulation points, and renders
+// the collected outcomes as the aggregate tables a what-if study
+// reads.
+//
+// A campaign is the paper's recurring workload shape: "what does
+// workload W at size S under configuration C and T threads cost, and
+// which mode should I pick?" asked over a whole grid at once. The
+// package is transport-agnostic; internal/service executes campaigns
+// behind its HTTP API and cmd/simctl submits them.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+// DefaultSKU is the machine preset used when a spec names none: the
+// paper's testbed chip.
+const DefaultSKU = "7210"
+
+// Fidelity levels: how a point is executed.
+const (
+	// FidelityModel evaluates the analytic performance model
+	// (sub-microsecond; the paper's figures).
+	FidelityModel = "model"
+	// FidelityTrace replays a pattern-shaped synthetic trace through
+	// the functional cache hierarchy (milliseconds per point; the
+	// expensive queries the result cache amortizes). The replay is a
+	// single access stream, so trace points are thread-independent:
+	// Expand canonicalizes their Threads to 0 and a thread grid
+	// collapses to one point per (workload, config, size).
+	FidelityTrace = "trace"
+)
+
+// normalizeFidelity maps the empty string to FidelityModel and
+// rejects unknown levels.
+func normalizeFidelity(f string) (string, error) {
+	switch f {
+	case "", FidelityModel:
+		return FidelityModel, nil
+	case FidelityTrace:
+		return FidelityTrace, nil
+	}
+	return "", fmt.Errorf("campaign: unknown fidelity %q (model|trace)", f)
+}
+
+// Grid is a geometric problem-size axis: Points sizes spaced evenly in
+// log-space from From to To inclusive. It is the declarative
+// alternative to listing Sizes explicitly.
+type Grid struct {
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Points int    `json:"points"`
+}
+
+// Spec is a declarative sweep: the cross product of every axis. Sizes
+// and SizeGrid may be combined; both feed the same axis. Experiments
+// optionally names paper experiments (harness IDs, or "all") to run
+// alongside the grid, so the full reproduction is servable as a
+// campaign.
+type Spec struct {
+	Name        string   `json:"name,omitempty"`
+	SKU         string   `json:"sku,omitempty"`
+	Fidelity    string   `json:"fidelity,omitempty"` // model (default) | trace
+	Workloads   []string `json:"workloads,omitempty"`
+	Configs     []string `json:"configs,omitempty"`
+	Sizes       []string `json:"sizes,omitempty"`
+	SizeGrid    *Grid    `json:"size_grid,omitempty"`
+	Threads     []int    `json:"threads,omitempty"`
+	Experiments []string `json:"experiments,omitempty"`
+}
+
+// Point is one fully-resolved simulation request: the unit of
+// execution, caching and deduplication. Two textually different
+// requests ("8GB" vs "8192MB", "hbm" vs "MCDRAM") resolve to the same
+// Point and therefore the same Key.
+type Point struct {
+	Workload string
+	Config   engine.MemoryConfig
+	Size     units.Bytes
+	Threads  int
+	SKU      string
+	Fidelity string // FidelityModel or FidelityTrace
+}
+
+// Key returns the content address of the point: a SHA-256 over its
+// canonical resolved form. Equal points — however they were spelled —
+// hash equal, which is what makes repeated sweep points free.
+func (p Point) Key() string {
+	fid := p.Fidelity
+	if fid == "" {
+		fid = FidelityModel
+	}
+	canon := fmt.Sprintf("w=%s|k=%d|f=%.6f|b=%d|t=%d|sku=%s|fid=%s",
+		p.Workload, int(p.Config.Kind), p.Config.HybridFlatFraction,
+		int64(p.Size), p.Threads, p.SKU, fid)
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:])
+}
+
+// String renders the point for logs and progress lines.
+func (p Point) String() string {
+	return fmt.Sprintf("%s/%v/%v/t%d", p.Workload, p.Config, p.Size, p.Threads)
+}
+
+// expandGrid resolves the geometric size axis.
+func (g Grid) expand() ([]units.Bytes, error) {
+	if g.Points < 2 {
+		return nil, fmt.Errorf("campaign: size grid needs >= 2 points, have %d", g.Points)
+	}
+	from, err := units.ParseBytes(g.From)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: size grid from: %w", err)
+	}
+	to, err := units.ParseBytes(g.To)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: size grid to: %w", err)
+	}
+	if from <= 0 || to <= 0 || to < from {
+		return nil, fmt.Errorf("campaign: size grid [%v, %v] must be positive and ascending", from, to)
+	}
+	ratio := float64(to) / float64(from)
+	out := make([]units.Bytes, g.Points)
+	for i := 0; i < g.Points; i++ {
+		out[i] = units.Bytes(float64(from) * math.Pow(ratio, float64(i)/float64(g.Points-1)))
+	}
+	return out, nil
+}
+
+// Expand validates the spec and resolves it into the deduplicated
+// point set, in deterministic (workload, config, size, threads) grid
+// order. The second return is the raw cross-product count before
+// deduplication, so callers can report how much the content addressing
+// saved.
+func (s Spec) Expand() (points []Point, raw int, err error) {
+	sku := s.SKU
+	if sku == "" {
+		sku = DefaultSKU
+	}
+	fidelity, err := normalizeFidelity(s.Fidelity)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(s.Workloads) == 0 && len(s.Experiments) == 0 {
+		return nil, 0, fmt.Errorf("campaign: spec names no workloads and no experiments")
+	}
+	if len(s.Workloads) == 0 {
+		return nil, 0, nil // experiment-only campaign
+	}
+	if len(s.Configs) == 0 {
+		return nil, 0, fmt.Errorf("campaign: spec names workloads but no memory configurations")
+	}
+	var sizes []units.Bytes
+	for _, sz := range s.Sizes {
+		b, err := units.ParseBytes(sz)
+		if err != nil {
+			return nil, 0, fmt.Errorf("campaign: %w", err)
+		}
+		if b <= 0 {
+			return nil, 0, fmt.Errorf("campaign: size %q must be positive", sz)
+		}
+		sizes = append(sizes, b)
+	}
+	if s.SizeGrid != nil {
+		grid, err := s.SizeGrid.expand()
+		if err != nil {
+			return nil, 0, err
+		}
+		sizes = append(sizes, grid...)
+	}
+	if len(sizes) == 0 {
+		return nil, 0, fmt.Errorf("campaign: spec has no problem sizes (set sizes or size_grid)")
+	}
+	threads := s.Threads
+	if len(threads) == 0 {
+		threads = []int{64}
+	}
+	for _, t := range threads {
+		if t <= 0 {
+			return nil, 0, fmt.Errorf("campaign: thread count %d must be positive", t)
+		}
+	}
+	var cfgs []engine.MemoryConfig
+	for _, raw := range s.Configs {
+		cfg, err := engine.ParseConfig(raw)
+		if err != nil {
+			return nil, 0, fmt.Errorf("campaign: %w", err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+
+	seen := make(map[string]bool)
+	for _, w := range s.Workloads {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			return nil, 0, fmt.Errorf("campaign: empty workload name")
+		}
+		for _, cfg := range cfgs {
+			for _, size := range sizes {
+				for _, th := range threads {
+					raw++
+					if fidelity == FidelityTrace {
+						// Trace replay is a single stream; the thread
+						// axis collapses (dedup below removes the
+						// redundant grid points).
+						th = 0
+					}
+					p := Point{Workload: w, Config: cfg, Size: size, Threads: th, SKU: sku, Fidelity: fidelity}
+					k := p.Key()
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+					points = append(points, p)
+				}
+			}
+		}
+	}
+	return points, raw, nil
+}
+
+// CampaignKey content-addresses a whole campaign: the sorted point
+// keys plus the experiment list and SKU. Two specs that expand to the
+// same work hash equal, so a repeated submission is served from the
+// campaign-level cache without touching a single point.
+func (s Spec) CampaignKey() (string, error) {
+	points, _, err := s.Expand()
+	if err != nil {
+		return "", err
+	}
+	keys := make([]string, 0, len(points)+len(s.Experiments)+1)
+	for _, p := range points {
+		keys = append(keys, p.Key())
+	}
+	sort.Strings(keys)
+	exps := append([]string(nil), s.Experiments...)
+	sort.Strings(exps)
+	sku := s.SKU
+	if sku == "" {
+		sku = DefaultSKU
+	}
+	keys = append(keys, "exps="+strings.Join(exps, ","), "sku="+sku)
+	sum := sha256.Sum256([]byte(strings.Join(keys, "\n")))
+	return hex.EncodeToString(sum[:]), nil
+}

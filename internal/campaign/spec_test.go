@@ -1,0 +1,256 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+func TestExpandGridOrderAndCount(t *testing.T) {
+	spec := Spec{
+		Workloads: []string{"STREAM", "GUPS"},
+		Configs:   []string{"dram", "hbm", "cache"},
+		Sizes:     []string{"2GB", "4GB"},
+		Threads:   []int{64, 128},
+	}
+	points, raw, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 3 * 2 * 2; raw != want || len(points) != want {
+		t.Fatalf("raw=%d points=%d, want %d", raw, len(points), want)
+	}
+	// Deterministic grid order: workload outermost, threads innermost.
+	if points[0].Workload != "STREAM" || points[0].Threads != 64 {
+		t.Fatalf("unexpected first point %+v", points[0])
+	}
+	if points[1].Threads != 128 {
+		t.Fatalf("threads should vary innermost, got %+v", points[1])
+	}
+	for _, p := range points {
+		if p.SKU != DefaultSKU {
+			t.Fatalf("SKU default not applied: %+v", p)
+		}
+	}
+}
+
+func TestExpandDeduplicatesEquivalentSpellings(t *testing.T) {
+	spec := Spec{
+		Workloads: []string{"STREAM"},
+		Configs:   []string{"hbm", "MCDRAM", "flat"}, // one config, three spellings
+		Sizes:     []string{"8GB", "8192MB", "8GiB"}, // one size, three spellings
+	}
+	points, raw, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != 9 {
+		t.Fatalf("raw cross product = %d, want 9", raw)
+	}
+	if len(points) != 1 {
+		t.Fatalf("deduplicated points = %d, want 1", len(points))
+	}
+	if points[0].Config != engine.HBM || points[0].Size != units.GB(8) {
+		t.Fatalf("canonical point wrong: %+v", points[0])
+	}
+}
+
+func TestPointKeyStability(t *testing.T) {
+	a := Point{Workload: "DGEMM", Config: engine.HBM, Size: units.GB(6), Threads: 64, SKU: "7210"}
+	b := Point{Workload: "DGEMM", Config: engine.HBM, Size: units.GB(6), Threads: 64, SKU: "7210"}
+	if a.Key() != b.Key() {
+		t.Fatal("equal points must hash equal")
+	}
+	c := a
+	c.Threads = 128
+	if a.Key() == c.Key() {
+		t.Fatal("different threads must hash differently")
+	}
+	e := a
+	e.Fidelity = FidelityTrace
+	if a.Key() == e.Key() {
+		t.Fatal("different fidelity must hash differently")
+	}
+	// The zero fidelity is canonicalized to model.
+	f := a
+	f.Fidelity = FidelityModel
+	if a.Key() != f.Key() {
+		t.Fatal("empty fidelity must hash as model")
+	}
+	d := a
+	d.Config = engine.MemoryConfig{Kind: engine.Hybrid, HybridFlatFraction: 0.5}
+	if a.Key() == d.Key() {
+		t.Fatal("different config must hash differently")
+	}
+}
+
+func TestSizeGridGeometric(t *testing.T) {
+	spec := Spec{
+		Workloads: []string{"STREAM"},
+		Configs:   []string{"dram"},
+		SizeGrid:  &Grid{From: "1GB", To: "16GB", Points: 5},
+	}
+	points, _, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("grid points = %d, want 5", len(points))
+	}
+	if points[0].Size != units.GB(1) {
+		t.Fatalf("grid start %v, want 1 GiB", points[0].Size)
+	}
+	last := points[4].Size
+	if last < units.GB(15.99) || last > units.GB(16.01) {
+		t.Fatalf("grid end %v, want ~16 GiB", last)
+	}
+	// Geometric spacing: each step doubles for a 1..16 5-point grid.
+	for i := 1; i < 5; i++ {
+		ratio := float64(points[i].Size) / float64(points[i-1].Size)
+		if ratio < 1.99 || ratio > 2.01 {
+			t.Fatalf("step %d ratio %.3f, want ~2", i, ratio)
+		}
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	cases := []Spec{
+		{},
+		{Workloads: []string{"STREAM"}},
+		{Workloads: []string{"STREAM"}, Configs: []string{"dram"}},
+		{Workloads: []string{"STREAM"}, Configs: []string{"nope"}, Sizes: []string{"1GB"}},
+		{Workloads: []string{"STREAM"}, Configs: []string{"dram"}, Sizes: []string{"bogus"}},
+		{Workloads: []string{"STREAM"}, Configs: []string{"dram"}, Sizes: []string{"1GB"}, Threads: []int{0}},
+		{Workloads: []string{""}, Configs: []string{"dram"}, Sizes: []string{"1GB"}},
+		{Workloads: []string{"STREAM"}, Configs: []string{"dram"}, SizeGrid: &Grid{From: "4GB", To: "1GB", Points: 3}},
+		{Workloads: []string{"STREAM"}, Configs: []string{"dram"}, SizeGrid: &Grid{From: "1GB", To: "4GB", Points: 1}},
+		{Workloads: []string{"STREAM"}, Configs: []string{"dram"}, Sizes: []string{"1GB"}, Fidelity: "quantum"},
+	}
+	for i, spec := range cases {
+		if _, _, err := spec.Expand(); err == nil {
+			t.Errorf("case %d: Expand() accepted invalid spec %+v", i, spec)
+		}
+	}
+}
+
+func TestTraceFidelityCollapsesThreadAxis(t *testing.T) {
+	spec := Spec{
+		Fidelity:  FidelityTrace,
+		Workloads: []string{"STREAM"},
+		Configs:   []string{"dram", "hbm"},
+		Sizes:     []string{"2GB"},
+		Threads:   []int{64, 128, 256},
+	}
+	points, raw, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != 6 {
+		t.Fatalf("raw = %d, want 6", raw)
+	}
+	// The single-stream replay is thread-independent: the grid must
+	// dedup to one point per (workload, config, size), threads 0.
+	if len(points) != 2 {
+		t.Fatalf("trace points = %d, want 2 (thread axis collapsed)", len(points))
+	}
+	for _, p := range points {
+		if p.Threads != 0 || p.Fidelity != FidelityTrace {
+			t.Fatalf("trace point not canonicalized: %+v", p)
+		}
+	}
+}
+
+func TestLatencyMetricBestIsMinimum(t *testing.T) {
+	// TinyMemBench reports "ns": the best configuration is the
+	// LOWEST-latency one, not the highest value.
+	mk := func(cfg engine.MemoryConfig, v float64) Outcome {
+		return Outcome{
+			Point:  Point{Workload: "TinyMemBench", Config: cfg, Size: units.GB(8), Threads: 1, SKU: DefaultSKU},
+			Metric: "ns",
+			Value:  v,
+		}
+	}
+	tables := Tables([]Outcome{mk(engine.DRAM, 130.4), mk(engine.HBM, 154.0)})
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	lines := strings.Split(strings.TrimSpace(tables[0]), "\n")
+	last := strings.TrimSpace(lines[len(lines)-1])
+	if !strings.HasSuffix(last, "DRAM") {
+		t.Errorf("ns metric must rank ascending; row: %q", last)
+	}
+}
+
+func TestExperimentOnlySpec(t *testing.T) {
+	spec := Spec{Experiments: []string{"fig2", "table1"}}
+	points, raw, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 0 || raw != 0 {
+		t.Fatalf("experiment-only spec expanded to %d points", len(points))
+	}
+	if _, err := spec.CampaignKey(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCampaignKeyCanonical(t *testing.T) {
+	a := Spec{Workloads: []string{"STREAM", "GUPS"}, Configs: []string{"dram", "hbm"}, Sizes: []string{"2GB"}}
+	b := Spec{Workloads: []string{"GUPS", "STREAM"}, Configs: []string{"HBM", "DDR"}, Sizes: []string{"2048MB"}}
+	ka, err := a.CampaignKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.CampaignKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Fatal("order- and spelling-equivalent specs must share a campaign key")
+	}
+	c := a
+	c.Experiments = []string{"fig2"}
+	kc, err := c.CampaignKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kc == ka {
+		t.Fatal("adding experiments must change the campaign key")
+	}
+}
+
+func TestTablesRendering(t *testing.T) {
+	mk := func(cfg engine.MemoryConfig, size units.Bytes, v float64, unavailable string) Outcome {
+		return Outcome{
+			Point:       Point{Workload: "STREAM", Config: cfg, Size: size, Threads: 64, SKU: DefaultSKU},
+			Metric:      "GB/s",
+			Value:       v,
+			Unavailable: unavailable,
+		}
+	}
+	outs := []Outcome{
+		mk(engine.DRAM, units.GB(2), 77, ""),
+		mk(engine.HBM, units.GB(2), 330, ""),
+		mk(engine.DRAM, units.GB(32), 77, ""),
+		mk(engine.HBM, units.GB(32), 0, "does not fit"),
+	}
+	tables := Tables(outs)
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(tables))
+	}
+	tab := tables[0]
+	for _, want := range []string{"STREAM, 64 threads (GB/s)", "DRAM", "HBM", "best", "330", "-"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("table missing %q:\n%s", want, tab)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(tab), "\n")
+	// Row for 32 GB: HBM does not fit, so DRAM must win "best".
+	last := lines[len(lines)-1]
+	if !strings.HasSuffix(strings.TrimSpace(last), "DRAM") {
+		t.Errorf("32 GB row should pick DRAM as best: %q", last)
+	}
+}

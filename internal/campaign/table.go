@@ -1,0 +1,143 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TraceStats carries the functional-replay detail of a
+// FidelityTrace point: what the cache hierarchy actually did.
+type TraceStats struct {
+	Accesses     int64   `json:"accesses"`
+	L1HitRate    float64 `json:"l1_hit_rate"`
+	L2HitRate    float64 `json:"l2_hit_rate"`
+	MCHitRate    float64 `json:"memcache_hit_rate"`
+	MemReads     int64   `json:"mem_reads"`
+	MemWrites    int64   `json:"mem_writes"`
+	AvgLatencyNS float64 `json:"avg_latency_ns"`
+}
+
+// Outcome is one executed point: the workload's reported metric, or
+// the reason the paper would print no bar (does not fit, not
+// measurable). Cached marks results served from the content-addressed
+// cache rather than recomputed. Trace is set for FidelityTrace
+// points.
+type Outcome struct {
+	Point       Point
+	Metric      string
+	Value       float64
+	Unavailable string
+	Cached      bool
+	Trace       *TraceStats
+}
+
+// Format renders the outcome's value cell the way the paper's figures
+// do: "-" where no measurement exists.
+func (o Outcome) Format() string {
+	if o.Unavailable != "" {
+		return "-"
+	}
+	return fmt.Sprintf("%.4g", o.Value)
+}
+
+// Tables aggregates outcomes into one text table per (workload,
+// threads) pair: rows are problem sizes, columns are memory
+// configurations, with a trailing "best" column naming the winning
+// configuration per row. Tables are emitted in first-seen order so a
+// campaign renders deterministically.
+func Tables(outcomes []Outcome) []string {
+	type groupKey struct {
+		workload string
+		threads  int
+	}
+	var order []groupKey
+	groups := make(map[groupKey][]Outcome)
+	for _, o := range outcomes {
+		k := groupKey{o.Point.Workload, o.Point.Threads}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], o)
+	}
+
+	var tables []string
+	for _, k := range order {
+		tables = append(tables, renderGroup(k.workload, k.threads, groups[k]))
+	}
+	return tables
+}
+
+// renderGroup renders one workload x threads grid.
+func renderGroup(workload string, threads int, outcomes []Outcome) string {
+	metric := ""
+	var cfgOrder []string
+	cfgSeen := make(map[string]bool)
+	type cell struct {
+		text string
+		val  float64
+		ok   bool
+	}
+	rows := make(map[int64]map[string]cell) // size -> config -> cell
+	var sizes []int64
+	for _, o := range outcomes {
+		if metric == "" && o.Metric != "" {
+			metric = o.Metric
+		}
+		cfg := o.Point.Config.String()
+		if !cfgSeen[cfg] {
+			cfgSeen[cfg] = true
+			cfgOrder = append(cfgOrder, cfg)
+		}
+		sz := int64(o.Point.Size)
+		if _, ok := rows[sz]; !ok {
+			rows[sz] = make(map[string]cell)
+			sizes = append(sizes, sz)
+		}
+		rows[sz][cfg] = cell{text: o.Format(), val: o.Value, ok: o.Unavailable == ""}
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+
+	var b strings.Builder
+	if threads == 0 {
+		// Trace-fidelity points: a single replay stream, no thread axis.
+		fmt.Fprintf(&b, "%s, single stream", workload)
+	} else {
+		fmt.Fprintf(&b, "%s, %d threads", workload, threads)
+	}
+	if metric != "" {
+		fmt.Fprintf(&b, " (%s)", metric)
+	}
+	b.WriteString("\n")
+	const width = 14
+	fmt.Fprintf(&b, "%-14s", "Size (GB)")
+	for _, cfg := range cfgOrder {
+		fmt.Fprintf(&b, "%*s", width, cfg)
+	}
+	fmt.Fprintf(&b, "%*s\n", width, "best")
+	// Latency-style metrics ("ns", "ns/access", "ms", ...) rank
+	// ascending; throughput metrics descending.
+	lowerIsBetter := metric == "ns" || metric == "ms" || strings.Contains(metric, "ns/")
+	for _, sz := range sizes {
+		fmt.Fprintf(&b, "%-14.2f", float64(sz)/float64(1<<30))
+		best := "-"
+		haveBest := false
+		var bestVal float64
+		for _, cfg := range cfgOrder {
+			c, ok := rows[sz][cfg]
+			if !ok {
+				fmt.Fprintf(&b, "%*s", width, "?")
+				continue
+			}
+			fmt.Fprintf(&b, "%*s", width, c.text)
+			if !c.ok {
+				continue
+			}
+			if !haveBest || (lowerIsBetter && c.val < bestVal) || (!lowerIsBetter && c.val > bestVal) {
+				best, bestVal, haveBest = cfg, c.val, true
+			}
+		}
+		fmt.Fprintf(&b, "%*s\n", width, best)
+	}
+	return b.String()
+}

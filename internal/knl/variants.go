@@ -82,3 +82,19 @@ func GenericHybrid(name string, fastCap units.Bytes, fastBW, fastLatNS float64,
 func Variants() []ChipSpec {
 	return []ChipSpec{KNL7210(), KNL7230(), KNL7250(), KNL7290()}
 }
+
+// ChipForSKU selects a machine preset by marketing number. The empty
+// string means the paper's 7210 testbed.
+func ChipForSKU(sku string) (ChipSpec, error) {
+	switch sku {
+	case "7210", "":
+		return KNL7210(), nil
+	case "7230":
+		return KNL7230(), nil
+	case "7250":
+		return KNL7250(), nil
+	case "7290":
+		return KNL7290(), nil
+	}
+	return ChipSpec{}, fmt.Errorf("knl: unknown SKU %q (7210|7230|7250|7290)", sku)
+}

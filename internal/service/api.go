@@ -1,0 +1,156 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/campaign"
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+// This file is the wire format of the simulation service: every JSON
+// body the HTTP API accepts or returns, shared by the server, the Go
+// client and cmd/simctl.
+
+// RunRequest asks for one workload prediction, in the same vocabulary
+// as the knlsim CLI flags ("hbm", "8GB", ...).
+type RunRequest struct {
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+	Size     string `json:"size"`
+	Threads  int    `json:"threads"`
+	SKU      string `json:"sku,omitempty"`
+	// Fidelity selects the execution path: "model" (analytic, the
+	// default) or "trace" (functional cache-hierarchy replay).
+	Fidelity string `json:"fidelity,omitempty"`
+}
+
+// Point resolves the request into its canonical executable form.
+func (r RunRequest) Point() (campaign.Point, error) {
+	if r.Workload == "" {
+		return campaign.Point{}, fmt.Errorf("service: request names no workload")
+	}
+	cfg, err := engine.ParseConfig(r.Config)
+	if err != nil {
+		return campaign.Point{}, err
+	}
+	size, err := units.ParseBytes(r.Size)
+	if err != nil {
+		return campaign.Point{}, err
+	}
+	if size <= 0 {
+		return campaign.Point{}, fmt.Errorf("service: size %q must be positive", r.Size)
+	}
+	threads := r.Threads
+	if threads <= 0 {
+		threads = 64
+	}
+	sku := r.SKU
+	if sku == "" {
+		sku = campaign.DefaultSKU
+	}
+	fidelity := r.Fidelity
+	if fidelity == "" {
+		fidelity = campaign.FidelityModel
+	}
+	if fidelity == campaign.FidelityTrace {
+		// Trace replay is thread-independent; canonicalize so
+		// requests differing only in threads share a cache entry.
+		threads = 0
+	}
+	return campaign.Point{Workload: r.Workload, Config: cfg, Size: size, Threads: threads, SKU: sku, Fidelity: fidelity}, nil
+}
+
+// RunResponse is one executed point. Config and Size are echoed in
+// canonical form, Key is the content address under which the result
+// is cached, and Unavailable carries the paper's "no bar" reason when
+// the configuration cannot run.
+type RunResponse struct {
+	Workload    string               `json:"workload"`
+	Config      string               `json:"config"`
+	Size        string               `json:"size"`
+	Threads     int                  `json:"threads"`
+	SKU         string               `json:"sku"`
+	Fidelity    string               `json:"fidelity"`
+	Key         string               `json:"key"`
+	Metric      string               `json:"metric"`
+	Value       float64              `json:"value"`
+	Unavailable string               `json:"unavailable,omitempty"`
+	Trace       *campaign.TraceStats `json:"trace,omitempty"`
+	Cached      bool                 `json:"cached"`
+	ElapsedMS   float64              `json:"elapsed_ms"`
+}
+
+// runResponse converts an executed outcome to the wire form.
+func runResponse(o campaign.Outcome, cached bool, elapsedMS float64) RunResponse {
+	fidelity := o.Point.Fidelity
+	if fidelity == "" {
+		fidelity = campaign.FidelityModel
+	}
+	return RunResponse{
+		Workload:    o.Point.Workload,
+		Config:      o.Point.Config.String(),
+		Size:        o.Point.Size.String(),
+		Threads:     o.Point.Threads,
+		SKU:         o.Point.SKU,
+		Fidelity:    fidelity,
+		Key:         o.Point.Key(),
+		Metric:      o.Metric,
+		Value:       o.Value,
+		Unavailable: o.Unavailable,
+		Trace:       o.Trace,
+		Cached:      cached,
+		ElapsedMS:   elapsedMS,
+	}
+}
+
+// ExperimentResult is one paper experiment run as part of a campaign.
+type ExperimentResult struct {
+	ID       string `json:"id"`
+	Title    string `json:"title"`
+	Rendered string `json:"rendered,omitempty"`
+	CSV      string `json:"csv,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// CampaignResult is a completed campaign: every point outcome, the
+// aggregate tables, and cache accounting.
+type CampaignResult struct {
+	Key         string             `json:"key"`
+	Name        string             `json:"name,omitempty"`
+	Expanded    int                `json:"expanded"` // raw cross-product size
+	Points      int                `json:"points"`   // after deduplication
+	CacheHits   int                `json:"cache_hits"`
+	Cached      bool               `json:"cached"` // whole campaign served from cache
+	Results     []RunResponse      `json:"results,omitempty"`
+	Experiments []ExperimentResult `json:"experiments,omitempty"`
+	Tables      []string           `json:"tables,omitempty"`
+	ElapsedMS   float64            `json:"elapsed_ms"`
+}
+
+// CampaignResponse is the submit/poll envelope: the job record plus
+// the result once it exists.
+type CampaignResponse struct {
+	Job    JobInfo         `json:"job"`
+	Result *CampaignResult `json:"result,omitempty"`
+}
+
+// WorkloadInfo is one row of GET /v1/workloads.
+type WorkloadInfo struct {
+	Name     string `json:"name"`
+	Class    string `json:"class"`
+	Pattern  string `json:"pattern"`
+	MaxScale string `json:"max_scale"`
+	Metric   string `json:"metric"`
+}
+
+// ExperimentInfo is one row of GET /v1/experiments.
+type ExperimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// apiError is the uniform error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}

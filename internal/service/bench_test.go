@@ -1,0 +1,164 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// benchTraceSpec is the headline sweep for BENCH_SERVE.json: trace
+// fidelity (functional cache-hierarchy replay, milliseconds per
+// point), 2 workloads x 3 paper configs x a 4-point geometric size
+// grid = 24 points. This is the expensive recurring query class the
+// content-addressed cache amortizes.
+func benchTraceSpec() campaign.Spec {
+	return campaign.Spec{
+		Name:      "bench-trace",
+		Fidelity:  campaign.FidelityTrace,
+		Workloads: []string{"STREAM", "GUPS"},
+		Configs:   []string{"dram", "hbm", "cache"},
+		SizeGrid:  &campaign.Grid{From: "2GB", To: "16GB", Points: 4},
+		Threads:   []int{64},
+	}
+}
+
+// benchModelSpec is the analytic-model sweep: 192 sub-microsecond
+// points, where serving cost is dominated by transport rather than
+// compute.
+func benchModelSpec() campaign.Spec {
+	return campaign.Spec{
+		Name:      "bench-model",
+		Workloads: []string{"STREAM", "GUPS", "XSBench", "MiniFE"},
+		Configs:   []string{"dram", "hbm", "cache"},
+		SizeGrid:  &campaign.Grid{From: "1GB", To: "24GB", Points: 8},
+		Threads:   []int{64, 128},
+	}
+}
+
+func submitOnce(b *testing.B, c *Client, spec campaign.Spec) *CampaignResult {
+	b.Helper()
+	resp, err := c.SubmitCampaign(context.Background(), spec, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if resp.Job.State != JobDone || resp.Result == nil {
+		b.Fatalf("campaign did not complete: %+v", resp.Job)
+	}
+	return resp.Result
+}
+
+// benchCampaign measures end-to-end campaign service time over real
+// HTTP: submit, execute (or hit the content-addressed cache),
+// aggregate, respond.
+//
+//   - cold: every iteration runs against a fresh server, so every
+//     point is computed.
+//   - warm: iterations resubmit the same sweep to one server, so the
+//     whole campaign is served from the campaign-level cache.
+func benchCampaign(b *testing.B, spec campaign.Spec) {
+	b.Run("ColdCache", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			srv := NewServer(Options{Workers: 4, QueueDepth: 32})
+			ts := httptest.NewServer(srv.Handler())
+			c := NewClient(ts.URL)
+			b.StartTimer()
+
+			res := submitOnce(b, c, spec)
+			if res.Cached {
+				b.Fatal("cold iteration served from cache")
+			}
+
+			b.StopTimer()
+			ts.Close()
+			_ = srv.Close(context.Background())
+			b.StartTimer()
+		}
+	})
+
+	b.Run("WarmCache", func(b *testing.B) {
+		srv := NewServer(Options{Workers: 4, QueueDepth: 32})
+		ts := httptest.NewServer(srv.Handler())
+		defer func() {
+			ts.Close()
+			_ = srv.Close(context.Background())
+		}()
+		c := NewClient(ts.URL)
+		submitOnce(b, c, spec) // warm the campaign cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := submitOnce(b, c, spec)
+			if !res.Cached {
+				b.Fatal("warm iteration not served from cache")
+			}
+		}
+	})
+}
+
+// BenchmarkServeCampaign is the acceptance benchmark: a repeated
+// trace-fidelity campaign must be served >= 10x faster from the
+// result cache. The recorded baseline lives in BENCH_SERVE.json.
+func BenchmarkServeCampaign(b *testing.B) {
+	benchCampaign(b, benchTraceSpec())
+}
+
+// BenchmarkServeCampaignModel is the same harness over analytic
+// points; it bounds the transport floor of a campaign round trip.
+func BenchmarkServeCampaignModel(b *testing.B) {
+	benchCampaign(b, benchModelSpec())
+}
+
+// BenchmarkServeRun measures the single-point fast path, cold vs
+// cached, at both fidelities.
+func BenchmarkServeRun(b *testing.B) {
+	for _, fid := range []string{campaign.FidelityModel, campaign.FidelityTrace} {
+		req := RunRequest{Workload: "GUPS", Config: "cache", Size: "8GB", Threads: 64, Fidelity: fid}
+
+		b.Run(fid+"/ColdCache", func(b *testing.B) {
+			srv := NewServer(Options{Workers: 2, QueueDepth: 16})
+			ts := httptest.NewServer(srv.Handler())
+			defer func() {
+				ts.Close()
+				_ = srv.Close(context.Background())
+			}()
+			c := NewClient(ts.URL)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Vary the size so every request is a distinct point
+				// (threads won't do: trace fidelity canonicalizes the
+				// thread axis away).
+				r := req
+				r.Size = fmt.Sprintf("%dMB", 4096+i)
+				if _, err := c.Run(context.Background(), r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		b.Run(fid+"/WarmCache", func(b *testing.B) {
+			srv := NewServer(Options{Workers: 2, QueueDepth: 16})
+			ts := httptest.NewServer(srv.Handler())
+			defer func() {
+				ts.Close()
+				_ = srv.Close(context.Background())
+			}()
+			c := NewClient(ts.URL)
+			if _, err := c.Run(context.Background(), req); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := c.Run(context.Background(), req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !resp.Cached {
+					b.Fatal("warm run not cached")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a bounded content-addressed result cache with singleflight
+// semantics: concurrent lookups of the same key compute the value
+// once and share it. Values are stored forever up to the bound, then
+// evicted in insertion order (the access pattern is sweep-shaped, so
+// FIFO ~= LRU at a fraction of the bookkeeping). Errors are never
+// cached — a failed computation is retried by the next caller.
+type Cache[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry[V]
+	fifo    []string // insertion order for eviction
+	max     int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry[V any] struct {
+	done chan struct{} // closed when value/err are set
+	val  V
+	err  error
+}
+
+// NewCache builds a cache bounded to max entries (<=0 means a default
+// of 64k, plenty for any single-node study).
+func NewCache[V any](max int) *Cache[V] {
+	if max <= 0 {
+		max = 1 << 16
+	}
+	return &Cache[V]{entries: make(map[string]*cacheEntry[V]), max: max}
+}
+
+// GetOrCompute returns the cached value for key, computing it with fn
+// on a miss. The second return reports whether the value was served
+// from cache (true also for callers that joined an in-flight
+// computation — they did not pay for it).
+func (c *Cache[V]) GetOrCompute(key string, fn func() (V, error)) (V, bool, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		if e.err != nil {
+			// The computing caller failed; retry independently rather
+			// than serving a cached error.
+			var zero V
+			v, err := fn()
+			if err != nil {
+				return zero, false, err
+			}
+			return v, false, nil
+		}
+		c.hits.Add(1)
+		return e.val, true, nil
+	}
+	e := &cacheEntry[V]{done: make(chan struct{})}
+	c.entries[key] = e
+	c.fifo = append(c.fifo, key)
+	c.evictLocked()
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	e.val, e.err = fn()
+	close(e.done)
+	if e.err != nil {
+		c.mu.Lock()
+		// Drop the failed entry so the key stays retryable.
+		if cur, ok := c.entries[key]; ok && cur == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		var zero V
+		return zero, false, e.err
+	}
+	return e.val, false, nil
+}
+
+// evictLocked enforces the bound. Entries still being computed are
+// skipped (their waiters hold the only reference that matters).
+func (c *Cache[V]) evictLocked() {
+	for len(c.entries) > c.max && len(c.fifo) > 0 {
+		victim := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		e, ok := c.entries[victim]
+		if !ok {
+			continue
+		}
+		select {
+		case <-e.done:
+			delete(c.entries, victim)
+		default:
+			// In flight; push it to the back and try the next one.
+			c.fifo = append(c.fifo, victim)
+			return
+		}
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache[V]) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,96 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheGetOrCompute(t *testing.T) {
+	c := NewCache[int](0)
+	var calls atomic.Int64
+	fn := func() (int, error) { calls.Add(1); return 42, nil }
+
+	v, cached, err := c.GetOrCompute("k", fn)
+	if err != nil || v != 42 || cached {
+		t.Fatalf("first call: v=%d cached=%v err=%v", v, cached, err)
+	}
+	v, cached, err = c.GetOrCompute("k", fn)
+	if err != nil || v != 42 || !cached {
+		t.Fatalf("second call: v=%d cached=%v err=%v", v, cached, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls.Load())
+	}
+	if h, m := c.Stats(); h != 1 || m != 1 {
+		t.Fatalf("stats hits=%d misses=%d, want 1/1", h, m)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache[int](0)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	const waiters = 16
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := c.GetOrCompute("k", func() (int, error) {
+				calls.Add(1)
+				<-release
+				return 7, nil
+			})
+			if err != nil || v != 7 {
+				t.Errorf("v=%d err=%v", v, err)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("concurrent identical lookups computed %d times, want 1", calls.Load())
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache[int](0)
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	fail := func() (int, error) { calls.Add(1); return 0, boom }
+	if _, _, err := c.GetOrCompute("k", fail); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// The key must stay retryable and then cache the success.
+	v, cached, err := c.GetOrCompute("k", func() (int, error) { return 5, nil })
+	if err != nil || v != 5 || cached {
+		t.Fatalf("retry: v=%d cached=%v err=%v", v, cached, err)
+	}
+	if v, cached, _ := c.GetOrCompute("k", fail); v != 5 || !cached {
+		t.Fatalf("after retry: v=%d cached=%v", v, cached)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("failing fn ran %d times, want 1", calls.Load())
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := NewCache[int](4)
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if _, _, err := c.GetOrCompute(k, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Len(); n > 4 {
+		t.Fatalf("cache holds %d entries, bound is 4", n)
+	}
+	// Newest entry must have survived.
+	v, cached, _ := c.GetOrCompute("k9", func() (int, error) { return -1, nil })
+	if !cached || v != 9 {
+		t.Fatalf("newest entry evicted: v=%d cached=%v", v, cached)
+	}
+}

@@ -1,0 +1,160 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/campaign"
+)
+
+// Client is the Go client of the simulation service, used by
+// cmd/simctl and the examples. The zero HTTP client is fine for
+// in-process (httptest) servers and for localhost.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8077".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient builds a client for a server base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues a request and decodes the JSON response into out,
+// unwrapping the service's error envelope on non-2xx statuses.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var apiErr apiError
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("service: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("service: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Healthz checks the health endpoint.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Workloads lists the registered workloads.
+func (c *Client) Workloads(ctx context.Context) ([]WorkloadInfo, error) {
+	var out []WorkloadInfo
+	err := c.do(ctx, http.MethodGet, "/v1/workloads", nil, &out)
+	return out, err
+}
+
+// Experiments lists the paper experiments the service can run.
+func (c *Client) Experiments(ctx context.Context) ([]ExperimentInfo, error) {
+	var out []ExperimentInfo
+	err := c.do(ctx, http.MethodGet, "/v1/experiments", nil, &out)
+	return out, err
+}
+
+// Run executes one point synchronously.
+func (c *Client) Run(ctx context.Context, req RunRequest) (RunResponse, error) {
+	var out RunResponse
+	err := c.do(ctx, http.MethodPost, "/v1/run", req, &out)
+	return out, err
+}
+
+// SubmitCampaign submits a campaign. With wait set the call blocks
+// until the result is ready.
+func (c *Client) SubmitCampaign(ctx context.Context, spec campaign.Spec, wait bool) (CampaignResponse, error) {
+	path := "/v1/campaigns"
+	if wait {
+		path += "?wait=1"
+	}
+	var out CampaignResponse
+	err := c.do(ctx, http.MethodPost, path, spec, &out)
+	return out, err
+}
+
+// Job polls one job.
+func (c *Client) Job(ctx context.Context, id string) (CampaignResponse, error) {
+	var out CampaignResponse
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// WaitResult blocks server-side until the job completes and returns
+// its result envelope.
+func (c *Client) WaitResult(ctx context.Context, id string) (CampaignResponse, error) {
+	var out CampaignResponse
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/result", nil, &out)
+	return out, err
+}
+
+// StreamJob follows the NDJSON progress feed of a job, invoking
+// onUpdate for every snapshot, and returns when the job reaches a
+// terminal state or ctx is cancelled.
+func (c *Client) StreamJob(ctx context.Context, id string, onUpdate func(JobInfo)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/jobs/"+url.PathEscape(id)+"/stream", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("service: stream %s: HTTP %d", id, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var info JobInfo
+		if err := json.Unmarshal(line, &info); err != nil {
+			return fmt.Errorf("service: bad stream line %q: %w", line, err)
+		}
+		if onUpdate != nil {
+			onUpdate(info)
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,80 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics collects service counters and renders them in Prometheus
+// text exposition format at /metrics. Only counters the service owns
+// live here; cache and queue figures are read from their sources at
+// scrape time so they can never drift.
+type Metrics struct {
+	start time.Time
+
+	mu       sync.Mutex
+	requests map[string]int64 // by route pattern
+}
+
+// NewMetrics builds an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), requests: make(map[string]int64)}
+}
+
+// CountRequest records one HTTP request for a route.
+func (m *Metrics) CountRequest(route string) {
+	m.mu.Lock()
+	m.requests[route]++
+	m.mu.Unlock()
+}
+
+// WriteTo renders the exposition text. The server passes its live
+// cache and queue so gauges are sampled at scrape time.
+func (m *Metrics) WriteTo(w io.Writer, s *Server) {
+	fmt.Fprintf(w, "# HELP simd_uptime_seconds Time since the service started.\n")
+	fmt.Fprintf(w, "# TYPE simd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "simd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+
+	m.mu.Lock()
+	routes := make([]string, 0, len(m.requests))
+	for r := range m.requests {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	fmt.Fprintf(w, "# HELP simd_http_requests_total HTTP requests by route.\n")
+	fmt.Fprintf(w, "# TYPE simd_http_requests_total counter\n")
+	for _, r := range routes {
+		fmt.Fprintf(w, "simd_http_requests_total{route=%q} %d\n", r, m.requests[r])
+	}
+	m.mu.Unlock()
+
+	ph, pm := s.points.Stats()
+	ch, cm := s.campaigns.Stats()
+	fmt.Fprintf(w, "# HELP simd_cache_hits_total Content-addressed cache hits.\n")
+	fmt.Fprintf(w, "# TYPE simd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "simd_cache_hits_total{cache=\"point\"} %d\n", ph)
+	fmt.Fprintf(w, "simd_cache_hits_total{cache=\"campaign\"} %d\n", ch)
+	fmt.Fprintf(w, "# HELP simd_cache_misses_total Content-addressed cache misses.\n")
+	fmt.Fprintf(w, "# TYPE simd_cache_misses_total counter\n")
+	fmt.Fprintf(w, "simd_cache_misses_total{cache=\"point\"} %d\n", pm)
+	fmt.Fprintf(w, "simd_cache_misses_total{cache=\"campaign\"} %d\n", cm)
+	fmt.Fprintf(w, "# HELP simd_cache_entries Cached entries resident.\n")
+	fmt.Fprintf(w, "# TYPE simd_cache_entries gauge\n")
+	fmt.Fprintf(w, "simd_cache_entries{cache=\"point\"} %d\n", s.points.Len())
+	fmt.Fprintf(w, "simd_cache_entries{cache=\"campaign\"} %d\n", s.campaigns.Len())
+
+	queued, running, completed, failed := s.queue.Counts()
+	fmt.Fprintf(w, "# HELP simd_jobs_pending Jobs waiting in the bounded queue.\n")
+	fmt.Fprintf(w, "# TYPE simd_jobs_pending gauge\n")
+	fmt.Fprintf(w, "simd_jobs_pending %d\n", queued)
+	fmt.Fprintf(w, "# HELP simd_jobs_running Jobs currently executing.\n")
+	fmt.Fprintf(w, "# TYPE simd_jobs_running gauge\n")
+	fmt.Fprintf(w, "simd_jobs_running %d\n", running)
+	fmt.Fprintf(w, "# HELP simd_jobs_finished_total Jobs finished by outcome.\n")
+	fmt.Fprintf(w, "# TYPE simd_jobs_finished_total counter\n")
+	fmt.Fprintf(w, "simd_jobs_finished_total{state=\"done\"} %d\n", completed)
+	fmt.Fprintf(w, "simd_jobs_finished_total{state=\"failed\"} %d\n", failed)
+}

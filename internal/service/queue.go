@@ -1,0 +1,270 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JobState is the lifecycle of a submitted job.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// ErrQueueFull is returned by Submit when the bounded queue cannot
+// accept more work; HTTP maps it to 503 so clients back off.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrShutdown is returned by Submit after Close.
+var ErrShutdown = errors.New("service: queue shut down")
+
+// JobFunc is the work a job performs. progress reports (done, total)
+// steps for streamed campaign progress; single runs never call it.
+type JobFunc func(ctx context.Context, progress func(done, total int)) error
+
+// JobInfo is the externally visible snapshot of a job. Whether a
+// campaign was served from the result cache is reported on its
+// CampaignResult, not here.
+type JobInfo struct {
+	ID        string    `json:"id"`
+	Kind      string    `json:"kind"` // "run" or "campaign"
+	State     JobState  `json:"state"`
+	Done      int       `json:"done"`
+	Total     int       `json:"total"`
+	Error     string    `json:"error,omitempty"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitempty"`
+	Finished  time.Time `json:"finished,omitempty"`
+}
+
+// job is the internal record: a snapshot guarded by mu plus the work.
+type job struct {
+	mu       sync.Mutex
+	info     JobInfo
+	fn       JobFunc
+	finished chan struct{} // closed on done/failed
+}
+
+func (j *job) snapshot() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.info
+}
+
+// Queue is a bounded job queue drained by a fixed worker pool — the
+// PR-1 harness pool pattern lifted to long-lived service form.
+// Completed jobs are retained (up to a cap) for result polling.
+type Queue struct {
+	pending chan *job
+	workers int
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for retention pruning
+	closed   bool
+	retained int
+
+	seq       atomic.Int64
+	running   atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+
+	wg     sync.WaitGroup
+	cancel context.CancelFunc
+}
+
+// NewQueue starts a queue with the given worker count (<=0:
+// GOMAXPROCS) and pending-queue depth (<=0: 256). retain bounds how
+// many finished jobs stay queryable (<=0: 4096).
+func NewQueue(workers, depth, retain int) *Queue {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if depth <= 0 {
+		depth = 256
+	}
+	if retain <= 0 {
+		retain = 4096
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		pending:  make(chan *job, depth),
+		workers:  workers,
+		jobs:     make(map[string]*job),
+		retained: retain,
+		cancel:   cancel,
+	}
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go q.worker(ctx)
+	}
+	return q
+}
+
+// Workers returns the pool width (campaigns reuse it for their
+// internal fan-out).
+func (q *Queue) Workers() int { return q.workers }
+
+// Submit enqueues work and returns its job snapshot. It fails fast
+// with ErrQueueFull instead of blocking the HTTP handler. The job is
+// only registered once the (non-blocking) enqueue succeeds, so
+// rejected submissions leave no trace behind.
+func (q *Queue) Submit(kind string, fn JobFunc) (JobInfo, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return JobInfo{}, ErrShutdown
+	}
+	id := fmt.Sprintf("j%06d", q.seq.Add(1))
+	j := &job{
+		info:     JobInfo{ID: id, Kind: kind, State: JobQueued, Submitted: time.Now()},
+		fn:       fn,
+		finished: make(chan struct{}),
+	}
+	select {
+	case q.pending <- j:
+	default:
+		return JobInfo{}, ErrQueueFull
+	}
+	q.jobs[id] = j
+	q.order = append(q.order, id)
+	q.pruneLocked()
+	return j.snapshot(), nil
+}
+
+// pruneLocked drops the oldest finished jobs beyond the retention cap.
+func (q *Queue) pruneLocked() {
+	for len(q.jobs) > q.retained && len(q.order) > 0 {
+		oldest := q.order[0]
+		j, ok := q.jobs[oldest]
+		if ok {
+			select {
+			case <-j.finished:
+			default:
+				return // oldest still live; keep everything
+			}
+			delete(q.jobs, oldest)
+		}
+		q.order = q.order[1:]
+	}
+}
+
+// Get returns a job snapshot by ID.
+func (q *Queue) Get(id string) (JobInfo, bool) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	q.mu.Unlock()
+	if !ok {
+		return JobInfo{}, false
+	}
+	return j.snapshot(), true
+}
+
+// Wait blocks until the job finishes (or ctx is done) and returns the
+// final snapshot.
+func (q *Queue) Wait(ctx context.Context, id string) (JobInfo, error) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	q.mu.Unlock()
+	if !ok {
+		return JobInfo{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	select {
+	case <-j.finished:
+		return j.snapshot(), nil
+	case <-ctx.Done():
+		return JobInfo{}, ctx.Err()
+	}
+}
+
+// worker drains the pending channel until shutdown.
+func (q *Queue) worker(ctx context.Context) {
+	defer q.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case j, ok := <-q.pending:
+			if !ok {
+				return
+			}
+			q.runJob(ctx, j)
+		}
+	}
+}
+
+func (q *Queue) runJob(ctx context.Context, j *job) {
+	j.mu.Lock()
+	j.info.State = JobRunning
+	j.info.Started = time.Now()
+	j.mu.Unlock()
+	q.running.Add(1)
+
+	progress := func(done, total int) {
+		j.mu.Lock()
+		j.info.Done, j.info.Total = done, total
+		j.mu.Unlock()
+	}
+	err := j.fn(ctx, progress)
+
+	q.running.Add(-1)
+	j.mu.Lock()
+	j.info.Finished = time.Now()
+	if err != nil {
+		j.info.State = JobFailed
+		j.info.Error = err.Error()
+		q.failed.Add(1)
+	} else {
+		j.info.State = JobDone
+		if j.info.Total == 0 {
+			j.info.Done, j.info.Total = 1, 1
+		}
+		q.completed.Add(1)
+	}
+	j.mu.Unlock()
+	close(j.finished)
+}
+
+// Counts returns (queued, running, completed, failed) for /metrics.
+func (q *Queue) Counts() (queued int, running, completed, failed int64) {
+	return len(q.pending), q.running.Load(), q.completed.Load(), q.failed.Load()
+}
+
+// Close stops accepting submissions, waits for queued and running
+// jobs to drain (bounded by ctx), then stops the workers. It is the
+// graceful-shutdown half the HTTP server calls after draining
+// connections.
+func (q *Queue) Close(ctx context.Context) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	q.mu.Unlock()
+	close(q.pending)
+
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		q.cancel()
+		return nil
+	case <-ctx.Done():
+		q.cancel() // abandon stragglers
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,145 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQueueRunsJobs(t *testing.T) {
+	q := NewQueue(2, 8, 0)
+	defer q.Close(context.Background())
+
+	var ran atomic.Int64
+	info, err := q.Submit("run", func(context.Context, func(int, int)) error {
+		ran.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := q.Wait(context.Background(), info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != JobDone || ran.Load() != 1 {
+		t.Fatalf("state=%s ran=%d", final.State, ran.Load())
+	}
+	if final.Done != 1 || final.Total != 1 {
+		t.Fatalf("default progress = %d/%d, want 1/1", final.Done, final.Total)
+	}
+	if final.Started.Before(final.Submitted) || final.Finished.Before(final.Started) {
+		t.Fatal("timestamps out of order")
+	}
+}
+
+func TestQueueFailureState(t *testing.T) {
+	q := NewQueue(1, 8, 0)
+	defer q.Close(context.Background())
+
+	info, err := q.Submit("run", func(context.Context, func(int, int)) error {
+		return errors.New("deliberate")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := q.Wait(context.Background(), info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != JobFailed || final.Error != "deliberate" {
+		t.Fatalf("state=%s err=%q", final.State, final.Error)
+	}
+	_, _, _, failed := q.Counts()
+	if failed != 1 {
+		t.Fatalf("failed count = %d", failed)
+	}
+}
+
+func TestQueueBoundedRejects(t *testing.T) {
+	q := NewQueue(1, 1, 0)
+	defer q.Close(context.Background())
+
+	block := make(chan struct{})
+	// One running + one pending fills the queue of depth 1.
+	first, err := q.Submit("run", func(context.Context, func(int, int)) error {
+		<-block
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the first job is actually running so the next Submit
+	// occupies the single pending slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		info, _ := q.Get(first.ID)
+		if info.State == JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := q.Submit("run", func(context.Context, func(int, int)) error { <-block; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit("run", func(context.Context, func(int, int)) error { return nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overfull submit err = %v, want ErrQueueFull", err)
+	}
+	close(block)
+}
+
+func TestQueueProgressAndGet(t *testing.T) {
+	q := NewQueue(1, 8, 0)
+	defer q.Close(context.Background())
+
+	step := make(chan struct{})
+	info, err := q.Submit("campaign", func(_ context.Context, progress func(int, int)) error {
+		progress(3, 10)
+		step <- struct{}{}
+		<-step
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-step
+	snap, ok := q.Get(info.ID)
+	if !ok || snap.Done != 3 || snap.Total != 10 || snap.State != JobRunning {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	step <- struct{}{}
+	if _, err := q.Wait(context.Background(), info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.Get("nope"); ok {
+		t.Fatal("Get on unknown id succeeded")
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := NewQueue(2, 16, 0)
+	var ran atomic.Int64
+	for i := 0; i < 8; i++ {
+		if _, err := q.Submit("run", func(context.Context, func(int, int)) error {
+			time.Sleep(time.Millisecond)
+			ran.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 8 {
+		t.Fatalf("drained %d jobs, want 8", ran.Load())
+	}
+	if _, err := q.Submit("run", func(context.Context, func(int, int)) error { return nil }); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("submit after close err = %v", err)
+	}
+}

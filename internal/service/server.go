@@ -1,0 +1,438 @@
+// Package service is the simulation service: the paper's what-if
+// queries ("workload W at size S under configuration C with T
+// threads") served over an HTTP JSON API with a bounded job queue, a
+// content-addressed result cache, declarative campaign sweeps,
+// /metrics + /healthz endpoints and graceful shutdown. cmd/simd hosts
+// it; cmd/simctl and the service.Client speak to it.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/harness"
+)
+
+// Options configures a server.
+type Options struct {
+	// Workers is the job-queue width and the per-campaign fan-out
+	// (<=0: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds pending jobs (<=0: 256). Submissions beyond
+	// it get 503.
+	QueueDepth int
+	// CacheSize bounds each content-addressed cache (<=0: 64k
+	// entries).
+	CacheSize int
+}
+
+// Server wires the executor, queue, caches and metrics behind an
+// http.Handler.
+type Server struct {
+	exec        *Executor
+	queue       *Queue
+	points      *Cache[campaign.Outcome]
+	campaigns   *Cache[*CampaignResult]
+	experiments *Cache[ExperimentResult]
+	metrics     *Metrics
+	mux         *http.ServeMux
+
+	mu      sync.Mutex
+	results map[string]*CampaignResult // finished campaign results by job ID
+}
+
+// NewServer builds a ready-to-serve service.
+func NewServer(opt Options) *Server {
+	s := &Server{
+		exec:        NewExecutor(),
+		queue:       NewQueue(opt.Workers, opt.QueueDepth, 0),
+		points:      NewCache[campaign.Outcome](opt.CacheSize),
+		campaigns:   NewCache[*CampaignResult](opt.CacheSize),
+		experiments: NewCache[ExperimentResult](opt.CacheSize),
+		metrics:     NewMetrics(),
+		mux:         http.NewServeMux(),
+		results:     make(map[string]*CampaignResult),
+	}
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
+	s.route("GET /v1/workloads", s.handleWorkloads)
+	s.route("GET /v1/experiments", s.handleExperiments)
+	s.route("POST /v1/run", s.handleRun)
+	s.route("POST /v1/campaigns", s.handleSubmitCampaign)
+	s.route("GET /v1/jobs/{id}", s.handleJob)
+	s.route("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.route("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	return s
+}
+
+// route registers a handler with request counting.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.CountRequest(pattern)
+		h(w, r)
+	})
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the job queue; call it after http.Server.Shutdown so
+// in-flight campaigns finish before the process exits.
+func (s *Server) Close(ctx context.Context) error { return s.queue.Close(ctx) }
+
+// writeJSON writes a compact JSON response (campaign results run to
+// hundreds of points; clients pretty-print if they want to).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps service errors to HTTP statuses.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteTo(w, s)
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	sys, err := s.exec.System(r.URL.Query().Get("sku"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var out []WorkloadInfo
+	for _, m := range sys.Workloads() {
+		i := m.Info()
+		out = append(out, WorkloadInfo{
+			Name: i.Name, Class: i.Class, Pattern: i.Pattern,
+			MaxScale: i.MaxScale.String(), Metric: i.Metric,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	var out []ExperimentInfo
+	for _, e := range harness.All() {
+		out = append(out, ExperimentInfo{ID: e.ID, Title: e.Title})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// runPoint executes one point through the content-addressed cache.
+func (s *Server) runPoint(p campaign.Point) (campaign.Outcome, bool, error) {
+	return s.points.GetOrCompute(p.Key(), func() (campaign.Outcome, error) {
+		return s.exec.RunPoint(p)
+	})
+}
+
+// handleRun is the synchronous single-point fast path.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		return
+	}
+	p, err := req.Point()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	out, cached, err := s.runPoint(p)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponse(out, cached, float64(time.Since(start).Microseconds())/1000))
+}
+
+// runExperiment executes one paper experiment through its cache.
+func (s *Server) runExperiment(id, sku string) ExperimentResult {
+	key := fmt.Sprintf("exp|%s|%s", id, sku)
+	res, _, err := s.experiments.GetOrCompute(key, func() (ExperimentResult, error) {
+		exp, err := harness.ByID(id)
+		if err != nil {
+			return ExperimentResult{}, err
+		}
+		sys, err := s.exec.System(sku)
+		if err != nil {
+			return ExperimentResult{}, err
+		}
+		tbl, err := exp.Run(sys)
+		if err != nil {
+			return ExperimentResult{}, fmt.Errorf("service: experiment %s: %w", id, err)
+		}
+		return ExperimentResult{ID: exp.ID, Title: exp.Title, Rendered: tbl.Render(), CSV: tbl.RenderCSV()}, nil
+	})
+	if err != nil {
+		return ExperimentResult{ID: id, Error: err.Error()}
+	}
+	return res
+}
+
+// expandExperiments resolves the experiment axis ("all" is the whole
+// paper).
+func expandExperiments(ids []string) []string {
+	var out []string
+	for _, id := range ids {
+		if id == "all" {
+			for _, e := range harness.All() {
+				out = append(out, e.ID)
+			}
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// runCampaign executes a campaign: points fan out over a bounded pool
+// (each point through the shared cache), experiments run alongside,
+// and the whole result is content-addressed so an identical
+// resubmission never recomputes anything.
+func (s *Server) runCampaign(ctx context.Context, spec campaign.Spec, progress func(done, total int)) (*CampaignResult, bool, error) {
+	key, err := spec.CampaignKey()
+	if err != nil {
+		return nil, false, err
+	}
+	res, cached, err := s.campaigns.GetOrCompute(key, func() (*CampaignResult, error) {
+		return s.computeCampaign(ctx, key, spec, progress)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if cached {
+		// Serve a copy so the Cached flag never mutates the stored
+		// result.
+		cp := *res
+		cp.Cached = true
+		res = &cp
+	}
+	return res, cached, nil
+}
+
+func (s *Server) computeCampaign(ctx context.Context, key string, spec campaign.Spec, progress func(done, total int)) (*CampaignResult, error) {
+	start := time.Now()
+	points, raw, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	exps := expandExperiments(spec.Experiments)
+	total := len(points) + len(exps)
+	progress(0, total)
+
+	sku := spec.SKU
+	if sku == "" {
+		sku = campaign.DefaultSKU
+	}
+	// Validate the SKU and workload names up front so a bad spec fails
+	// as one request error instead of N point errors.
+	sys, err := s.exec.System(sku)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range points {
+		if _, err := sys.Workload(p.Workload); err != nil {
+			return nil, err
+		}
+	}
+
+	outcomes := make([]campaign.Outcome, len(points))
+	cachedFlags := make([]bool, len(points))
+	errs := make([]error, len(points))
+	var done int
+	var mu sync.Mutex
+	bump := func() {
+		mu.Lock()
+		done++
+		d := done
+		mu.Unlock()
+		progress(d, total)
+	}
+
+	workers := s.queue.Workers()
+	if workers > len(points) {
+		workers = len(points)
+	}
+	var next int
+	var idxMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				idxMu.Lock()
+				i := next
+				next++
+				idxMu.Unlock()
+				if i >= len(points) {
+					return
+				}
+				outcomes[i], cachedFlags[i], errs[i] = s.runPoint(points[i])
+				bump()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &CampaignResult{Key: key, Name: spec.Name, Expanded: raw, Points: len(points)}
+	for i, o := range outcomes {
+		if cachedFlags[i] {
+			res.CacheHits++
+		}
+		res.Results = append(res.Results, runResponse(o, cachedFlags[i], 0))
+	}
+	res.Tables = campaign.Tables(outcomes)
+	for _, id := range exps {
+		res.Experiments = append(res.Experiments, s.runExperiment(id, sku))
+		bump()
+	}
+	res.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	return res, nil
+}
+
+// handleSubmitCampaign accepts a campaign spec, runs it as a queued
+// job, and returns the job record — plus the result when ?wait=1 is
+// set or the campaign cache already has it.
+func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
+	var spec campaign.Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad campaign spec: %w", err))
+		return
+	}
+	// Reject malformed specs before queueing so the client gets a 400,
+	// not a failed job.
+	if _, err := spec.CampaignKey(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// The job needs its own ID to file the result; Submit only mints
+	// it on return, so hand it over through a buffered channel the
+	// closure blocks on (for at most the submit round trip).
+	ready := make(chan string, 1)
+	info, err := s.queue.Submit("campaign", func(ctx context.Context, progress func(done, total int)) error {
+		id := <-ready
+		res, _, err := s.runCampaign(ctx, spec, progress)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.results[id] = res
+		s.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	ready <- info.ID
+
+	if r.URL.Query().Get("wait") == "1" {
+		final, err := s.queue.Wait(r.Context(), info.ID)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, CampaignResponse{Job: final, Result: s.resultFor(info.ID)})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, CampaignResponse{Job: info})
+}
+
+// resultFor returns a finished campaign result by job ID.
+func (s *Server) resultFor(jobID string) *CampaignResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.results[jobID]
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, CampaignResponse{Job: info, Result: s.resultFor(info.ID)})
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	info, err := s.queue.Wait(r.Context(), id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if info.State == JobFailed {
+		writeJSON(w, http.StatusOK, CampaignResponse{Job: info})
+		return
+	}
+	writeJSON(w, http.StatusOK, CampaignResponse{Job: info, Result: s.resultFor(id)})
+}
+
+// handleJobStream streams newline-delimited JobInfo snapshots until
+// the job finishes — the campaign progress feed simctl renders.
+func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.queue.Get(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown job %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ticker := time.NewTicker(25 * time.Millisecond)
+	defer ticker.Stop()
+	var last JobInfo
+	emit := func(info JobInfo) {
+		if info.State == last.State && info.Done == last.Done && info.Total == last.Total {
+			return
+		}
+		last = info
+		_ = enc.Encode(info)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	for {
+		info, ok := s.queue.Get(id)
+		if !ok {
+			return
+		}
+		emit(info)
+		if info.State == JobDone || info.State == JobFailed {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}

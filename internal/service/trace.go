@@ -1,0 +1,150 @@
+package service
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/campaign"
+	"repro/internal/engine"
+	"repro/internal/tracesim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Trace fidelity: instead of evaluating the analytic model, replay a
+// synthetic access stream shaped by the workload's Table I pattern
+// through the functional cache hierarchy (internal/tracesim — the
+// repo's optimised hot path). This is the expensive query class the
+// content-addressed cache exists for: a point costs milliseconds to
+// compute and nothing to re-serve.
+//
+// Footprints are scaled 1:1024 (a full-size MCDRAM would need
+// gigabyte traces — see tracesim.DefaultConfig) and bounded so one
+// point stays in the low-millisecond range. Seeds derive from the
+// point, so a trace outcome is deterministic and cache-coherent.
+
+// traceScaleShift is the footprint scale: 1/1024.
+const traceScaleShift = 10
+
+// Footprint clamp for a single trace point.
+const (
+	traceMinFootprint = units.Bytes(1 << 20)  // 1 MiB
+	traceMaxFootprint = units.Bytes(32 << 20) // 32 MiB
+)
+
+// tracePasses is how many times the stream sweeps its footprint (the
+// second pass measures warm-cache behaviour).
+const tracePasses = 2
+
+// traceSeed derives a deterministic generator seed from the point.
+func traceSeed(p campaign.Point) int64 {
+	k := p.Key()
+	var buf [8]byte
+	copy(buf[:], k)
+	return int64(binary.LittleEndian.Uint64(buf[:]) >> 1)
+}
+
+// traceConfig maps a memory configuration onto a scaled-down
+// hierarchy: cache mode gets the scaled MCDRAM as memory-side cache,
+// the flat modes get the corresponding backing latency, hybrid gets
+// the non-flat MCDRAM fraction as cache.
+func (e *Executor) traceConfig(p campaign.Point) (tracesim.Config, error) {
+	sys, err := e.System(p.SKU)
+	if err != nil {
+		return tracesim.Config{}, err
+	}
+	chip := sys.Machine.Chip
+	scaledMC := chip.MCDRAM.Capacity >> traceScaleShift
+
+	cfg := tracesim.DefaultConfig(0)
+	// Re-anchor the hierarchy on the actual chip (DefaultConfig is
+	// always the 7210).
+	cfg.L1Size, cfg.L1Ways = chip.L1DPerCore, chip.L1Assoc
+	cfg.L2Size, cfg.L2Ways = chip.L2PerTile, chip.L2Assoc
+	cfg.L2Lat = float64(chip.Cal.L2HitLatency)
+	cfg.MemCacheLat = float64(chip.MCDRAM.IdleLatency)
+
+	dram := float64(chip.DDR.IdleLatency)
+	hbm := float64(chip.MCDRAM.IdleLatency)
+	switch p.Config.Kind {
+	case engine.BindDRAM:
+		cfg.MemLat = dram
+	case engine.BindHBM:
+		cfg.MemLat = hbm
+	case engine.InterleaveFlat:
+		// Pages alternate devices; the average line cost follows.
+		cfg.MemLat = (dram + hbm) / 2
+	case engine.CacheMode:
+		cfg.MemCache = scaledMC
+		cfg.MemLat = dram
+	case engine.Hybrid:
+		// The non-flat fraction of MCDRAM stays a memory-side cache.
+		cfg.MemCache = units.Bytes(float64(scaledMC) * (1 - p.Config.HybridFlatFraction))
+		cfg.MemLat = dram
+	default:
+		return tracesim.Config{}, fmt.Errorf("service: no trace mapping for config %v", p.Config)
+	}
+	return cfg, nil
+}
+
+// runTracePoint executes one FidelityTrace point.
+func (e *Executor) runTracePoint(p campaign.Point) (campaign.Outcome, error) {
+	sys, err := e.System(p.SKU)
+	if err != nil {
+		return campaign.Outcome{}, err
+	}
+	mdl, err := sys.Workload(p.Workload)
+	if err != nil {
+		return campaign.Outcome{}, err
+	}
+	info := mdl.Info()
+
+	foot := p.Size >> traceScaleShift
+	if foot < traceMinFootprint {
+		foot = traceMinFootprint
+	}
+	if foot > traceMaxFootprint {
+		foot = traceMaxFootprint
+	}
+
+	cfg, err := e.traceConfig(p)
+	if err != nil {
+		return campaign.Outcome{}, err
+	}
+	sim, err := tracesim.New(cfg)
+	if err != nil {
+		return campaign.Outcome{}, err
+	}
+
+	var gen tracesim.Generator
+	lines := int64(foot / units.CacheLine)
+	if info.Pattern == workload.PatternRandom {
+		gen, err = tracesim.NewUniformRandom(0, uint64(foot), lines, cache.Read, traceSeed(p))
+	} else {
+		gen, err = tracesim.NewSequential(0, uint64(foot), uint64(units.CacheLine), cache.Read)
+	}
+	if err != nil {
+		return campaign.Outcome{}, err
+	}
+	res, err := sim.RunPasses(gen, tracePasses)
+	if err != nil {
+		return campaign.Outcome{}, err
+	}
+
+	out := campaign.Outcome{
+		Point:  p,
+		Metric: "ns/access",
+		Value:  res.AvgLatencyNS(),
+		Trace: &campaign.TraceStats{
+			Accesses:     res.Accesses,
+			L1HitRate:    res.L1.HitRatio(),
+			L2HitRate:    res.L2.HitRatio(),
+			MCHitRate:    res.MemCache.HitRatio(),
+			MemReads:     res.MemReads,
+			MemWrites:    res.MemWrites,
+			AvgLatencyNS: res.AvgLatencyNS(),
+		},
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+func tracePoint(cfg engine.MemoryConfig, wl string, size units.Bytes) campaign.Point {
+	return campaign.Point{
+		Workload: wl, Config: cfg, Size: size, Threads: 64,
+		SKU: campaign.DefaultSKU, Fidelity: campaign.FidelityTrace,
+	}
+}
+
+func TestTracePointDeterministic(t *testing.T) {
+	// Two independent executors must produce bit-identical trace
+	// outcomes — the property that makes trace results cacheable.
+	a, err := NewExecutor().RunPoint(tracePoint(engine.Cache, "GUPS", units.GB(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewExecutor().RunPoint(tracePoint(engine.Cache, "GUPS", units.GB(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value || *a.Trace != *b.Trace {
+		t.Fatalf("trace replay not deterministic:\n%+v\n%+v", a.Trace, b.Trace)
+	}
+	if a.Metric != "ns/access" || a.Value <= 0 {
+		t.Fatalf("outcome %+v", a)
+	}
+	if a.Trace.Accesses == 0 {
+		t.Fatal("no accesses replayed")
+	}
+}
+
+func TestTraceLatencyOrdering(t *testing.T) {
+	// For a random workload whose scaled footprint exceeds L2 but fits
+	// the scaled MCDRAM, flat HBM must be slower than... no: per
+	// access, HBM backing has higher idle latency than DRAM (§IV-A),
+	// so DRAM-bound random access must beat HBM-bound. Cache mode
+	// inserts the MCDRAM cache and, once the footprint fits it, most
+	// accesses stop at MCDRAM latency.
+	exec := NewExecutor()
+	dram, err := exec.RunPoint(tracePoint(engine.DRAM, "GUPS", units.GB(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbm, err := exec.RunPoint(tracePoint(engine.HBM, "GUPS", units.GB(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dram.Value >= hbm.Value {
+		t.Errorf("random access: DRAM %v ns/access should beat HBM %v (18%% idle-latency gap)",
+			dram.Value, hbm.Value)
+	}
+}
+
+func TestTraceSequentialBeatsRandom(t *testing.T) {
+	exec := NewExecutor()
+	seq, err := exec.RunPoint(tracePoint(engine.DRAM, "STREAM", units.GB(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := exec.RunPoint(tracePoint(engine.DRAM, "GUPS", units.GB(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The line-stride stream never re-touches a line, so its win comes
+	// from the stream prefetcher hiding fill latency, not from L1 hits.
+	if seq.Value >= rnd.Value {
+		t.Errorf("sequential %v ns/access should beat random %v (prefetcher + locality)", seq.Value, rnd.Value)
+	}
+}
+
+func TestTraceFidelityOverHTTP(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	req := RunRequest{Workload: "GUPS", Config: "cache", Size: "4GB", Threads: 64, Fidelity: "trace"}
+	first, err := c.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Fidelity != campaign.FidelityTrace || first.Trace == nil || first.Metric != "ns/access" {
+		t.Fatalf("trace response %+v", first)
+	}
+	// The same request at model fidelity is a different point.
+	model, err := c.Run(ctx, RunRequest{Workload: "GUPS", Config: "cache", Size: "4GB", Threads: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Key == first.Key {
+		t.Fatal("model and trace fidelities share a cache key")
+	}
+	if model.Cached {
+		t.Fatal("model point incorrectly cached by the trace run")
+	}
+	// Repeat trace request: cache hit, identical payload.
+	again, err := c.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Value != first.Value || *again.Trace != *first.Trace {
+		t.Fatalf("trace repeat not served from cache: %+v vs %+v", again, first)
+	}
+	// Unknown fidelity is a request error.
+	if _, err := c.Run(ctx, RunRequest{Workload: "GUPS", Config: "dram", Size: "1GB", Fidelity: "quantum"}); err == nil {
+		t.Fatal("unknown fidelity accepted")
+	}
+}
+
+func TestTraceCampaign(t *testing.T) {
+	_, c := newTestServer(t)
+	spec := campaign.Spec{
+		Fidelity:  "trace",
+		Workloads: []string{"STREAM", "GUPS"},
+		Configs:   []string{"dram", "hbm", "cache"},
+		Sizes:     []string{"2GB", "8GB"},
+	}
+	resp, err := c.SubmitCampaign(context.Background(), spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Job.State != JobDone {
+		t.Fatalf("job %+v", resp.Job)
+	}
+	res := resp.Result
+	if res.Points != 12 {
+		t.Fatalf("points = %d, want 12", res.Points)
+	}
+	for _, r := range res.Results {
+		if r.Fidelity != campaign.FidelityTrace || r.Trace == nil || r.Value <= 0 {
+			t.Fatalf("trace campaign result %+v", r)
+		}
+	}
+}
+
+func TestTraceHybridAndInterleave(t *testing.T) {
+	exec := NewExecutor()
+	for _, cfg := range []engine.MemoryConfig{
+		{Kind: engine.InterleaveFlat},
+		{Kind: engine.Hybrid, HybridFlatFraction: 0.5},
+	} {
+		out, err := exec.RunPoint(tracePoint(cfg, "GUPS", units.GB(4)))
+		if err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		if out.Value <= 0 {
+			t.Fatalf("%v: non-positive latency", cfg)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package workload_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// paperWorkloads is Table I plus the two micro-benchmarks.
+var paperWorkloads = []string{
+	"STREAM", "TinyMemBench", "DGEMM", "MiniFE", "GUPS", "Graph500", "XSBench",
+}
+
+func newSystem(t *testing.T) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestRegistryLookup(t *testing.T) {
+	sys := newSystem(t)
+	for _, name := range paperWorkloads {
+		mdl, err := sys.Workload(name)
+		if err != nil {
+			t.Fatalf("lookup %s: %v", name, err)
+		}
+		if got := mdl.Info().Name; got != name {
+			t.Errorf("lookup %s returned model named %s", name, got)
+		}
+	}
+	if got := len(sys.Workloads()); got != len(paperWorkloads) {
+		t.Fatalf("registry holds %d workloads, want %d", got, len(paperWorkloads))
+	}
+}
+
+func TestUnknownNameError(t *testing.T) {
+	sys := newSystem(t)
+	_, err := sys.Workload("HPCG")
+	if err == nil {
+		t.Fatal("unknown workload lookup succeeded")
+	}
+	// The error must name the miss and list what exists.
+	msg := err.Error()
+	if !strings.Contains(msg, "HPCG") || !strings.Contains(msg, "STREAM") {
+		t.Errorf("unhelpful unknown-workload error: %v", err)
+	}
+	if _, err := sys.Predict("HPCG", engine.DRAM, units.GB(1), 64); err == nil {
+		t.Error("Predict with unknown workload succeeded")
+	}
+}
+
+func TestMetadataCompleteness(t *testing.T) {
+	sys := newSystem(t)
+	validClasses := map[string]bool{workload.ClassScientific: true, workload.ClassDataAnalytics: true}
+	validPatterns := map[string]bool{workload.PatternSequential: true, workload.PatternRandom: true}
+	for _, mdl := range sys.Workloads() {
+		info := mdl.Info()
+		if info.Name == "" {
+			t.Fatal("workload with empty name")
+		}
+		t.Run(info.Name, func(t *testing.T) {
+			if !validClasses[info.Class] {
+				t.Errorf("class %q is not a Table I type", info.Class)
+			}
+			if !validPatterns[info.Pattern] {
+				t.Errorf("pattern %q is not a Table I access pattern", info.Pattern)
+			}
+			if info.MaxScale <= 0 {
+				t.Errorf("max scale %v not positive", info.MaxScale)
+			}
+			if info.Metric == "" {
+				t.Error("no reporting metric")
+			}
+			if len(mdl.PaperSizes()) == 0 {
+				t.Error("no Fig. 4 problem sizes")
+			}
+			for _, s := range mdl.PaperSizes() {
+				if s <= 0 {
+					t.Errorf("non-positive paper size %v", s)
+				}
+			}
+		})
+	}
+}
+
+func TestFig6SizesBelongToPanels(t *testing.T) {
+	sys := newSystem(t)
+	// The paper's Fig. 6 has panels for exactly these four apps.
+	panels := map[string]bool{"DGEMM": true, "MiniFE": true, "Graph500": true, "XSBench": true}
+	for _, mdl := range sys.Workloads() {
+		info := mdl.Info()
+		if panels[info.Name] && mdl.Fig6Size() <= 0 {
+			t.Errorf("%s has a Fig. 6 panel but no Fig6Size", info.Name)
+		}
+	}
+}
+
+func TestPaperThreads(t *testing.T) {
+	want := []int{64, 128, 192, 256}
+	got := workload.PaperThreads()
+	if len(got) != len(want) {
+		t.Fatalf("PaperThreads() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PaperThreads() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDuplicateRegistrationRejected(t *testing.T) {
+	sys := newSystem(t)
+	mdl, err := sys.Workload("STREAM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Register(mdl); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestErrNotMeasuredMatchesPaper(t *testing.T) {
+	sys := newSystem(t)
+	// "results relative to DGEMM with 256 hardware threads are not
+	// available as the run can not complete successfully".
+	_, err := sys.Predict("DGEMM", engine.HBM, units.GB(6), 256)
+	if !errors.Is(err, workload.ErrNotMeasured) {
+		t.Fatalf("DGEMM@256 err = %v, want ErrNotMeasured", err)
+	}
+}

@@ -1,20 +1,40 @@
-// Command advisor applies the paper's guidelines (§VI) to an
-// application profile and prints a memory-configuration
-// recommendation with the expected speedup:
+// Command advisor recommends a memory configuration for an
+// application. It has two question forms:
+//
+// The profile form applies the paper's §VI guidelines (access pattern,
+// working set, threading) as a rule-based recommendation:
 //
 //	advisor -pattern sequential -size 8GB -ht
 //	advisor -pattern random -size 30GB
 //	advisor -pattern random -size 5.6GB -ht -latency-hiding
+//
+// The placement form asks the advisory service for a ranked
+// mode-exploration report (all-DDR, cache mode, optimal flat
+// placement, hybrid partitions), either for a named workload or for an
+// explicit structure set:
+//
+//	advisor -workload GUPS -size 8GB -threads 64
+//	advisor -structs app.json
+//	advisor -addr http://127.0.0.1:8077 -workload DGEMM -size 4GB
+//
+// With -addr (or SIMD_ADDR) set, the placement form queries a running
+// simd and shares its content-addressed advice cache; without it the
+// same service runs in-process, so the command works offline with
+// identical results.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/service"
 	"repro/internal/units"
 )
 
@@ -32,25 +52,77 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("advisor", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	patternStr := fs.String("pattern", "sequential", "access pattern: sequential|random")
+	patternStr := fs.String("pattern", "", "profile form: access pattern, sequential|random")
 	sizeStr := fs.String("size", "8GB", "working-set size")
 	threads := fs.Int("threads", 64, "baseline thread count")
 	ht := fs.Bool("ht", false, "application scales past one thread per core")
 	latHide := fs.Bool("latency-hiding", false, "random accesses are independent (HT can pipeline them)")
+	workload := fs.String("workload", "", "placement form: registered workload to advise about")
+	structsPath := fs.String("structs", "", "placement form: JSON file with explicit structures")
+	sku := fs.String("sku", "", "KNL SKU for the placement form (default 7210)")
+	addr := fs.String("addr", os.Getenv("SIMD_ADDR"), "simd base URL (empty: run the service in-process)")
+	asJSON := fs.Bool("json", false, "placement form: print the raw JSON response")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *workload != "" || *structsPath != "" {
+		return runAdvise(*addr, *workload, *sizeStr, *structsPath, *threads, *sku, *asJSON, stdout)
+	}
+	return runProfile(*patternStr, *sizeStr, *threads, *ht, *latHide, stdout)
+}
+
+// runAdvise is the placement form: build the advise request and send
+// it to a simd — a remote one when addr is set, an in-process server
+// otherwise, so the recommendation is byte-identical either way.
+func runAdvise(addr, workload, size, structsPath string, threads int, sku string, asJSON bool, stdout io.Writer) error {
+	req := service.AdviseRequest{Workload: workload, Threads: threads, SKU: sku}
+	if workload != "" {
+		req.Size = size
+	}
+	if structsPath != "" {
+		structs, err := service.LoadStructures(structsPath)
+		if err != nil {
+			return err
+		}
+		req.Structures = structs
+	}
+
+	if addr == "" {
+		// Offline fallback: the full service on a loopback listener.
+		srv := service.NewServer(service.Options{Workers: 1})
+		ts := httptest.NewServer(srv.Handler())
+		defer func() {
+			ts.Close()
+			_ = srv.Close(context.Background())
+		}()
+		addr = ts.URL
+	}
+	resp, err := service.NewClient(addr).Advise(context.Background(), req)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(resp)
+	}
+	fmt.Fprint(stdout, service.RenderAdvice(resp))
+	return nil
+}
+
+// runProfile is the legacy rule-based form (§VI guidelines).
+func runProfile(patternStr, sizeStr string, threads int, ht, latHide bool, stdout io.Writer) error {
 	var pattern core.AccessPattern
-	switch *patternStr {
-	case "sequential":
+	switch patternStr {
+	case "", "sequential":
 		pattern = core.SequentialPattern
 	case "random":
 		pattern = core.RandomPattern
 	default:
-		return fmt.Errorf("unknown pattern %q (sequential|random)", *patternStr)
+		return fmt.Errorf("unknown pattern %q (sequential|random)", patternStr)
 	}
-	size, err := units.ParseBytes(*sizeStr)
+	size, err := units.ParseBytes(sizeStr)
 	if err != nil {
 		return err
 	}
@@ -59,13 +131,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	rec, err := sys.Advise(core.AppProfile{
-		Pattern: pattern, WorkingSet: size, Threads: *threads,
-		CanUseHT: *ht, LatencyHide: *latHide,
+		Pattern: pattern, WorkingSet: size, Threads: threads,
+		CanUseHT: ht, LatencyHide: latHide,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "profile: %s access, %v working set, %d baseline threads\n", pattern, size, *threads)
+	fmt.Fprintf(stdout, "profile: %s access, %v working set, %d baseline threads\n", pattern, size, threads)
 	fmt.Fprint(stdout, rec.String())
 	return nil
 }

@@ -1,8 +1,15 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/service"
 )
 
 func runCmd(t *testing.T, args ...string) (string, error) {
@@ -52,6 +59,78 @@ func TestOversizedWorkingSetPrefersInterleave(t *testing.T) {
 	}
 	if !strings.Contains(out, "Interleave") {
 		t.Errorf("working set beyond DRAM should interleave:\n%s", out)
+	}
+}
+
+func TestPlacementFormWorkloadOffline(t *testing.T) {
+	// No -addr: the service runs in-process and the ranked report
+	// renders the same way a remote simd would produce it.
+	out, err := runCmd(t, "-workload", "GUPS", "-size", "8GB", "-threads", "64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"advice for GUPS", "rank", "vs DDR", "vs cache"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("placement form output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlacementFormStructsFile(t *testing.T) {
+	structs := `[
+	  {"name": "csr-matrix", "footprint": "10GB", "seq_bytes": 1e11},
+	  {"name": "io-buffers", "footprint": "20GB", "seq_bytes": 5e8}
+	]`
+	path := filepath.Join(t.TempDir(), "structs.json")
+	if err := os.WriteFile(path, []byte(structs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCmd(t, "-structs", path, "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp service.AdviseResponse
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("bad -json output: %v\n%s", err, out)
+	}
+	if resp.Advice.Best == "" || len(resp.Advice.Options) < 4 {
+		t.Fatalf("thin advice: %+v", resp.Advice)
+	}
+	if _, ok := resp.Advice.Options[0].Assignments["csr-matrix"]; resp.Advice.Best == "flat" && !ok {
+		t.Errorf("flat recommendation without assignments: %+v", resp.Advice.Options[0])
+	}
+}
+
+func TestPlacementFormAgainstRemoteService(t *testing.T) {
+	srv := service.NewServer(service.Options{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = srv.Close(context.Background())
+	})
+	out, err := runCmd(t, "-addr", ts.URL, "-workload", "STREAM", "-size", "4GB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "advice for STREAM") {
+		t.Errorf("remote placement form output:\n%s", out)
+	}
+	// A second identical query hits the remote advice cache.
+	out, err = runCmd(t, "-addr", ts.URL, "-workload", "STREAM", "-size", "4096MB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "served from cache") {
+		t.Errorf("remote advise not cached:\n%s", out)
+	}
+}
+
+func TestPlacementFormErrors(t *testing.T) {
+	if _, err := runCmd(t, "-workload", "NoSuch", "-size", "1GB"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := runCmd(t, "-structs", "/no/such/file.json"); err == nil {
+		t.Error("missing structs file accepted")
 	}
 }
 

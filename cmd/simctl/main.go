@@ -2,14 +2,18 @@
 //
 //	simctl -addr http://127.0.0.1:8077 workloads
 //	simctl run -workload STREAM -config hbm -size 8GB -threads 128
+//	simctl advise -workload GUPS -size 8GB -threads 64
+//	simctl advise -structs app.json
 //	simctl campaign -workloads STREAM,GUPS -configs dram,hbm,cache \
 //	    -sizes 2GB,8GB,24GB -threads 64,128
+//	simctl campaign -fidelity advise -workloads GUPS -sizes 2GB,8GB,32GB
 //	simctl campaign -spec sweep.json -async
 //	simctl campaign -experiments all
 //	simctl job j000001
 //
 // Campaign submissions stream the job's progress to stderr and render
-// the aggregate tables to stdout when the sweep completes.
+// the aggregate tables to stdout when the sweep completes. advise
+// renders the ranked memory-mode recommendation table.
 package main
 
 import (
@@ -37,7 +41,7 @@ func main() {
 	}
 }
 
-const usage = `usage: simctl [-addr URL] <workloads|experiments|run|campaign|job> [flags]`
+const usage = `usage: simctl [-addr URL] <workloads|experiments|run|advise|campaign|job> [flags]`
 
 // run dispatches the subcommands; it is the testable body of the
 // command.
@@ -61,6 +65,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return cmdExperiments(ctx, client, stdout)
 	case "run":
 		return cmdRun(ctx, client, rest[1:], stdout, stderr)
+	case "advise":
+		return cmdAdvise(ctx, client, rest[1:], stdout, stderr)
 	case "campaign":
 		return cmdCampaign(ctx, client, rest[1:], stdout, stderr)
 	case "job":
@@ -132,6 +138,39 @@ func cmdRun(ctx context.Context, c *service.Client, args []string, stdout, stder
 	}
 	fmt.Fprintf(stdout, "%s %s %s threads=%d: %s = %.4g%s\n",
 		resp.Workload, resp.Config, resp.Size, resp.Threads, resp.Metric, resp.Value, tag)
+	return nil
+}
+
+// cmdAdvise asks the service which memory mode an application should
+// use and renders the ranked recommendation table.
+func cmdAdvise(ctx context.Context, c *service.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("simctl advise", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wl := fs.String("workload", "", "workload name (structure set derived from its access pattern; requires -size)")
+	size := fs.String("size", "", "application footprint for -workload")
+	structsPath := fs.String("structs", "", "JSON file with explicit structures ([{name,footprint,seq_bytes,...}])")
+	threads := fs.Int("threads", 64, "thread count")
+	sku := fs.String("sku", "", "KNL SKU (default 7210)")
+	asJSON := fs.Bool("json", false, "print the raw JSON response")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req := service.AdviseRequest{Workload: *wl, Size: *size, Threads: *threads, SKU: *sku}
+	if *structsPath != "" {
+		structs, err := service.LoadStructures(*structsPath)
+		if err != nil {
+			return err
+		}
+		req.Structures = structs
+	}
+	resp, err := c.Advise(ctx, req)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return printJSON(stdout, resp)
+	}
+	fmt.Fprint(stdout, service.RenderAdvice(resp))
 	return nil
 }
 

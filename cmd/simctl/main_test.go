@@ -77,6 +77,80 @@ func TestRunSubcommand(t *testing.T) {
 	}
 }
 
+func TestAdviseSubcommandWorkloadForm(t *testing.T) {
+	url := startServer(t)
+	out, _, err := runCLI(t, "-addr", url, "advise",
+		"-workload", "GUPS", "-size", "8GB", "-threads", "64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"advice for GUPS at 8.0 GiB", "rank", "vs DDR", "vs cache"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("advise output missing %q:\n%s", want, out)
+		}
+	}
+	// Identical request spelled differently must report the cache.
+	out, _, err = runCLI(t, "-addr", url, "advise",
+		"-workload", "GUPS", "-size", "8192MB", "-threads", "64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "served from cache") {
+		t.Errorf("spelled-differently advise not cached:\n%s", out)
+	}
+}
+
+func TestAdviseSubcommandStructsFile(t *testing.T) {
+	url := startServer(t)
+	structs := []service.StructureSpec{
+		{Name: "csr-matrix", Footprint: "10GB", SeqBytes: 100e9},
+		{Name: "io-buffers", Footprint: "20GB", SeqBytes: 0.5e9},
+	}
+	buf, _ := json.Marshal(structs)
+	path := filepath.Join(t.TempDir(), "structs.json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runCLI(t, "-addr", url, "advise", "-structs", path, "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp service.AdviseResponse
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("bad -json output: %v\n%s", err, out)
+	}
+	if resp.Advice.Best == "" || len(resp.Advice.Options) < 4 {
+		t.Fatalf("thin advice payload: %+v", resp.Advice)
+	}
+}
+
+func TestAdviseCampaignFidelity(t *testing.T) {
+	url := startServer(t)
+	out, _, err := runCLI(t, "-addr", url, "campaign",
+		"-fidelity", "advise", "-workloads", "GUPS", "-sizes", "2GB,32GB", "-threads", "64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"2 points", "recommended", "speedup vs all-DDR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("advise campaign missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAdviseSubcommandErrors(t *testing.T) {
+	url := startServer(t)
+	if _, _, err := runCLI(t, "-addr", url, "advise"); err == nil {
+		t.Error("empty advise accepted")
+	}
+	if _, _, err := runCLI(t, "-addr", url, "advise", "-workload", "NoSuch", "-size", "1GB"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, _, err := runCLI(t, "-addr", url, "advise", "-structs", "/no/such/file.json"); err == nil {
+		t.Error("missing structs file accepted")
+	}
+}
+
 func TestCampaignSubcommandFlags(t *testing.T) {
 	url := startServer(t)
 	out, progress, err := runCLI(t, "-addr", url, "campaign",

@@ -5,9 +5,46 @@
 // paper's seven workloads implemented functionally, and a benchmark
 // harness that regenerates every table and figure of the evaluation.
 //
-// See README.md for the architecture overview, DESIGN.md for the
-// system inventory and per-experiment index, and EXPERIMENTS.md for
-// the paper-vs-reproduction comparison.
+// See ARCHITECTURE.md for the package map and the request path
+// through the service, and docs/api.md for the HTTP API reference
+// (every /v1 endpoint with request/response examples, error codes and
+// cache semantics).
+//
+// # Quickstart
+//
+// Start the simulation service and ask it questions from a second
+// shell:
+//
+//	go run ./cmd/simd -addr 127.0.0.1:8077 &
+//
+//	# What does the machine offer?
+//	go run ./cmd/simctl workloads
+//
+//	# One what-if query: STREAM on flat HBM at 8 GB with 128 threads.
+//	go run ./cmd/simctl run -workload STREAM -config hbm -size 8GB -threads 128
+//
+//	# A declarative sweep. The table has one row per size, one column
+//	# per memory configuration, and a "best" column naming the winner
+//	# — the paper's Fig. 4 question over an arbitrary grid.
+//	go run ./cmd/simctl campaign -workloads STREAM,GUPS \
+//	    -configs dram,hbm,cache -sizes 2GB,8GB,24GB -threads 64
+//
+//	# Which memory mode should my application use? The ranked table
+//	# quotes every mode against all-DDR and against cache mode; rows
+//	# with assignments also say which structures to hbw_malloc.
+//	go run ./cmd/simctl advise -workload GUPS -size 8GB -threads 64
+//
+//	# The same recommendation swept over a size grid: the
+//	# "recommended" column shows where the best mode flips.
+//	go run ./cmd/simctl campaign -fidelity advise -workloads GUPS \
+//	    -sizes 2GB,8GB,32GB -threads 64
+//
+// Resubmitting any of these is served from the content-addressed
+// caches ("(cached)" / "served from campaign cache" in the output) —
+// spelling does not matter ("8GB" == "8192MB"). Everything also works
+// offline: cmd/advisor runs the identical advisory service in-process
+// when no simd is reachable, and examples/service and examples/advise
+// drive an in-process server programmatically.
 //
 // # Performance architecture
 //
@@ -86,4 +123,24 @@
 //
 // See examples/service for programmatic submission against an
 // in-process server, and BENCH_SERVE.json for the serving baselines.
+//
+// # Advisory service
+//
+// internal/placement generalizes the paper's §VI future work into a
+// mode-exploration engine: for an application described as data
+// structures (footprint + traffic profile each), Optimizer.Advise
+// evaluates all-DDR, cache mode, the optimal flat-mode per-structure
+// placement (exhaustive up to 16 structures, greedy beyond) and the
+// hybrid BIOS partitions (25/50/75% flat), and returns a ranked
+// report with speedups vs all-DDR and vs cache mode, HBM use and
+// headroom, and per-structure MEMKIND_HBW/MEMKIND_DEFAULT bindings.
+//
+// The engine is served as POST /v1/advise (workload form derives the
+// structure set from the workload's Table I access pattern; explicit
+// structure sets are spelled in JSON) behind its own content-addressed
+// singleflight cache, swept over size/thread grids as the campaign
+// fidelity "advise", and reachable from the shell via simctl advise
+// and cmd/advisor. The service answer is pinned by test to match an
+// in-process placement.Optimizer.Advise run exactly. See
+// examples/advise and docs/api.md.
 package repro

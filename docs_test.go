@@ -1,0 +1,76 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocsExist pins the documentation surface: the architecture map
+// and the API reference must exist and be linked from doc.go.
+func TestDocsExist(t *testing.T) {
+	for _, f := range []string{"ARCHITECTURE.md", "docs/api.md", "CHANGES.md", "ROADMAP.md"} {
+		if _, err := os.Stat(f); err != nil {
+			t.Errorf("missing documentation file %s: %v", f, err)
+		}
+	}
+	buf, err := os.ReadFile("doc.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ARCHITECTURE.md", "docs/api.md"} {
+		if !strings.Contains(string(buf), want) {
+			t.Errorf("doc.go does not point at %s", want)
+		}
+	}
+}
+
+// mdLink matches [text](target) markdown links.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinksResolve walks every markdown file in the repo and
+// verifies that relative links point at files that exist (anchors and
+// absolute URLs are skipped).
+func TestMarkdownLinksResolve(t *testing.T) {
+	var files []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if strings.HasPrefix(d.Name(), ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	for _, f := range files {
+		buf, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(buf), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			resolved := filepath.Join(filepath.Dir(f), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", f, m[1], resolved)
+			}
+		}
+	}
+}

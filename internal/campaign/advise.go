@@ -1,0 +1,173 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FidelityAdvise executes a point through the placement advisor
+// instead of a single-configuration prediction: the advisor evaluates
+// every memory mode (all-DDR, cache, flat optimal placement, hybrid
+// partitions) for the workload's derived structure set and the point
+// records the ranked result. Advise points have no memory-config axis
+// — the advisor sweeps all of them — so Expand collapses the Configs
+// axis to one canonical point per (workload, size, threads).
+const FidelityAdvise = "advise"
+
+// AdviceOption is one evaluated memory mode in wire form, ranked
+// within an AdviceSummary. Times are nanoseconds; speedups are ratios
+// (>1 means this mode is faster than the reference).
+type AdviceOption struct {
+	// Mode is ddr, cache, flat, or hybrid.
+	Mode string `json:"mode"`
+	// Config is the rendered engine configuration ("DRAM", "Cache
+	// Mode", "HBM", "Hybrid(50% flat)").
+	Config string `json:"config"`
+	// FlatFraction is the MCDRAM fraction exposed flat (1 for flat
+	// mode, 0 for ddr and cache).
+	FlatFraction float64 `json:"flat_fraction,omitempty"`
+	// TimeNS is the predicted phase time.
+	TimeNS float64 `json:"time_ns"`
+	// SpeedupVsDRAM compares against the all-DDR option.
+	SpeedupVsDRAM float64 `json:"speedup_vs_dram"`
+	// SpeedupVsCache compares against the cache-mode option.
+	SpeedupVsCache float64 `json:"speedup_vs_cache"`
+	// HBMUsed is the flat-placed HBM footprint in canonical form
+	// ("6GiB").
+	HBMUsed string `json:"hbm_used,omitempty"`
+	// HBMHeadroom is the unplaced flat capacity remaining.
+	HBMHeadroom string `json:"hbm_headroom,omitempty"`
+	// Assignments maps structure names to "hbm" or "ddr" for flat and
+	// hybrid options.
+	Assignments map[string]string `json:"assignments,omitempty"`
+}
+
+// Label renders the option's mode with its hybrid fraction
+// ("hybrid:0.50"), the form tables and CLIs print.
+func (o AdviceOption) Label() string {
+	if o.Mode == "hybrid" {
+		return fmt.Sprintf("hybrid:%.2f", o.FlatFraction)
+	}
+	return o.Mode
+}
+
+// AdviceSummary is the ranked mode recommendation of one advise
+// point: Options fastest-first, Best naming the winner's mode label.
+type AdviceSummary struct {
+	// Best is the winning option's label ("flat", "hybrid:0.50", ...).
+	Best string `json:"best"`
+	// TotalFootprint is the summed structure footprint in canonical
+	// form.
+	TotalFootprint string `json:"total_footprint"`
+	// Options holds every evaluated mode, fastest first.
+	Options []AdviceOption `json:"options"`
+}
+
+// adviseModeRank orders advice columns canonically (reference modes
+// first, then increasing flat exposure) so sweep tables render the
+// same columns in the same order for every row.
+func adviseModeRank(o AdviceOption) float64 {
+	switch o.Mode {
+	case "ddr":
+		return 0
+	case "cache":
+		return 1
+	case "hybrid":
+		return 1 + o.FlatFraction // 1.25, 1.5, 1.75
+	case "flat":
+		return 3
+	}
+	return 4
+}
+
+// adviseTables renders advise-fidelity outcomes: one table per
+// (workload, threads) group, rows are problem sizes, columns are the
+// evaluated memory modes (cells hold the mode's speedup vs all-DDR),
+// and the trailing column names the recommended mode. Unavailable
+// points (footprint beyond the node) render as dash rows.
+func adviseTables(outcomes []Outcome) []string {
+	type groupKey struct {
+		workload string
+		threads  int
+	}
+	var order []groupKey
+	groups := make(map[groupKey][]Outcome)
+	for _, o := range outcomes {
+		k := groupKey{o.Point.Workload, o.Point.Threads}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], o)
+	}
+	var tables []string
+	for _, k := range order {
+		tables = append(tables, renderAdviseGroup(k.workload, k.threads, groups[k]))
+	}
+	return tables
+}
+
+// renderAdviseGroup renders one workload x threads advise grid.
+func renderAdviseGroup(workload string, threads int, outcomes []Outcome) string {
+	// Collect the mode columns in canonical order.
+	type col struct {
+		label string
+		rank  float64
+	}
+	var cols []col
+	seen := make(map[string]bool)
+	for _, o := range outcomes {
+		if o.Advice == nil {
+			continue
+		}
+		for _, op := range o.Advice.Options {
+			label := op.Label()
+			if !seen[label] {
+				seen[label] = true
+				cols = append(cols, col{label, adviseModeRank(op)})
+			}
+		}
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i].rank < cols[j].rank })
+
+	rows := make(map[int64]map[string]float64) // size -> mode label -> speedup vs DDR
+	best := make(map[int64]string)
+	var sizes []int64
+	for _, o := range outcomes {
+		sz := int64(o.Point.Size)
+		if _, ok := rows[sz]; !ok {
+			rows[sz] = make(map[string]float64)
+			sizes = append(sizes, sz)
+		}
+		if o.Advice == nil {
+			best[sz] = "-" // unavailable: the paper prints no bar
+			continue
+		}
+		for _, op := range o.Advice.Options {
+			rows[sz][op.Label()] = op.SpeedupVsDRAM
+		}
+		best[sz] = o.Advice.Best
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s, %d threads (speedup vs all-DDR)\n", workload, threads)
+	const width = 14
+	fmt.Fprintf(&b, "%-14s", "Size (GB)")
+	for _, c := range cols {
+		fmt.Fprintf(&b, "%*s", width, c.label)
+	}
+	fmt.Fprintf(&b, "%*s\n", width, "recommended")
+	for _, sz := range sizes {
+		fmt.Fprintf(&b, "%-14.2f", float64(sz)/float64(1<<30))
+		for _, c := range cols {
+			if v, ok := rows[sz][c.label]; ok {
+				fmt.Fprintf(&b, "%*.2f", width, v)
+			} else {
+				fmt.Fprintf(&b, "%*s", width, "-")
+			}
+		}
+		fmt.Fprintf(&b, "%*s\n", width, best[sz])
+	}
+	return b.String()
+}

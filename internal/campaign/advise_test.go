@@ -1,0 +1,142 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+func mustConfig(t *testing.T, s string) engine.MemoryConfig {
+	t.Helper()
+	cfg, err := engine.ParseConfig(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestAdviseFidelityCollapsesConfigAxis(t *testing.T) {
+	spec := Spec{
+		Fidelity:  FidelityAdvise,
+		Workloads: []string{"GUPS"},
+		Configs:   []string{"dram", "hbm", "cache"}, // redundant for advise
+		Sizes:     []string{"2GB", "8GB"},
+		Threads:   []int{64},
+	}
+	points, raw, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != 6 {
+		t.Errorf("raw cross product = %d, want 6", raw)
+	}
+	// The config axis collapses: one point per (workload, size, threads).
+	if len(points) != 2 {
+		t.Fatalf("advise points = %d, want 2: %v", len(points), points)
+	}
+	for _, p := range points {
+		if p.Fidelity != FidelityAdvise {
+			t.Errorf("point fidelity = %q", p.Fidelity)
+		}
+	}
+}
+
+func TestAdviseFidelityNeedsNoConfigs(t *testing.T) {
+	spec := Spec{
+		Fidelity:  FidelityAdvise,
+		Workloads: []string{"STREAM"},
+		Sizes:     []string{"4GB"},
+		Threads:   []int{64, 128},
+	}
+	points, _, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 { // thread axis survives for advise
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	// The same spec at model fidelity must still demand configs.
+	spec.Fidelity = FidelityModel
+	if _, _, err := spec.Expand(); err == nil {
+		t.Error("model-fidelity spec without configs accepted")
+	}
+}
+
+func TestAdviseSpelledDifferentlySharesKeys(t *testing.T) {
+	a := Spec{Fidelity: FidelityAdvise, Workloads: []string{"GUPS"}, Sizes: []string{"8GB"}, Threads: []int{64}}
+	b := Spec{Fidelity: FidelityAdvise, Workloads: []string{"GUPS"}, Sizes: []string{"8192MB"}, Threads: []int{64}}
+	ka, err := a.CampaignKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.CampaignKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Errorf("8GB and 8192MB advise campaigns hash differently: %s vs %s", ka, kb)
+	}
+}
+
+func adviseOutcome(workload string, size units.Bytes, threads int, best string) Outcome {
+	return Outcome{
+		Point: Point{Workload: workload, Size: size, Threads: threads, SKU: DefaultSKU, Fidelity: FidelityAdvise},
+		Advice: &AdviceSummary{
+			Best:           best,
+			TotalFootprint: size.String(),
+			Options: []AdviceOption{
+				{Mode: "flat", Config: "HBM", FlatFraction: 1, TimeNS: 1e6, SpeedupVsDRAM: 2.5, SpeedupVsCache: 1.3},
+				{Mode: "cache", Config: "Cache Mode", TimeNS: 1.3e6, SpeedupVsDRAM: 1.9, SpeedupVsCache: 1},
+				{Mode: "hybrid", Config: "Hybrid(50% flat)", FlatFraction: 0.5, TimeNS: 1.4e6, SpeedupVsDRAM: 1.8, SpeedupVsCache: 0.9},
+				{Mode: "ddr", Config: "DRAM", TimeNS: 2.5e6, SpeedupVsDRAM: 1, SpeedupVsCache: 0.5},
+			},
+		},
+	}
+}
+
+func TestAdviseTables(t *testing.T) {
+	outcomes := []Outcome{
+		adviseOutcome("GUPS", units.GB(2), 64, "flat"),
+		adviseOutcome("GUPS", units.GB(32), 64, "cache"),
+	}
+	tables := Tables(outcomes)
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(tables))
+	}
+	tbl := tables[0]
+	for _, want := range []string{"GUPS, 64 threads", "speedup vs all-DDR", "recommended", "ddr", "cache", "hybrid:0.50", "flat"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("advise table missing %q:\n%s", want, tbl)
+		}
+	}
+	// Canonical column order: ddr before cache before hybrid before flat.
+	header := strings.SplitN(tbl, "\n", 3)[1]
+	if !(strings.Index(header, "ddr") < strings.Index(header, "cache") &&
+		strings.Index(header, "cache") < strings.Index(header, "hybrid:0.50") &&
+		strings.Index(header, "hybrid:0.50") < strings.Index(header, "flat")) {
+		t.Errorf("columns out of canonical order:\n%s", header)
+	}
+	// Both row recommendations appear.
+	if !strings.Contains(tbl, "flat") || !strings.Contains(tbl, "cache") {
+		t.Errorf("recommendations missing:\n%s", tbl)
+	}
+}
+
+func TestMixedTablesSplitByFidelity(t *testing.T) {
+	outcomes := []Outcome{
+		{Point: Point{Workload: "STREAM", Size: units.GB(2), Threads: 64, Config: mustConfig(t, "hbm")}, Metric: "GB/s", Value: 400},
+		adviseOutcome("STREAM", units.GB(2), 64, "flat"),
+	}
+	tables := Tables(outcomes)
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want 2 (plain + advise)", len(tables))
+	}
+	if !strings.Contains(tables[0], "GB/s") {
+		t.Errorf("first table should be the plain grid:\n%s", tables[0])
+	}
+	if !strings.Contains(tables[1], "recommended") {
+		t.Errorf("second table should be the advise grid:\n%s", tables[1])
+	}
+}

@@ -49,8 +49,10 @@ func normalizeFidelity(f string) (string, error) {
 		return FidelityModel, nil
 	case FidelityTrace:
 		return FidelityTrace, nil
+	case FidelityAdvise:
+		return FidelityAdvise, nil
 	}
-	return "", fmt.Errorf("campaign: unknown fidelity %q (model|trace)", f)
+	return "", fmt.Errorf("campaign: unknown fidelity %q (model|trace|advise)", f)
 }
 
 // Grid is a geometric problem-size axis: Points sizes spaced evenly in
@@ -156,7 +158,7 @@ func (s Spec) Expand() (points []Point, raw int, err error) {
 	if len(s.Workloads) == 0 {
 		return nil, 0, nil // experiment-only campaign
 	}
-	if len(s.Configs) == 0 {
+	if len(s.Configs) == 0 && fidelity != FidelityAdvise {
 		return nil, 0, fmt.Errorf("campaign: spec names workloads but no memory configurations")
 	}
 	var sizes []units.Bytes
@@ -197,6 +199,11 @@ func (s Spec) Expand() (points []Point, raw int, err error) {
 		}
 		cfgs = append(cfgs, cfg)
 	}
+	if fidelity == FidelityAdvise && len(cfgs) == 0 {
+		// The advisor sweeps every memory mode itself; the config axis
+		// is implicit.
+		cfgs = []engine.MemoryConfig{{}}
+	}
 
 	seen := make(map[string]bool)
 	for _, w := range s.Workloads {
@@ -213,6 +220,11 @@ func (s Spec) Expand() (points []Point, raw int, err error) {
 						// axis collapses (dedup below removes the
 						// redundant grid points).
 						th = 0
+					}
+					if fidelity == FidelityAdvise {
+						// The advisor evaluates every memory mode, so
+						// the config axis collapses the same way.
+						cfg = engine.MemoryConfig{}
 					}
 					p := Point{Workload: w, Config: cfg, Size: size, Threads: th, SKU: sku, Fidelity: fidelity}
 					k := p.Key()

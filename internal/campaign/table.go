@@ -22,7 +22,7 @@ type TraceStats struct {
 // the reason the paper would print no bar (does not fit, not
 // measurable). Cached marks results served from the content-addressed
 // cache rather than recomputed. Trace is set for FidelityTrace
-// points.
+// points; Advice for FidelityAdvise points.
 type Outcome struct {
 	Point       Point
 	Metric      string
@@ -30,6 +30,7 @@ type Outcome struct {
 	Unavailable string
 	Cached      bool
 	Trace       *TraceStats
+	Advice      *AdviceSummary
 }
 
 // Format renders the outcome's value cell the way the paper's figures
@@ -45,8 +46,24 @@ func (o Outcome) Format() string {
 // threads) pair: rows are problem sizes, columns are memory
 // configurations, with a trailing "best" column naming the winning
 // configuration per row. Tables are emitted in first-seen order so a
-// campaign renders deterministically.
+// campaign renders deterministically. Advise-fidelity outcomes render
+// through the mode-recommendation table instead (columns are memory
+// modes, cells are speedups vs all-DDR).
 func Tables(outcomes []Outcome) []string {
+	var plain, advised []Outcome
+	for _, o := range outcomes {
+		if o.Point.Fidelity == FidelityAdvise {
+			advised = append(advised, o)
+		} else {
+			plain = append(plain, o)
+		}
+	}
+	tables := plainTables(plain)
+	return append(tables, adviseTables(advised)...)
+}
+
+// plainTables renders the model/trace outcome grid.
+func plainTables(outcomes []Outcome) []string {
 	type groupKey struct {
 		workload string
 		threads  int

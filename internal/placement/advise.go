@@ -1,0 +1,274 @@
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+// This file generalizes the placement optimizer into a mode-exploration
+// engine: instead of answering only "which structures go to HBM in flat
+// mode?", Advise evaluates every BIOS-selectable memory mode — all-DDR,
+// cache mode, flat mode with the optimal per-structure assignment, and
+// the hybrid partitions — and returns them as a ranked report. This is
+// the paper's §VI future work ("employ Intel KNL hybrid HBM mode
+// whenever necessary") turned into the query the simulation service
+// exposes as POST /v1/advise.
+
+// Mode labels of an advice option. They name the BIOS/boot choice the
+// operator would make, not a numactl policy.
+const (
+	// ModeDDR is flat mode with everything bound to DDR (the paper's
+	// "DRAM" baseline).
+	ModeDDR = "ddr"
+	// ModeCache is MCDRAM configured as the direct-mapped memory-side
+	// cache.
+	ModeCache = "cache"
+	// ModeFlat is flat mode with the optimizer's per-structure
+	// HBM/DDR assignment (exhaustive up to 16 structures, greedy
+	// beyond).
+	ModeFlat = "flat"
+	// ModeHybrid is a BIOS hybrid partition: part of MCDRAM flat
+	// (placed explicitly), the rest serving as cache.
+	ModeHybrid = "hybrid"
+)
+
+// HybridFractions are the BIOS-selectable flat fractions Advise
+// evaluates for ModeHybrid.
+var HybridFractions = []float64{0.25, 0.5, 0.75}
+
+// ErrOverCapacity marks a structure set too large for the node: the
+// paper's answer is multi-node decomposition (§IV-C), not a placement.
+// The service maps it to an "unavailable" outcome in sweeps.
+var ErrOverCapacity = errors.New("placement: over node capacity")
+
+// Option is one evaluated memory mode in an Advice report.
+type Option struct {
+	// Mode is one of ModeDDR, ModeCache, ModeFlat, ModeHybrid.
+	Mode string
+	// Config is the engine configuration the evaluation used. For
+	// ModeFlat the per-structure binding varies, so Config is the
+	// flat-mode HBM configuration and Assignment carries the detail.
+	Config engine.MemoryConfig
+	// FlatFraction is the MCDRAM fraction exposed flat (1 for flat
+	// mode, 0 for cache and DDR).
+	FlatFraction float64
+	// Time is the predicted phase time of the whole structure set.
+	Time units.Nanoseconds
+	// SpeedupVsDRAM compares against the all-DDR option (>1 is
+	// faster).
+	SpeedupVsDRAM float64
+	// SpeedupVsCache compares against the cache-mode option, the
+	// question operators actually ask ("is flat worth the port?").
+	SpeedupVsCache float64
+	// Assignment maps structure names to HBM (true) for flat and
+	// hybrid options; nil for DDR and cache mode.
+	Assignment Assignment
+	// HBMUsed is the flat-placed HBM footprint of the option.
+	HBMUsed units.Bytes
+	// HBMHeadroom is the unplaced remainder of the flat-exposed
+	// MCDRAM capacity: how much the working set can grow before the
+	// assignment must change.
+	HBMHeadroom units.Bytes
+}
+
+// Advice is a ranked mode-exploration report: Options sorted fastest
+// first, with Best() as the recommendation.
+type Advice struct {
+	// Threads is the thread count the evaluation assumed.
+	Threads int
+	// TotalFootprint is the summed footprint of the structure set.
+	TotalFootprint units.Bytes
+	// Options holds every evaluated mode, fastest first.
+	Options []Option
+}
+
+// Best returns the winning option (the first after ranking).
+func (a Advice) Best() Option {
+	if len(a.Options) == 0 {
+		return Option{}
+	}
+	return a.Options[0]
+}
+
+// String renders the report as a ranked table plus the winning flat
+// assignment, the shape cmd/advisor and simctl print.
+func (a Advice) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "advice (%v total footprint, %d threads):\n", a.TotalFootprint, a.Threads)
+	fmt.Fprintf(&b, "  %-4s %-16s %14s %10s %10s %10s\n", "rank", "mode", "time", "vs DDR", "vs cache", "HBM used")
+	for i, o := range a.Options {
+		fmt.Fprintf(&b, "  %-4d %-16s %14v %9.2fx %9.2fx %10v\n",
+			i+1, o.Label(), o.Time, o.SpeedupVsDRAM, o.SpeedupVsCache, o.HBMUsed)
+	}
+	if best := a.Best(); len(best.Assignment) > 0 {
+		b.WriteString(Plan{Assignment: best.Assignment, HBMUsed: best.HBMUsed, SpeedupVsDRAM: best.SpeedupVsDRAM}.String())
+	}
+	return b.String()
+}
+
+// Label renders the mode with its hybrid fraction ("hybrid:0.50").
+func (o Option) Label() string {
+	if o.Mode == ModeHybrid {
+		return fmt.Sprintf("hybrid:%.2f", o.FlatFraction)
+	}
+	return o.Mode
+}
+
+// Advise evaluates every memory mode for the structure set and returns
+// the ranked report. The all-DDR assignment must fit the DDR node: a
+// set beyond it needs multi-node decomposition (§IV-C), which is out of
+// a single-node advisor's scope and reported as an error.
+func (o *Optimizer) Advise(structs []Structure) (Advice, error) {
+	if o.Machine == nil {
+		return Advice{}, fmt.Errorf("placement: nil machine")
+	}
+	if o.Threads <= 0 {
+		return Advice{}, fmt.Errorf("placement: thread count %d must be positive", o.Threads)
+	}
+	if len(structs) == 0 {
+		return Advice{}, fmt.Errorf("placement: no structures")
+	}
+	seen := map[string]bool{}
+	var total units.Bytes
+	for _, s := range structs {
+		if err := s.Validate(); err != nil {
+			return Advice{}, err
+		}
+		if seen[s.Name] {
+			return Advice{}, fmt.Errorf("placement: duplicate structure %q", s.Name)
+		}
+		seen[s.Name] = true
+		total += s.Footprint
+	}
+	chip := o.Machine.Chip
+	if total > chip.DDR.Capacity {
+		return Advice{}, fmt.Errorf("%w: structure set (%v) exceeds the %v DDR node; decompose across nodes (§IV-C)",
+			ErrOverCapacity, total, chip.DDR.Capacity)
+	}
+
+	// The two reference points every speedup is quoted against.
+	ddrTime, _, err := o.evaluate(structs, Assignment{})
+	if err != nil {
+		return Advice{}, err
+	}
+	if ddrTime <= 0 {
+		// No traffic means every mode takes zero time and every
+		// speedup is 0/0; there is nothing to rank.
+		return Advice{}, fmt.Errorf("placement: structure set drives no traffic (set seq_bytes, random_accesses or chase_ops)")
+	}
+	cacheTime, err := o.evaluateUniform(structs, engine.Cache)
+	if err != nil {
+		return Advice{}, err
+	}
+
+	opts := []Option{
+		{Mode: ModeDDR, Config: engine.DRAM, Time: ddrTime, HBMHeadroom: chip.MCDRAM.Capacity},
+		{Mode: ModeCache, Config: engine.Cache, Time: cacheTime},
+	}
+
+	// Flat mode: the optimizer's per-structure assignment.
+	var flat Plan
+	if len(structs) <= 16 {
+		flat, err = o.exhaustive(structs)
+	} else {
+		flat, err = o.greedy(structs)
+	}
+	if err != nil {
+		return Advice{}, err
+	}
+	opts = append(opts, Option{
+		Mode: ModeFlat, Config: engine.HBM, FlatFraction: 1,
+		Time: flat.Time, Assignment: flat.Assignment, HBMUsed: flat.HBMUsed,
+		HBMHeadroom: chip.MCDRAM.Capacity - flat.HBMUsed,
+	})
+
+	// Hybrid partitions: explicit placement into the flat slice, the
+	// rest through the shrunken cache.
+	for _, frac := range HybridFractions {
+		t, asg, used, err := o.evaluateHybrid(structs, frac)
+		if err != nil {
+			continue // partition infeasible for this set
+		}
+		flatCap := units.Bytes(float64(chip.MCDRAM.Capacity) * frac)
+		opts = append(opts, Option{
+			Mode: ModeHybrid, Config: engine.MemoryConfig{Kind: engine.Hybrid, HybridFlatFraction: frac},
+			FlatFraction: frac, Time: t, Assignment: asg, HBMUsed: used,
+			HBMHeadroom: flatCap - used,
+		})
+	}
+
+	sort.SliceStable(opts, func(i, j int) bool { return opts[i].Time < opts[j].Time })
+	for i := range opts {
+		opts[i].SpeedupVsDRAM = float64(ddrTime) / float64(opts[i].Time)
+		opts[i].SpeedupVsCache = float64(cacheTime) / float64(opts[i].Time)
+		// Complete the assignment so reports list DDR-bound structures
+		// explicitly instead of by omission.
+		if opts[i].Assignment != nil {
+			for _, s := range structs {
+				if !opts[i].Assignment[s.Name] {
+					opts[i].Assignment[s.Name] = false
+				}
+			}
+		}
+	}
+	return Advice{Threads: o.Threads, TotalFootprint: total, Options: opts}, nil
+}
+
+// evaluateUniform predicts the structure set with every structure under
+// one configuration (the cache-mode and reference evaluations).
+func (o *Optimizer) evaluateUniform(structs []Structure, cfg engine.MemoryConfig) (units.Nanoseconds, error) {
+	var total units.Nanoseconds
+	for _, s := range structs {
+		p := engine.Phase{
+			Name:            s.Name,
+			SeqBytes:        s.SeqBytes,
+			SeqFootprint:    s.Footprint,
+			RandomAccesses:  s.RandomAccesses,
+			RandomFootprint: s.Footprint,
+			ChaseOps:        s.ChaseOps,
+			ChaseLength:     s.ChaseLength,
+			ChaseFootprint:  s.Footprint,
+		}
+		r, err := o.Machine.SolvePhase(cfg, o.Threads, p)
+		if err != nil {
+			return 0, fmt.Errorf("placement: %s: %w", s.Name, err)
+		}
+		total += r.Time
+	}
+	return total, nil
+}
+
+// WorkloadStructures maps a Table I workload profile (its access
+// pattern and footprint) onto a canonical structure decomposition, so
+// "advise me about GUPS at 8GB" resolves to the same structure set
+// however the request spells the size. Sequential workloads decompose
+// into two streamed arrays plus bookkeeping; random workloads into the
+// randomly-probed table, a streamed index, and buffers. The pattern
+// string matches workload.Info.Pattern ("Sequential"/"Random",
+// case-insensitive).
+func WorkloadStructures(pattern string, footprint units.Bytes) ([]Structure, error) {
+	if footprint <= 0 {
+		return nil, fmt.Errorf("placement: footprint %v must be positive", footprint)
+	}
+	frac := func(f float64) units.Bytes { return units.Bytes(float64(footprint) * f) }
+	switch strings.ToLower(strings.TrimSpace(pattern)) {
+	case "sequential":
+		return []Structure{
+			{Name: "stream-a", Footprint: frac(0.45), SeqBytes: 16 * float64(frac(0.45))},
+			{Name: "stream-b", Footprint: frac(0.45), SeqBytes: 16 * float64(frac(0.45))},
+			{Name: "metadata", Footprint: frac(0.10), RandomAccesses: float64(frac(0.10)) / 64},
+		}, nil
+	case "random":
+		return []Structure{
+			{Name: "table", Footprint: frac(0.70), RandomAccesses: 4 * float64(frac(0.70)) / 64},
+			{Name: "index", Footprint: frac(0.20), SeqBytes: 8 * float64(frac(0.20))},
+			{Name: "buffers", Footprint: frac(0.10), SeqBytes: 4 * float64(frac(0.10))},
+		}, nil
+	}
+	return nil, fmt.Errorf("placement: unknown access pattern %q (sequential|random)", pattern)
+}

@@ -1,0 +1,224 @@
+package placement
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestAdviseRanksAllModes(t *testing.T) {
+	a, err := opt(t).Advise(miniFEStructures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ddr + cache + flat + three hybrid partitions.
+	if len(a.Options) != 6 {
+		t.Fatalf("got %d options, want 6: %+v", len(a.Options), a.Options)
+	}
+	seen := map[string]int{}
+	for _, o := range a.Options {
+		seen[o.Mode]++
+	}
+	if seen[ModeDDR] != 1 || seen[ModeCache] != 1 || seen[ModeFlat] != 1 || seen[ModeHybrid] != 3 {
+		t.Fatalf("mode census wrong: %v", seen)
+	}
+	// Ranked fastest first.
+	for i := 1; i < len(a.Options); i++ {
+		if a.Options[i].Time < a.Options[i-1].Time {
+			t.Fatalf("options not sorted by time at %d: %v", i, a.Options)
+		}
+	}
+	// Speedups are quoted against the right references.
+	for _, o := range a.Options {
+		switch o.Mode {
+		case ModeDDR:
+			if math.Abs(o.SpeedupVsDRAM-1) > 1e-12 {
+				t.Errorf("ddr option vs DRAM = %v, want 1", o.SpeedupVsDRAM)
+			}
+		case ModeCache:
+			if math.Abs(o.SpeedupVsCache-1) > 1e-12 {
+				t.Errorf("cache option vs cache = %v, want 1", o.SpeedupVsCache)
+			}
+		}
+	}
+}
+
+func TestAdviseBestMatchesOptimize(t *testing.T) {
+	// The flat option inside the advice must be exactly the plan the
+	// one-shot optimizer computes: same assignment, same time.
+	o := opt(t)
+	structs := miniFEStructures()
+	a, err := o.Advise(structs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := o.Optimize(structs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat Option
+	for _, op := range a.Options {
+		if op.Mode == ModeFlat {
+			flat = op
+		}
+	}
+	if flat.Time != plan.Time || flat.HBMUsed != plan.HBMUsed {
+		t.Fatalf("flat option (%v, %v) != Optimize plan (%v, %v)",
+			flat.Time, flat.HBMUsed, plan.Time, plan.HBMUsed)
+	}
+	// The advice completes the assignment with explicit DDR entries;
+	// the HBM picks must agree exactly with the one-shot plan.
+	if len(flat.Assignment) != len(structs) {
+		t.Fatalf("advice assignment incomplete: %v", flat.Assignment)
+	}
+	for _, s := range structs {
+		if flat.Assignment[s.Name] != plan.Assignment[s.Name] {
+			t.Errorf("structure %s: advice says %v, optimizer says %v",
+				s.Name, flat.Assignment[s.Name], plan.Assignment[s.Name])
+		}
+	}
+	// Best can never be slower than all-DDR (all-DDR is an option).
+	if a.Best().SpeedupVsDRAM < 1-1e-9 {
+		t.Errorf("best option slower than DDR: %+v", a.Best())
+	}
+}
+
+func TestAdviseHeadroom(t *testing.T) {
+	a, err := opt(t).Advise([]Structure{
+		{Name: "hot", Footprint: units.GB(6), SeqBytes: 120e9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range a.Options {
+		if o.Mode != ModeFlat {
+			continue
+		}
+		if o.HBMUsed != units.GB(6) {
+			t.Errorf("flat HBM used = %v, want 6GB", o.HBMUsed)
+		}
+		want := opt(t).Machine.Chip.MCDRAM.Capacity - units.GB(6)
+		if o.HBMHeadroom != want {
+			t.Errorf("flat headroom = %v, want %v", o.HBMHeadroom, want)
+		}
+	}
+}
+
+func TestAdviseOverCapacityErrors(t *testing.T) {
+	o := opt(t)
+	dram := o.Machine.Chip.DDR.Capacity
+	_, err := o.Advise([]Structure{
+		{Name: "huge", Footprint: dram + units.GB(1), SeqBytes: 1e9},
+	})
+	if err == nil {
+		t.Fatal("structure set beyond DDR capacity accepted")
+	}
+	if !strings.Contains(err.Error(), "decompose") {
+		t.Errorf("over-capacity error should point at multi-node decomposition: %v", err)
+	}
+}
+
+func TestAdviseOverCapacityIsSentinel(t *testing.T) {
+	o := opt(t)
+	dram := o.Machine.Chip.DDR.Capacity
+	_, err := o.Advise([]Structure{{Name: "huge", Footprint: dram + units.GB(1), SeqBytes: 1e9}})
+	if !errors.Is(err, ErrOverCapacity) {
+		t.Errorf("over-capacity error is not ErrOverCapacity: %v", err)
+	}
+}
+
+func TestAdviseZeroTrafficErrors(t *testing.T) {
+	// A structure set with no traffic has undefined speedups (0/0);
+	// it must error instead of producing NaNs.
+	_, err := opt(t).Advise([]Structure{{Name: "idle", Footprint: units.GB(1)}})
+	if err == nil {
+		t.Fatal("zero-traffic structure set accepted")
+	}
+	if !strings.Contains(err.Error(), "no traffic") {
+		t.Errorf("unhelpful zero-traffic error: %v", err)
+	}
+}
+
+func TestAdviseInputErrors(t *testing.T) {
+	o := opt(t)
+	if _, err := o.Advise(nil); err == nil {
+		t.Error("empty structure list accepted")
+	}
+	if _, err := o.Advise([]Structure{{Name: "", Footprint: 1}}); err == nil {
+		t.Error("unnamed structure accepted")
+	}
+	if _, err := o.Advise([]Structure{
+		{Name: "x", Footprint: 1, SeqBytes: 1},
+		{Name: "x", Footprint: 1, SeqBytes: 1},
+	}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	o.Threads = 0
+	if _, err := o.Advise(miniFEStructures()); err == nil {
+		t.Error("zero threads accepted")
+	}
+	bad := &Optimizer{Machine: nil, Threads: 64}
+	if _, err := bad.Advise(miniFEStructures()); err == nil {
+		t.Error("nil machine accepted")
+	}
+}
+
+func TestAdviseRendering(t *testing.T) {
+	a, err := opt(t).Advise(miniFEStructures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.String()
+	for _, want := range []string{"rank", "vs DDR", "vs cache", "flat", "cache"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWorkloadStructures(t *testing.T) {
+	for _, pattern := range []string{"Sequential", "Random", "sequential", "random"} {
+		structs, err := WorkloadStructures(pattern, units.GB(8))
+		if err != nil {
+			t.Fatalf("%s: %v", pattern, err)
+		}
+		if len(structs) != 3 {
+			t.Fatalf("%s: %d structures, want 3", pattern, len(structs))
+		}
+		var total units.Bytes
+		for _, s := range structs {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s: derived structure invalid: %v", pattern, err)
+			}
+			total += s.Footprint
+		}
+		// The decomposition must cover the footprint (within rounding).
+		if float64(total) < 0.99*float64(units.GB(8)) || total > units.GB(8) {
+			t.Errorf("%s: decomposition covers %v of 8GB", pattern, total)
+		}
+	}
+	if _, err := WorkloadStructures("diagonal", units.GB(1)); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+	if _, err := WorkloadStructures("sequential", 0); err == nil {
+		t.Error("zero footprint accepted")
+	}
+}
+
+func TestAdviseIsDeterministic(t *testing.T) {
+	o := opt(t)
+	a1, err := o.Advise(miniFEStructures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := o.Advise(miniFEStructures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.String() != a2.String() {
+		t.Errorf("advice not deterministic:\n%s\nvs\n%s", a1, a2)
+	}
+}

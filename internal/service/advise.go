@@ -1,0 +1,335 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/placement"
+	"repro/internal/units"
+)
+
+// This file is the advisory endpoint: POST /v1/advise asks "which
+// memory mode should this application use?" and is answered by the
+// placement mode-exploration engine (internal/placement.Advise) behind
+// the same content-addressed singleflight cache as every other query.
+// A request either names a workload + footprint (the structure set is
+// derived from the workload's Table I access pattern) or spells out
+// the application's data structures explicitly.
+
+// StructureSpec is one application data structure in wire vocabulary:
+// a footprint in the size grammar ("8GB", "512MiB") plus the traffic
+// the modelled phase drives through it.
+type StructureSpec struct {
+	// Name identifies the structure in assignments.
+	Name string `json:"name"`
+	// Footprint is the structure's resident size ("4GB").
+	Footprint string `json:"footprint"`
+	// SeqBytes is streamed traffic per phase execution, in bytes.
+	SeqBytes float64 `json:"seq_bytes,omitempty"`
+	// RandomAccesses is independent random line accesses per phase.
+	RandomAccesses float64 `json:"random_accesses,omitempty"`
+	// ChaseOps is dependent pointer-chase chains per phase.
+	ChaseOps float64 `json:"chase_ops,omitempty"`
+	// ChaseLength is the accesses per chase chain.
+	ChaseLength float64 `json:"chase_length,omitempty"`
+}
+
+// AdviseRequest asks for a ranked memory-mode recommendation. Exactly
+// one of (Workload, Size) or Structures must describe the application.
+type AdviseRequest struct {
+	// Workload names a registered workload whose Table I pattern
+	// shapes the derived structure set. Requires Size.
+	Workload string `json:"workload,omitempty"`
+	// Size is the application footprint for the workload form.
+	Size string `json:"size,omitempty"`
+	// Structures spells the application out explicitly instead.
+	Structures []StructureSpec `json:"structures,omitempty"`
+	// Threads is the evaluation thread count (default 64).
+	Threads int `json:"threads,omitempty"`
+	// SKU selects the machine preset (default 7210).
+	SKU string `json:"sku,omitempty"`
+}
+
+// AdviseResponse is the ranked recommendation: the canonical echo of
+// the resolved request, the advice report, and cache accounting.
+type AdviseResponse struct {
+	Workload string `json:"workload,omitempty"`
+	// Size is the canonical footprint of the workload form.
+	Size    string `json:"size,omitempty"`
+	Threads int    `json:"threads"`
+	SKU     string `json:"sku"`
+	// Key is the content address the advice is cached under.
+	Key string `json:"key"`
+	// Structures echoes the resolved structure set in canonical form
+	// (footprints normalized, sorted for explicit requests).
+	Structures []StructureSpec `json:"structures"`
+	// Advice is the ranked mode report.
+	Advice campaign.AdviceSummary `json:"advice"`
+	// Cached marks responses served from the content-addressed cache.
+	Cached    bool    `json:"cached"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// LoadStructures reads an explicit structure set from a JSON file
+// ([{"name":...,"footprint":...,"seq_bytes":...}, ...]), the format
+// simctl advise -structs and advisor -structs share.
+func LoadStructures(path string) ([]StructureSpec, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var structs []StructureSpec
+	if err := json.Unmarshal(buf, &structs); err != nil {
+		return nil, fmt.Errorf("structs %s: %w", path, err)
+	}
+	return structs, nil
+}
+
+// adviseQuery is the canonical resolved form of an AdviseRequest: the
+// unit of execution and caching.
+type adviseQuery struct {
+	workload string
+	size     units.Bytes // workload form only
+	structs  []placement.Structure
+	threads  int
+	sku      string
+}
+
+// Resolve canonicalizes the request: sizes parse to bytes (so "8GB"
+// and "8192MB" advise identically), explicit structures sort by name,
+// defaults fill in. Validation errors here map to HTTP 400.
+func (r AdviseRequest) Resolve() (adviseQuery, error) {
+	q := adviseQuery{workload: r.Workload, threads: r.Threads, sku: r.SKU}
+	if q.threads <= 0 {
+		q.threads = 64
+	}
+	if q.sku == "" {
+		q.sku = campaign.DefaultSKU
+	}
+	switch {
+	case r.Workload != "" && len(r.Structures) > 0:
+		return adviseQuery{}, fmt.Errorf("service: advise request must name a workload or spell structures, not both")
+	case r.Workload != "":
+		if r.Size == "" {
+			return adviseQuery{}, fmt.Errorf("service: advise request for workload %q needs a size", r.Workload)
+		}
+		size, err := units.ParseBytes(r.Size)
+		if err != nil {
+			return adviseQuery{}, err
+		}
+		if size <= 0 {
+			return adviseQuery{}, fmt.Errorf("service: size %q must be positive", r.Size)
+		}
+		q.size = size
+	case len(r.Structures) > 0:
+		for _, s := range r.Structures {
+			fp, err := units.ParseBytes(s.Footprint)
+			if err != nil {
+				return adviseQuery{}, fmt.Errorf("service: structure %q: %w", s.Name, err)
+			}
+			q.structs = append(q.structs, placement.Structure{
+				Name:           s.Name,
+				Footprint:      fp,
+				SeqBytes:       s.SeqBytes,
+				RandomAccesses: s.RandomAccesses,
+				ChaseOps:       s.ChaseOps,
+				ChaseLength:    s.ChaseLength,
+			})
+		}
+		sort.Slice(q.structs, func(i, j int) bool { return q.structs[i].Name < q.structs[j].Name })
+	default:
+		return adviseQuery{}, fmt.Errorf("service: advise request names no workload and no structures")
+	}
+	return q, nil
+}
+
+// Key content-addresses the canonical query, mirroring
+// campaign.Point.Key: equal resolved requests — however their sizes
+// were spelled — hash equal.
+func (q adviseQuery) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "advise|w=%d:%s|b=%d|t=%d|sku=%s", len(q.workload), q.workload, int64(q.size), q.threads, q.sku)
+	for _, s := range q.structs {
+		// Length-prefix the user-supplied name (injective even when
+		// names contain the delimiters) and serialize traffic by bit
+		// pattern (injective for every distinct float64).
+		fmt.Fprintf(&b, "|s=%d:%s:%d:%016x:%016x:%016x:%016x",
+			len(s.Name), s.Name, int64(s.Footprint),
+			math.Float64bits(s.SeqBytes), math.Float64bits(s.RandomAccesses),
+			math.Float64bits(s.ChaseOps), math.Float64bits(s.ChaseLength))
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// structures resolves the query's structure set, deriving it from the
+// workload's access pattern for the workload form.
+func (e *Executor) structures(q adviseQuery) ([]placement.Structure, error) {
+	if len(q.structs) > 0 {
+		return q.structs, nil
+	}
+	sys, err := e.System(q.sku)
+	if err != nil {
+		return nil, err
+	}
+	mdl, err := sys.Workload(q.workload)
+	if err != nil {
+		return nil, err
+	}
+	return placement.WorkloadStructures(mdl.Info().Pattern, q.size)
+}
+
+// Advise runs the mode-exploration engine for a resolved query. This
+// is the uncached execution path; the server wraps it in the
+// content-addressed cache.
+func (e *Executor) Advise(q adviseQuery) (AdviseResponse, error) {
+	structs, err := e.structures(q)
+	if err != nil {
+		return AdviseResponse{}, err
+	}
+	sys, err := e.System(q.sku)
+	if err != nil {
+		return AdviseResponse{}, err
+	}
+	opt := &placement.Optimizer{Machine: sys.Machine, Threads: q.threads}
+	advice, err := opt.Advise(structs)
+	if err != nil {
+		return AdviseResponse{}, err
+	}
+	resp := AdviseResponse{
+		Workload: q.workload,
+		Threads:  q.threads,
+		SKU:      q.sku,
+		Key:      q.Key(),
+		Advice:   summarizeAdvice(advice),
+	}
+	if q.size > 0 {
+		resp.Size = q.size.String()
+	}
+	for _, s := range structs {
+		resp.Structures = append(resp.Structures, StructureSpec{
+			Name:           s.Name,
+			Footprint:      s.Footprint.String(),
+			SeqBytes:       s.SeqBytes,
+			RandomAccesses: s.RandomAccesses,
+			ChaseOps:       s.ChaseOps,
+			ChaseLength:    s.ChaseLength,
+		})
+	}
+	return resp, nil
+}
+
+// summarizeAdvice converts the placement report to wire form.
+func summarizeAdvice(a placement.Advice) campaign.AdviceSummary {
+	sum := campaign.AdviceSummary{
+		Best:           a.Best().Label(),
+		TotalFootprint: a.TotalFootprint.String(),
+	}
+	for _, o := range a.Options {
+		wire := campaign.AdviceOption{
+			Mode:           o.Mode,
+			Config:         o.Config.String(),
+			FlatFraction:   o.FlatFraction,
+			TimeNS:         float64(o.Time),
+			SpeedupVsDRAM:  o.SpeedupVsDRAM,
+			SpeedupVsCache: o.SpeedupVsCache,
+		}
+		if o.Mode == placement.ModeFlat || o.Mode == placement.ModeHybrid {
+			wire.HBMUsed = o.HBMUsed.String()
+			wire.HBMHeadroom = o.HBMHeadroom.String()
+			if len(o.Assignment) > 0 {
+				wire.Assignments = make(map[string]string, len(o.Assignment))
+				for name, hbm := range o.Assignment {
+					if hbm {
+						wire.Assignments[name] = "hbm"
+					} else {
+						wire.Assignments[name] = "ddr"
+					}
+				}
+			}
+		}
+		sum.Options = append(sum.Options, wire)
+	}
+	return sum
+}
+
+// runAdvisePoint executes one FidelityAdvise campaign point: the same
+// advisory engine, recorded as an outcome whose Value is the best
+// mode's speedup over all-DDR. A footprint beyond the node is a valid
+// "no bar" outcome — the sweep's other sizes still render — matching
+// RunPoint's contract for unrunnable configurations.
+func (e *Executor) runAdvisePoint(p campaign.Point) (campaign.Outcome, error) {
+	q := adviseQuery{workload: p.Workload, size: p.Size, threads: p.Threads, sku: p.SKU}
+	resp, err := e.Advise(q)
+	if errors.Is(err, placement.ErrOverCapacity) {
+		return campaign.Outcome{Point: p, Metric: "best-mode speedup vs DDR", Unavailable: err.Error()}, nil
+	}
+	if err != nil {
+		return campaign.Outcome{}, fmt.Errorf("service: %s: %w", p, err)
+	}
+	best := resp.Advice.Options[0]
+	return campaign.Outcome{
+		Point:  p,
+		Metric: "best-mode speedup vs DDR",
+		Value:  best.SpeedupVsDRAM,
+		Advice: &resp.Advice,
+	}, nil
+}
+
+// RenderAdvice renders the recommendation the way simctl and advisor
+// print it: the ranked mode table, then the winning option's
+// per-structure assignment when it has one.
+func RenderAdvice(resp AdviseResponse) string {
+	if len(resp.Advice.Options) == 0 {
+		return "advice: empty report (no options returned)\n"
+	}
+	var b strings.Builder
+	what := "structure set"
+	if resp.Workload != "" {
+		what = fmt.Sprintf("%s at %s", resp.Workload, resp.Size)
+	}
+	from := ""
+	if resp.Cached {
+		from = ", served from cache"
+	}
+	fmt.Fprintf(&b, "advice for %s (%s total, %d threads, KNL %s%s):\n",
+		what, resp.Advice.TotalFootprint, resp.Threads, resp.SKU, from)
+	fmt.Fprintf(&b, "  %-4s %-14s %-18s %9s %9s %12s %12s\n",
+		"rank", "mode", "config", "vs DDR", "vs cache", "HBM used", "headroom")
+	for i, o := range resp.Advice.Options {
+		used, head := o.HBMUsed, o.HBMHeadroom
+		if used == "" {
+			used = "-"
+		}
+		if head == "" {
+			head = "-"
+		}
+		fmt.Fprintf(&b, "  %-4d %-14s %-18s %8.2fx %8.2fx %12s %12s\n",
+			i+1, o.Label(), o.Config, o.SpeedupVsDRAM, o.SpeedupVsCache, used, head)
+	}
+	best := resp.Advice.Options[0]
+	if len(best.Assignments) > 0 {
+		fmt.Fprintf(&b, "placement under %q:\n", resp.Advice.Best)
+		names := make([]string, 0, len(best.Assignments))
+		for n := range best.Assignments {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			kind := "MEMKIND_DEFAULT (DDR)"
+			if best.Assignments[n] == "hbm" {
+				kind = "MEMKIND_HBW     (HBM)"
+			}
+			fmt.Fprintf(&b, "  %-20s -> %s\n", n, kind)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,368 @@
+package service
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/placement"
+	"repro/internal/units"
+)
+
+// miniFESpecs is the MiniFE-like decomposition in wire form.
+func miniFESpecs() []StructureSpec {
+	return []StructureSpec{
+		{Name: "csr-matrix", Footprint: "10GB", SeqBytes: 100e9},
+		{Name: "cg-vectors", Footprint: "2GB", SeqBytes: 40e9},
+		{Name: "mesh-metadata", Footprint: "8GB", SeqBytes: 1e9},
+		{Name: "io-buffers", Footprint: "20GB", SeqBytes: 0.5e9},
+	}
+}
+
+// TestAdviseMatchesInProcessOptimizer pins the acceptance criterion:
+// the HTTP answer must match a direct placement.Optimizer.Advise run
+// exactly — same ranking, same times, same assignments.
+func TestAdviseMatchesInProcessOptimizer(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+
+	resp, err := c.Advise(ctx, AdviseRequest{Structures: miniFESpecs(), Threads: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys, err := core.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := &placement.Optimizer{Machine: sys.Machine, Threads: 64}
+	structs := []placement.Structure{
+		{Name: "cg-vectors", Footprint: units.GB(2), SeqBytes: 40e9},
+		{Name: "csr-matrix", Footprint: units.GB(10), SeqBytes: 100e9},
+		{Name: "io-buffers", Footprint: units.GB(20), SeqBytes: 0.5e9},
+		{Name: "mesh-metadata", Footprint: units.GB(8), SeqBytes: 1e9},
+	}
+	want, err := opt.Advise(structs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := resp.Advice.Best; got != want.Best().Label() {
+		t.Fatalf("service best = %q, optimizer best = %q", got, want.Best().Label())
+	}
+	if len(resp.Advice.Options) != len(want.Options) {
+		t.Fatalf("option count %d != %d", len(resp.Advice.Options), len(want.Options))
+	}
+	for i, wire := range resp.Advice.Options {
+		direct := want.Options[i]
+		if wire.Mode != direct.Mode || wire.Config != direct.Config.String() {
+			t.Errorf("rank %d: wire (%s, %s) != direct (%s, %v)", i, wire.Mode, wire.Config, direct.Mode, direct.Config)
+		}
+		if wire.TimeNS != float64(direct.Time) {
+			t.Errorf("rank %d: time %v != %v", i, wire.TimeNS, direct.Time)
+		}
+		if math.Abs(wire.SpeedupVsDRAM-direct.SpeedupVsDRAM) > 1e-12 {
+			t.Errorf("rank %d: speedup %v != %v", i, wire.SpeedupVsDRAM, direct.SpeedupVsDRAM)
+		}
+		for name, hbm := range direct.Assignment {
+			wantBind := "ddr"
+			if hbm {
+				wantBind = "hbm"
+			}
+			if wire.Assignments[name] != wantBind {
+				t.Errorf("rank %d: %s bound to %q, want %q", i, name, wire.Assignments[name], wantBind)
+			}
+		}
+	}
+}
+
+func TestAdviseCacheHitForSpelledDifferentlyFootprints(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+
+	first, err := c.Advise(ctx, AdviseRequest{Workload: "GUPS", Size: "8GB", Threads: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first advise marked cached")
+	}
+	// 8192MB == 8GB: must share the content-addressed entry.
+	second, err := c.Advise(ctx, AdviseRequest{Workload: "GUPS", Size: "8192MB", Threads: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("spelled-differently advise not served from cache")
+	}
+	if first.Key != second.Key {
+		t.Fatalf("keys differ: %s vs %s", first.Key, second.Key)
+	}
+	if second.Advice.Best != first.Advice.Best {
+		t.Fatalf("cached advice differs: %q vs %q", second.Advice.Best, first.Advice.Best)
+	}
+
+	// Same spelling trick for explicit structure sets.
+	a, err := c.Advise(ctx, AdviseRequest{Structures: []StructureSpec{
+		{Name: "x", Footprint: "4GB", SeqBytes: 1e9},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Advise(ctx, AdviseRequest{Structures: []StructureSpec{
+		{Name: "x", Footprint: "4096MB", SeqBytes: 1e9},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Cached || a.Key != b.Key {
+		t.Fatalf("structure-form spellings not shared: cached=%v keys %s vs %s", b.Cached, a.Key, b.Key)
+	}
+}
+
+func TestAdviseErrorPaths(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		req  AdviseRequest
+		want string // substring of the error
+	}{
+		{"empty request", AdviseRequest{}, "no workload and no structures"},
+		{"unknown workload", AdviseRequest{Workload: "HPCG", Size: "8GB"}, "unknown workload"},
+		{"unknown sku", AdviseRequest{Workload: "GUPS", Size: "8GB", SKU: "9999"}, "unknown SKU"},
+		{"workload without size", AdviseRequest{Workload: "GUPS"}, "needs a size"},
+		{"bad size", AdviseRequest{Workload: "GUPS", Size: "wat"}, ""},
+		{"both forms", AdviseRequest{Workload: "GUPS", Size: "8GB", Structures: miniFESpecs()}, "not both"},
+		{"empty structure list via size-less request", AdviseRequest{Structures: []StructureSpec{}}, "no workload and no structures"},
+		{"over-capacity structures", AdviseRequest{Structures: []StructureSpec{
+			{Name: "huge", Footprint: "200GB", SeqBytes: 1e9},
+		}}, "decompose"},
+		{"unnamed structure", AdviseRequest{Structures: []StructureSpec{
+			{Name: "", Footprint: "1GB", SeqBytes: 1e9},
+		}}, "needs a name"},
+		{"bad structure footprint", AdviseRequest{Structures: []StructureSpec{
+			{Name: "x", Footprint: "-3GB"},
+		}}, ""},
+		{"zero-traffic structures", AdviseRequest{Structures: []StructureSpec{
+			{Name: "idle", Footprint: "1GB"},
+		}}, "no traffic"},
+	}
+	for _, tc := range cases {
+		_, err := c.Advise(ctx, tc.req)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "HTTP 400") {
+			t.Errorf("%s: want HTTP 400, got %v", tc.name, err)
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v missing %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Errors are never cached: a failing request followed by a valid
+	// one with the same key prefix must still compute.
+	if _, err := c.Advise(ctx, AdviseRequest{Workload: "GUPS", Size: "4GB"}); err != nil {
+		t.Fatalf("valid advise after failures: %v", err)
+	}
+}
+
+func TestAdviseCampaignSweep(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+
+	spec := campaign.Spec{
+		Name:      "mode map",
+		Fidelity:  campaign.FidelityAdvise,
+		Workloads: []string{"STREAM", "GUPS"},
+		Sizes:     []string{"2GB", "8GB", "32GB"},
+		Threads:   []int{64},
+	}
+	resp, err := c.SubmitCampaign(ctx, spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := resp.Result
+	if res == nil || res.Points != 6 {
+		t.Fatalf("advise campaign result: %+v", res)
+	}
+	found := 0
+	for _, tbl := range res.Tables {
+		if strings.Contains(tbl, "recommended") {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("want 2 advise tables, got %d:\n%s", found, strings.Join(res.Tables, "\n"))
+	}
+	// Every advise point must carry its summary on the wire.
+	for _, r := range res.Results {
+		if r.Fidelity != campaign.FidelityAdvise {
+			t.Errorf("point fidelity %q", r.Fidelity)
+		}
+		if r.Advice == nil || len(r.Advice.Options) == 0 {
+			t.Errorf("point %s has no advice payload", r.Key)
+		}
+	}
+
+	// Resubmission is a campaign-cache hit.
+	again, err := c.SubmitCampaign(ctx, spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Result.Cached {
+		t.Error("advise campaign resubmission not served from cache")
+	}
+}
+
+func TestRunAdviseFidelityCollapsesConfig(t *testing.T) {
+	// /v1/run with fidelity=advise must canonicalize the config away,
+	// exactly like Spec.Expand: differing (or absent) config spellings
+	// share one point-cache entry.
+	_, c := newTestServer(t)
+	ctx := context.Background()
+
+	first, err := c.Run(ctx, RunRequest{Workload: "GUPS", Size: "8GB", Threads: 64, Fidelity: campaign.FidelityAdvise, Config: "hbm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Advice == nil {
+		t.Fatal("advise run carries no advice payload")
+	}
+	second, err := c.Run(ctx, RunRequest{Workload: "GUPS", Size: "8192MB", Threads: 64, Fidelity: campaign.FidelityAdvise, Config: "dram"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || first.Key != second.Key {
+		t.Fatalf("advise runs with different configs did not share a cache entry: cached=%v keys %s vs %s",
+			second.Cached, first.Key, second.Key)
+	}
+	// Config is optional for advise fidelity.
+	third, err := c.Run(ctx, RunRequest{Workload: "GUPS", Size: "8GB", Threads: 64, Fidelity: campaign.FidelityAdvise})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.Cached || third.Key != first.Key {
+		t.Fatalf("config-less advise run missed the cache: %+v", third)
+	}
+}
+
+func TestAdviseCampaignOverCapacitySizeIsUnavailable(t *testing.T) {
+	// One size beyond the node must not fail the sweep: it renders as
+	// a dash row, exactly like model fidelity's "no bar" points.
+	_, c := newTestServer(t)
+	resp, err := c.SubmitCampaign(context.Background(), campaign.Spec{
+		Fidelity:  campaign.FidelityAdvise,
+		Workloads: []string{"GUPS"},
+		Sizes:     []string{"8GB", "200GB"},
+		Threads:   []int{64},
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Job.State != JobDone || resp.Result == nil {
+		t.Fatalf("sweep with one over-capacity size failed: %+v", resp.Job)
+	}
+	var unavailable int
+	for _, r := range resp.Result.Results {
+		if r.Unavailable != "" {
+			unavailable++
+		}
+	}
+	if unavailable != 1 {
+		t.Fatalf("want exactly 1 unavailable point, got %d: %+v", unavailable, resp.Result.Results)
+	}
+	if len(resp.Result.Tables) != 1 || !strings.Contains(resp.Result.Tables[0], "200.00") {
+		t.Fatalf("over-capacity row missing from table:\n%v", resp.Result.Tables)
+	}
+}
+
+func TestAdviseKeyDistinguishesCloseTraffic(t *testing.T) {
+	// Traffic values that agree to 6 significant digits are still
+	// different requests; the key serializes float bit patterns.
+	a := AdviseRequest{Structures: []StructureSpec{{Name: "x", Footprint: "1GB", SeqBytes: 100000001}}}
+	b := AdviseRequest{Structures: []StructureSpec{{Name: "x", Footprint: "1GB", SeqBytes: 100000002}}}
+	qa, err := a.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := b.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qa.Key() == qb.Key() {
+		t.Fatal("near-equal traffic values collide to one cache key")
+	}
+}
+
+func TestAdviseKeyInjectiveAgainstDelimiterNames(t *testing.T) {
+	// A structure name containing the key delimiters must not collide
+	// with a differently-shaped structure set.
+	twoStructs := AdviseRequest{Structures: []StructureSpec{
+		{Name: "x", Footprint: "1GB"},
+		{Name: "y", Footprint: "1GB"},
+	}}
+	injected := AdviseRequest{Structures: []StructureSpec{
+		{Name: "x:1073741824:0:0:0:0|s=y", Footprint: "1GB"},
+	}}
+	qa, err := twoStructs.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := injected.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qa.Key() == qb.Key() {
+		t.Fatal("delimiter-injected structure name collides with a different structure set")
+	}
+}
+
+func TestAdviseWorkloadFormMatchesDerivedStructures(t *testing.T) {
+	// The workload form must be exactly the derived-structure run: the
+	// service resolves GUPS at 8GB to WorkloadStructures("Random", 8GB).
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	viaWorkload, err := c.Advise(ctx, AdviseRequest{Workload: "GUPS", Size: "8GB", Threads: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	structs, err := placement.WorkloadStructures("Random", units.GB(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := (&placement.Optimizer{Machine: sys.Machine, Threads: 64}).Advise(structs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaWorkload.Advice.Best != want.Best().Label() {
+		t.Errorf("workload-form best %q != derived %q", viaWorkload.Advice.Best, want.Best().Label())
+	}
+	if len(viaWorkload.Structures) != len(structs) {
+		t.Errorf("echoed %d structures, want %d", len(viaWorkload.Structures), len(structs))
+	}
+}
+
+func TestRenderAdvice(t *testing.T) {
+	_, c := newTestServer(t)
+	resp, err := c.Advise(context.Background(), AdviseRequest{Structures: miniFESpecs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderAdvice(resp)
+	for _, want := range []string{"rank", "vs DDR", "vs cache", "headroom", "MEMKIND"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

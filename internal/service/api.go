@@ -30,9 +30,13 @@ func (r RunRequest) Point() (campaign.Point, error) {
 	if r.Workload == "" {
 		return campaign.Point{}, fmt.Errorf("service: request names no workload")
 	}
-	cfg, err := engine.ParseConfig(r.Config)
-	if err != nil {
-		return campaign.Point{}, err
+	var cfg engine.MemoryConfig
+	if !(r.Fidelity == campaign.FidelityAdvise && r.Config == "") {
+		var err error
+		cfg, err = engine.ParseConfig(r.Config)
+		if err != nil {
+			return campaign.Point{}, err
+		}
 	}
 	size, err := units.ParseBytes(r.Size)
 	if err != nil {
@@ -58,6 +62,11 @@ func (r RunRequest) Point() (campaign.Point, error) {
 		// requests differing only in threads share a cache entry.
 		threads = 0
 	}
+	if fidelity == campaign.FidelityAdvise {
+		// The advisor evaluates every memory mode itself; collapse the
+		// config axis so spellings share an entry (mirrors Spec.Expand).
+		cfg = engine.MemoryConfig{}
+	}
 	return campaign.Point{Workload: r.Workload, Config: cfg, Size: size, Threads: threads, SKU: sku, Fidelity: fidelity}, nil
 }
 
@@ -66,19 +75,20 @@ func (r RunRequest) Point() (campaign.Point, error) {
 // is cached, and Unavailable carries the paper's "no bar" reason when
 // the configuration cannot run.
 type RunResponse struct {
-	Workload    string               `json:"workload"`
-	Config      string               `json:"config"`
-	Size        string               `json:"size"`
-	Threads     int                  `json:"threads"`
-	SKU         string               `json:"sku"`
-	Fidelity    string               `json:"fidelity"`
-	Key         string               `json:"key"`
-	Metric      string               `json:"metric"`
-	Value       float64              `json:"value"`
-	Unavailable string               `json:"unavailable,omitempty"`
-	Trace       *campaign.TraceStats `json:"trace,omitempty"`
-	Cached      bool                 `json:"cached"`
-	ElapsedMS   float64              `json:"elapsed_ms"`
+	Workload    string                  `json:"workload"`
+	Config      string                  `json:"config"`
+	Size        string                  `json:"size"`
+	Threads     int                     `json:"threads"`
+	SKU         string                  `json:"sku"`
+	Fidelity    string                  `json:"fidelity"`
+	Key         string                  `json:"key"`
+	Metric      string                  `json:"metric"`
+	Value       float64                 `json:"value"`
+	Unavailable string                  `json:"unavailable,omitempty"`
+	Trace       *campaign.TraceStats    `json:"trace,omitempty"`
+	Advice      *campaign.AdviceSummary `json:"advice,omitempty"`
+	Cached      bool                    `json:"cached"`
+	ElapsedMS   float64                 `json:"elapsed_ms"`
 }
 
 // runResponse converts an executed outcome to the wire form.
@@ -99,6 +109,7 @@ func runResponse(o campaign.Outcome, cached bool, elapsedMS float64) RunResponse
 		Value:       o.Value,
 		Unavailable: o.Unavailable,
 		Trace:       o.Trace,
+		Advice:      o.Advice,
 		Cached:      cached,
 		ElapsedMS:   elapsedMS,
 	}

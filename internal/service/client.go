@@ -98,6 +98,13 @@ func (c *Client) Run(ctx context.Context, req RunRequest) (RunResponse, error) {
 	return out, err
 }
 
+// Advise asks for a ranked memory-mode recommendation.
+func (c *Client) Advise(ctx context.Context, req AdviseRequest) (AdviseResponse, error) {
+	var out AdviseResponse
+	err := c.do(ctx, http.MethodPost, "/v1/advise", req, &out)
+	return out, err
+}
+
 // SubmitCampaign submits a campaign. With wait set the call blocks
 // until the result is ready.
 func (c *Client) SubmitCampaign(ctx context.Context, spec campaign.Spec, wait bool) (CampaignResponse, error) {

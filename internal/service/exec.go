@@ -66,8 +66,10 @@ func (e *Executor) RunPoint(p campaign.Point) (campaign.Outcome, error) {
 	case "", campaign.FidelityModel:
 	case campaign.FidelityTrace:
 		return e.runTracePoint(p)
+	case campaign.FidelityAdvise:
+		return e.runAdvisePoint(p)
 	default:
-		return campaign.Outcome{}, fmt.Errorf("service: unknown fidelity %q (model|trace)", p.Fidelity)
+		return campaign.Outcome{}, fmt.Errorf("service: unknown fidelity %q (model|trace|advise)", p.Fidelity)
 	}
 	sys, err := e.System(p.SKU)
 	if err != nil {

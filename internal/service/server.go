@@ -39,6 +39,7 @@ type Server struct {
 	points      *Cache[campaign.Outcome]
 	campaigns   *Cache[*CampaignResult]
 	experiments *Cache[ExperimentResult]
+	advices     *Cache[AdviseResponse]
 	metrics     *Metrics
 	mux         *http.ServeMux
 
@@ -54,6 +55,7 @@ func NewServer(opt Options) *Server {
 		points:      NewCache[campaign.Outcome](opt.CacheSize),
 		campaigns:   NewCache[*CampaignResult](opt.CacheSize),
 		experiments: NewCache[ExperimentResult](opt.CacheSize),
+		advices:     NewCache[AdviseResponse](opt.CacheSize),
 		metrics:     NewMetrics(),
 		mux:         http.NewServeMux(),
 		results:     make(map[string]*CampaignResult),
@@ -63,6 +65,7 @@ func NewServer(opt Options) *Server {
 	s.route("GET /v1/workloads", s.handleWorkloads)
 	s.route("GET /v1/experiments", s.handleExperiments)
 	s.route("POST /v1/run", s.handleRun)
+	s.route("POST /v1/advise", s.handleAdvise)
 	s.route("POST /v1/campaigns", s.handleSubmitCampaign)
 	s.route("GET /v1/jobs/{id}", s.handleJob)
 	s.route("GET /v1/jobs/{id}/result", s.handleJobResult)
@@ -158,6 +161,33 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, runResponse(out, cached, float64(time.Since(start).Microseconds())/1000))
+}
+
+// handleAdvise is the synchronous mode-recommendation path: resolve
+// the request to its canonical form, answer from the content-addressed
+// advice cache, compute through the placement engine on a miss.
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	var req AdviseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad advise body: %w", err))
+		return
+	}
+	q, err := req.Resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	resp, cached, err := s.advices.GetOrCompute(q.Key(), func() (AdviseResponse, error) {
+		return s.exec.Advise(q)
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp.Cached = cached
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // runExperiment executes one paper experiment through its cache.

@@ -7,13 +7,17 @@
 //	simctl campaign -workloads STREAM,GUPS -configs dram,hbm,cache \
 //	    -sizes 2GB,8GB,24GB -threads 64,128
 //	simctl campaign -fidelity advise -workloads GUPS -sizes 2GB,8GB,32GB
+//	simctl cluster -workload MiniFE -size 120GB -threads 64 -nodes 2,4,8,12,16
+//	simctl campaign -fidelity cluster -workloads MiniFE -sizes 120GB -nodes 2,4,8,12
 //	simctl campaign -spec sweep.json -async
 //	simctl campaign -experiments all
 //	simctl job j000001
 //
 // Campaign submissions stream the job's progress to stderr and render
 // the aggregate tables to stdout when the sweep completes. advise
-// renders the ranked memory-mode recommendation table.
+// renders the ranked memory-mode recommendation table; cluster
+// renders the multi-node scaling table with the minimum HBM-fitting
+// node count (the paper's §IV-C decomposition rule).
 package main
 
 import (
@@ -41,7 +45,7 @@ func main() {
 	}
 }
 
-const usage = `usage: simctl [-addr URL] <workloads|experiments|run|advise|campaign|job> [flags]`
+const usage = `usage: simctl [-addr URL] <workloads|experiments|run|advise|cluster|campaign|job> [flags]`
 
 // run dispatches the subcommands; it is the testable body of the
 // command.
@@ -67,6 +71,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return cmdRun(ctx, client, rest[1:], stdout, stderr)
 	case "advise":
 		return cmdAdvise(ctx, client, rest[1:], stdout, stderr)
+	case "cluster":
+		return cmdCluster(ctx, client, rest[1:], stdout, stderr)
 	case "campaign":
 		return cmdCampaign(ctx, client, rest[1:], stdout, stderr)
 	case "job":
@@ -174,6 +180,43 @@ func cmdAdvise(ctx context.Context, c *service.Client, args []string, stdout, st
 	return nil
 }
 
+// cmdCluster asks the service how a workload scales across node
+// counts and renders the scaling table with the §IV-C decomposition
+// answer.
+func cmdCluster(ctx context.Context, c *service.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("simctl cluster", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wl := fs.String("workload", "", "workload name")
+	size := fs.String("size", "", "GLOBAL problem size, decomposed across the nodes")
+	threads := fs.Int("threads", 64, "per-node thread count")
+	nodesFlag := fs.String("nodes", "", "comma-separated node counts (default 1,2,4,8,12,16)")
+	factor := fs.Float64("factor", 1, "working-set factor for the capacity rule (>= 1)")
+	sku := fs.String("sku", "", "KNL SKU (default 7210)")
+	asJSON := fs.Bool("json", false, "print the raw JSON response")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req := service.ClusterRequest{
+		Workload: *wl, Size: *size, Threads: *threads, SKU: *sku, WorkingSetFactor: *factor,
+	}
+	if *nodesFlag != "" {
+		nodes, err := parseInts(*nodesFlag)
+		if err != nil {
+			return fmt.Errorf("bad node count list: %w", err)
+		}
+		req.Nodes = nodes
+	}
+	resp, err := c.Cluster(ctx, req)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return printJSON(stdout, resp)
+	}
+	fmt.Fprint(stdout, service.RenderCluster(resp))
+	return nil
+}
+
 // parseList splits a comma list, dropping empties.
 func parseList(s string) []string {
 	var out []string
@@ -209,9 +252,10 @@ func cmdCampaign(ctx context.Context, c *service.Client, args []string, stdout, 
 	gridTo := fs.String("grid-to", "", "geometric size grid end")
 	gridPoints := fs.Int("grid-points", 0, "geometric size grid point count")
 	threads := fs.String("threads", "", "comma-separated thread counts (default 64)")
+	nodes := fs.String("nodes", "", "comma-separated node counts (cluster fidelity only)")
 	experiments := fs.String("experiments", "", "comma-separated paper experiment IDs, or 'all'")
 	sku := fs.String("sku", "", "KNL SKU (default 7210)")
-	fidelity := fs.String("fidelity", "", "execution fidelity: model (default) | trace")
+	fidelity := fs.String("fidelity", "", "execution fidelity: model (default) | trace | advise | cluster")
 	async := fs.Bool("async", false, "submit and print the job ID without waiting")
 	asJSON := fs.Bool("json", false, "print the raw JSON result")
 	if err := fs.Parse(args); err != nil {
@@ -264,6 +308,13 @@ func cmdCampaign(ctx context.Context, c *service.Client, args []string, stdout, 
 			return err
 		}
 		spec.Threads = th
+	}
+	if *nodes != "" {
+		ns, err := parseInts(*nodes)
+		if err != nil {
+			return fmt.Errorf("bad node count list: %w", err)
+		}
+		spec.Nodes = ns
 	}
 	if *experiments != "" {
 		spec.Experiments = parseList(*experiments)

@@ -151,6 +151,81 @@ func TestAdviseSubcommandErrors(t *testing.T) {
 	}
 }
 
+func TestClusterSubcommand(t *testing.T) {
+	url := startServer(t)
+	out, _, err := runCLI(t, "-addr", url, "cluster",
+		"-workload", "MiniFE", "-size", "120GB", "-threads", "64", "-nodes", "2,4,8,12,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"cluster scaling for MiniFE, 120.0 GiB global",
+		"nodes", "per-node", "iter ms", "eff",
+		"<- fits HBM",
+		"sub-problem first fits HBM at",
+		"capacity rule",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster output missing %q:\n%s", want, out)
+		}
+	}
+	// The respelled global size must be a cluster-cache hit.
+	out, _, err = runCLI(t, "-addr", url, "cluster",
+		"-workload", "MiniFE", "-size", "122880MB", "-threads", "64", "-nodes", "2,4,8,12,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "served from cache") {
+		t.Errorf("spelled-differently cluster sweep not cached:\n%s", out)
+	}
+}
+
+func TestClusterSubcommandJSON(t *testing.T) {
+	url := startServer(t)
+	out, _, err := runCLI(t, "-addr", url, "cluster",
+		"-workload", "MiniFE", "-size", "120GB", "-nodes", "4,12", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp service.ClusterResponse
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("bad -json output: %v\n%s", err, out)
+	}
+	if len(resp.Rows) != 2 || resp.Workload != "MiniFE" || resp.CapacityNodes < 1 {
+		t.Fatalf("thin cluster payload: %+v", resp)
+	}
+}
+
+func TestClusterCampaignFidelity(t *testing.T) {
+	url := startServer(t)
+	out, _, err := runCLI(t, "-addr", url, "campaign",
+		"-fidelity", "cluster", "-workloads", "MiniFE", "-sizes", "120GB", "-nodes", "2,4,8,12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"4 points", "per-node", "fits HBM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster campaign missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClusterSubcommandErrors(t *testing.T) {
+	url := startServer(t)
+	if _, _, err := runCLI(t, "-addr", url, "cluster"); err == nil {
+		t.Error("empty cluster request accepted")
+	}
+	if _, _, err := runCLI(t, "-addr", url, "cluster", "-workload", "NoSuch", "-size", "120GB"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, _, err := runCLI(t, "-addr", url, "cluster", "-workload", "MiniFE", "-size", "120GB", "-nodes", "0"); err == nil {
+		t.Error("zero node count accepted")
+	}
+	if _, _, err := runCLI(t, "-addr", url, "cluster", "-workload", "MiniFE", "-size", "120GB", "-nodes", "abc"); err == nil {
+		t.Error("bad node list accepted")
+	}
+}
+
 func TestCampaignSubcommandFlags(t *testing.T) {
 	url := startServer(t)
 	out, progress, err := runCLI(t, "-addr", url, "campaign",

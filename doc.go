@@ -39,6 +39,12 @@
 //	go run ./cmd/simctl campaign -fidelity advise -workloads GUPS \
 //	    -sizes 2GB,8GB,32GB -threads 64
 //
+//	# How many nodes until each node's sub-problem fits HBM? The
+//	# scaling table decomposes the global problem over node counts
+//	# and marks the §IV-C sweet spot.
+//	go run ./cmd/simctl cluster -workload MiniFE -size 120GB \
+//	    -threads 64 -nodes 2,4,8,12,16
+//
 // Resubmitting any of these is served from the content-addressed
 // caches ("(cached)" / "served from campaign cache" in the output) —
 // spelling does not matter ("8GB" == "8192MB"). Everything also works
@@ -143,4 +149,25 @@
 // and cmd/advisor. The service answer is pinned by test to match an
 // in-process placement.Optimizer.Advise run exactly. See
 // examples/advise and docs/api.md.
+//
+// # Multi-node service
+//
+// internal/cluster makes the paper's §IV-C scaling argument
+// executable: a global problem decomposes over N identical KNL nodes
+// (3D block decomposition, bulk-synchronous iterations with halo
+// exchange and allreduce on an Aries-like interconnect), each
+// decomposition picks its best per-node memory configuration, and
+// with enough nodes the per-node sub-problem drops below the HBM
+// capacity — the decomposition sweet spot.
+//
+// The model is served as POST /v1/cluster (node-count scaling sweeps
+// with per-node working set, halo/allreduce overhead and parallel
+// efficiency columns, plus the minimum HBM-fitting node count and the
+// analytic capacity rule) behind its own content-addressed
+// singleflight cache, swept over workload x size x thread x node
+// grids as the campaign fidelity "cluster", and reachable from the
+// shell via simctl cluster. Decompositions too large for any per-node
+// configuration are "no bar" rows, not errors. The service answer is
+// pinned by test to match an in-process cluster.New(...).Iterate run
+// exactly. See examples/capacity and docs/api.md.
 package repro

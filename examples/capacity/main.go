@@ -1,63 +1,68 @@
 // Capacity: the §IV-C multi-node decomposition argument, made
-// executable. "If the application has good parallel efficiency across
-// multi-nodes, with enough compute nodes, the optimal setup is to
-// decompose the problem so that each compute node is assigned with a
-// sub-problem that has a size close to the HBM capacity."
+// executable — now served. "If the application has good parallel
+// efficiency across multi-nodes, with enough compute nodes, the
+// optimal setup is to decompose the problem so that each compute node
+// is assigned with a sub-problem that has a size close to the HBM
+// capacity."
 //
-// The example sweeps node counts for a large MiniFE problem and
-// reports the best per-node configuration at each decomposition,
-// showing the crossover into the HBM sweet spot.
+// The example asks POST /v1/cluster (against an in-process server,
+// the way examples/service and examples/advise do) to sweep node
+// counts for a large MiniFE problem: each row reports the per-node
+// sub-problem, the best per-node memory configuration, the
+// halo/allreduce overhead and the parallel efficiency, and the
+// summary names the smallest node count whose sub-problems fit HBM.
 //
 //	go run ./examples/capacity
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net/http/httptest"
 
-	"repro/internal/core"
-	"repro/internal/engine"
-	"repro/internal/units"
+	"repro/internal/service"
 )
 
 func main() {
-	sys, err := core.NewSystem()
+	srv := service.NewServer(service.Options{Workers: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		_ = srv.Close(context.Background())
+	}()
+	client := service.NewClient(ts.URL)
+	ctx := context.Background()
+
+	// 120 GB of MiniFE across 1..16 nodes of the paper's 12-node Aries
+	// testbed. The 1.1x working-set factor accounts for the CG vectors
+	// riding along with the matrix.
+	resp, err := client.Cluster(ctx, service.ClusterRequest{
+		Workload:         "MiniFE",
+		Size:             "120GB",
+		Threads:          64,
+		Nodes:            []int{1, 2, 4, 6, 8, 12, 16},
+		WorkingSetFactor: 1.1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	mdl, err := sys.Workload("MiniFE")
+	fmt.Print(service.RenderCluster(resp))
+
+	// The sweep is content-addressed: the same question with the size
+	// spelled differently is a cache hit.
+	again, err := client.Cluster(ctx, service.ClusterRequest{
+		Workload:         "MiniFE",
+		Size:             "122880MB",
+		Threads:          64,
+		Nodes:            []int{1, 2, 4, 6, 8, 12, 16},
+		WorkingSetFactor: 1.1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	total := units.GB(120) // aggregate problem across the cluster
-	fmt.Printf("global MiniFE problem: %v; per-node HBM capacity: %v\n\n",
-		total, sys.Machine.Chip.MCDRAM.Capacity)
-	fmt.Printf("%-7s %-12s %-14s %-14s %-14s %-12s\n",
-		"nodes", "per-node", "DRAM MF/node", "HBM MF/node", "Cache MF/node", "best")
-
-	for _, nodes := range []int{2, 4, 6, 8, 12, 16} {
-		per := total / units.Bytes(nodes)
-		best, bestName := 0.0, "-"
-		var row [3]string
-		for i, cfg := range engine.PaperConfigs() {
-			v, err := mdl.Predict(sys.Machine, cfg, per, 64)
-			if err != nil {
-				row[i] = "-"
-				continue
-			}
-			row[i] = fmt.Sprintf("%.0f", v)
-			if v > best {
-				best, bestName = v, cfg.String()
-			}
-		}
-		marker := ""
-		if row[1] != "-" {
-			marker = "  <- fits HBM (matrix + CG vectors)"
-		}
-		fmt.Printf("%-7d %-12v %-14s %-14s %-14s %-12s%s\n",
-			nodes, per, row[0], row[1], row[2], bestName, marker)
-	}
+	fmt.Printf("\nresubmitted with size spelled %q: cached=%v (same key: %v)\n",
+		"122880MB", again.Cached, again.Key == resp.Key)
 
 	fmt.Println("\nthe decomposition rule: pick the node count where the per-node")
 	fmt.Println("sub-problem first fits the 16 GB MCDRAM and bind it to HBM.")

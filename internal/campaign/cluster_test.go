@@ -1,0 +1,159 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestClusterFidelityExpandsNodeAxis(t *testing.T) {
+	spec := Spec{
+		Fidelity:  FidelityCluster,
+		Workloads: []string{"MiniFE"},
+		Sizes:     []string{"120GB"},
+		Threads:   []int{64},
+		Nodes:     []int{2, 4, 8, 12},
+	}
+	points, raw, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != 4 || len(points) != 4 {
+		t.Fatalf("raw=%d points=%d, want 4", raw, len(points))
+	}
+	for i, want := range []int{2, 4, 8, 12} {
+		p := points[i]
+		if p.Nodes != want || p.Fidelity != FidelityCluster || p.Threads != 64 {
+			t.Fatalf("point %d not canonical: %+v", i, p)
+		}
+		if p.Config.String() != "DRAM" || p.Config.HybridFlatFraction != 0 {
+			// The config axis collapses to the zero config for cluster
+			// points (the model picks the best per-node configuration).
+			t.Fatalf("point %d carries a config: %+v", i, p)
+		}
+	}
+}
+
+func TestClusterFidelityCollapsesConfigAxisAndDedupsNodes(t *testing.T) {
+	spec := Spec{
+		Fidelity:  FidelityCluster,
+		Workloads: []string{"MiniFE"},
+		Configs:   []string{"dram", "hbm", "cache"}, // collapses
+		Sizes:     []string{"120GB", "122880MB"},    // one size, two spellings
+		Nodes:     []int{4, 4, 8},                   // duplicate node count
+	}
+	points, raw, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != 3*2*3 {
+		t.Fatalf("raw = %d, want 18", raw)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2 (config axis and spellings collapsed)", len(points))
+	}
+}
+
+func TestClusterFidelityDefaultsNodeSweep(t *testing.T) {
+	spec := Spec{
+		Fidelity:  FidelityCluster,
+		Workloads: []string{"MiniFE"},
+		Sizes:     []string{"120GB"},
+	}
+	points, _, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultNodeCounts()
+	if len(points) != len(def) {
+		t.Fatalf("points = %d, want the default sweep of %d", len(points), len(def))
+	}
+	for i, p := range points {
+		if p.Nodes != def[i] {
+			t.Fatalf("point %d nodes = %d, want %d", i, p.Nodes, def[i])
+		}
+	}
+}
+
+func TestClusterFidelityErrors(t *testing.T) {
+	cases := []Spec{
+		// Node count below one.
+		{Fidelity: FidelityCluster, Workloads: []string{"MiniFE"}, Sizes: []string{"120GB"}, Nodes: []int{0}},
+		{Fidelity: FidelityCluster, Workloads: []string{"MiniFE"}, Sizes: []string{"120GB"}, Nodes: []int{-3}},
+		// The nodes axis is meaningless for single-node fidelities.
+		{Workloads: []string{"MiniFE"}, Configs: []string{"dram"}, Sizes: []string{"120GB"}, Nodes: []int{2}},
+		{Fidelity: FidelityTrace, Workloads: []string{"MiniFE"}, Configs: []string{"dram"}, Sizes: []string{"120GB"}, Nodes: []int{2}},
+		{Fidelity: FidelityAdvise, Workloads: []string{"MiniFE"}, Sizes: []string{"120GB"}, Nodes: []int{2}},
+	}
+	for i, spec := range cases {
+		if _, _, err := spec.Expand(); err == nil {
+			t.Errorf("case %d: Expand() accepted invalid spec %+v", i, spec)
+		}
+	}
+}
+
+func TestPointKeySeparatesNodeCounts(t *testing.T) {
+	a := Point{Workload: "MiniFE", Size: units.GB(120), Threads: 64, SKU: DefaultSKU, Fidelity: FidelityCluster, Nodes: 8}
+	b := a
+	b.Nodes = 12
+	if a.Key() == b.Key() {
+		t.Fatal("different node counts must hash differently")
+	}
+	c := a
+	if a.Key() != c.Key() {
+		t.Fatal("equal cluster points must hash equal")
+	}
+}
+
+func TestClusterTablesRendering(t *testing.T) {
+	mk := func(nodes int, stats *ClusterStats, unavailable string) Outcome {
+		return Outcome{
+			Point: Point{
+				Workload: "MiniFE", Size: units.GB(120), Threads: 64,
+				SKU: DefaultSKU, Fidelity: FidelityCluster, Nodes: nodes,
+			},
+			Metric:      "iteration ns",
+			Unavailable: unavailable,
+			Cluster:     stats,
+		}
+	}
+	outs := []Outcome{
+		mk(2, nil, "no configuration can run 60 GiB per node"),
+		mk(8, &ClusterStats{PerNodeSize: "15.0 GiB", Config: "Cache Mode",
+			ComputeNS: 9e6, HaloNS: 0.8e6, ReduceNS: 0.2e6, TotalNS: 10e6, Efficiency: 0.91}, ""),
+		mk(12, &ClusterStats{PerNodeSize: "10.0 GiB", Config: "HBM",
+			ComputeNS: 4e6, HaloNS: 0.8e6, ReduceNS: 0.2e6, TotalNS: 5e6, Efficiency: 0.88, FitsHBM: true}, ""),
+	}
+	tables := Tables(outs)
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d, want 1", len(tables))
+	}
+	tab := tables[0]
+	for _, want := range []string{
+		"MiniFE, 120.0 GiB global, 64 threads",
+		"nodes", "per-node", "config", "iter ms", "halo%", "reduce%", "eff",
+		"Cache Mode", "HBM", "<- fits HBM",
+		"sub-problem first fits HBM at 12 nodes",
+	} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("cluster table missing %q:\n%s", want, tab)
+		}
+	}
+	// The over-capacity 2-node decomposition renders as a dash row.
+	for _, line := range strings.Split(tab, "\n") {
+		if strings.HasPrefix(line, "2 ") {
+			if !strings.Contains(line, "-") {
+				t.Errorf("over-capacity row not dashed: %q", line)
+			}
+		}
+	}
+	if MinHBMNodes(outs) != 12 {
+		t.Errorf("MinHBMNodes = %d, want 12", MinHBMNodes(outs))
+	}
+	// A sweep that never fits HBM says so.
+	none := Tables(outs[:2])
+	if !strings.Contains(none[0], "no swept node count") {
+		t.Errorf("missing no-fit summary:\n%s", none[0])
+	}
+}

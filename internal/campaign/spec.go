@@ -51,8 +51,10 @@ func normalizeFidelity(f string) (string, error) {
 		return FidelityTrace, nil
 	case FidelityAdvise:
 		return FidelityAdvise, nil
+	case FidelityCluster:
+		return FidelityCluster, nil
 	}
-	return "", fmt.Errorf("campaign: unknown fidelity %q (model|trace|advise)", f)
+	return "", fmt.Errorf("campaign: unknown fidelity %q (model|trace|advise|cluster)", f)
 }
 
 // Grid is a geometric problem-size axis: Points sizes spaced evenly in
@@ -70,14 +72,19 @@ type Grid struct {
 // alongside the grid, so the full reproduction is servable as a
 // campaign.
 type Spec struct {
-	Name        string   `json:"name,omitempty"`
-	SKU         string   `json:"sku,omitempty"`
-	Fidelity    string   `json:"fidelity,omitempty"` // model (default) | trace
-	Workloads   []string `json:"workloads,omitempty"`
-	Configs     []string `json:"configs,omitempty"`
-	Sizes       []string `json:"sizes,omitempty"`
-	SizeGrid    *Grid    `json:"size_grid,omitempty"`
-	Threads     []int    `json:"threads,omitempty"`
+	Name      string   `json:"name,omitempty"`
+	SKU       string   `json:"sku,omitempty"`
+	Fidelity  string   `json:"fidelity,omitempty"` // model (default) | trace | advise | cluster
+	Workloads []string `json:"workloads,omitempty"`
+	Configs   []string `json:"configs,omitempty"`
+	Sizes     []string `json:"sizes,omitempty"`
+	SizeGrid  *Grid    `json:"size_grid,omitempty"`
+	Threads   []int    `json:"threads,omitempty"`
+	// Nodes is the node-count axis of cluster-fidelity sweeps: each
+	// point decomposes the (global) problem size over that many KNL
+	// nodes. Only valid with Fidelity "cluster"; empty defaults to
+	// DefaultNodeCounts.
+	Nodes       []int    `json:"nodes,omitempty"`
 	Experiments []string `json:"experiments,omitempty"`
 }
 
@@ -91,7 +98,11 @@ type Point struct {
 	Size     units.Bytes
 	Threads  int
 	SKU      string
-	Fidelity string // FidelityModel or FidelityTrace
+	Fidelity string // FidelityModel, FidelityTrace, FidelityAdvise or FidelityCluster
+	// Nodes is the cluster node count for FidelityCluster points (Size
+	// is then the global problem decomposed across them); 0 for every
+	// single-node fidelity.
+	Nodes int
 }
 
 // Key returns the content address of the point: a SHA-256 over its
@@ -102,15 +113,21 @@ func (p Point) Key() string {
 	if fid == "" {
 		fid = FidelityModel
 	}
-	canon := fmt.Sprintf("w=%s|k=%d|f=%.6f|b=%d|t=%d|sku=%s|fid=%s",
+	canon := fmt.Sprintf("w=%s|k=%d|f=%.6f|b=%d|t=%d|sku=%s|fid=%s|n=%d",
 		p.Workload, int(p.Config.Kind), p.Config.HybridFlatFraction,
-		int64(p.Size), p.Threads, p.SKU, fid)
+		int64(p.Size), p.Threads, p.SKU, fid, p.Nodes)
 	sum := sha256.Sum256([]byte(canon))
 	return hex.EncodeToString(sum[:])
 }
 
-// String renders the point for logs and progress lines.
+// String renders the point for logs and progress lines. Cluster
+// points omit the config segment: their config axis is collapsed (the
+// model picks the best per-node configuration itself), so printing
+// the zero config's "DRAM" label would misreport what runs.
 func (p Point) String() string {
+	if p.Nodes > 0 {
+		return fmt.Sprintf("%s/%v/t%d/n%d", p.Workload, p.Size, p.Threads, p.Nodes)
+	}
 	return fmt.Sprintf("%s/%v/%v/t%d", p.Workload, p.Config, p.Size, p.Threads)
 }
 
@@ -158,7 +175,7 @@ func (s Spec) Expand() (points []Point, raw int, err error) {
 	if len(s.Workloads) == 0 {
 		return nil, 0, nil // experiment-only campaign
 	}
-	if len(s.Configs) == 0 && fidelity != FidelityAdvise {
+	if len(s.Configs) == 0 && fidelity != FidelityAdvise && fidelity != FidelityCluster {
 		return nil, 0, fmt.Errorf("campaign: spec names workloads but no memory configurations")
 	}
 	var sizes []units.Bytes
@@ -191,6 +208,22 @@ func (s Spec) Expand() (points []Point, raw int, err error) {
 			return nil, 0, fmt.Errorf("campaign: thread count %d must be positive", t)
 		}
 	}
+	nodes := s.Nodes
+	if fidelity != FidelityCluster {
+		if len(nodes) != 0 {
+			return nil, 0, fmt.Errorf("campaign: the nodes axis requires fidelity %q (have %q)", FidelityCluster, fidelity)
+		}
+		nodes = []int{0} // single-node fidelities carry no node axis
+	} else {
+		if len(nodes) == 0 {
+			nodes = DefaultNodeCounts()
+		}
+		for _, n := range nodes {
+			if n < 1 {
+				return nil, 0, fmt.Errorf("campaign: node count %d must be >= 1", n)
+			}
+		}
+	}
 	var cfgs []engine.MemoryConfig
 	for _, raw := range s.Configs {
 		cfg, err := engine.ParseConfig(raw)
@@ -199,9 +232,10 @@ func (s Spec) Expand() (points []Point, raw int, err error) {
 		}
 		cfgs = append(cfgs, cfg)
 	}
-	if fidelity == FidelityAdvise && len(cfgs) == 0 {
-		// The advisor sweeps every memory mode itself; the config axis
-		// is implicit.
+	if (fidelity == FidelityAdvise || fidelity == FidelityCluster) && len(cfgs) == 0 {
+		// The advisor sweeps every memory mode itself, and a cluster
+		// point picks the best per-node configuration automatically;
+		// the config axis is implicit for both.
 		cfgs = []engine.MemoryConfig{{}}
 	}
 
@@ -214,25 +248,29 @@ func (s Spec) Expand() (points []Point, raw int, err error) {
 		for _, cfg := range cfgs {
 			for _, size := range sizes {
 				for _, th := range threads {
-					raw++
-					if fidelity == FidelityTrace {
-						// Trace replay is a single stream; the thread
-						// axis collapses (dedup below removes the
-						// redundant grid points).
-						th = 0
+					for _, n := range nodes {
+						raw++
+						if fidelity == FidelityTrace {
+							// Trace replay is a single stream; the thread
+							// axis collapses (dedup below removes the
+							// redundant grid points).
+							th = 0
+						}
+						if fidelity == FidelityAdvise || fidelity == FidelityCluster {
+							// The advisor evaluates every memory mode,
+							// and a cluster point picks the best per-node
+							// configuration itself; the config axis
+							// collapses the same way.
+							cfg = engine.MemoryConfig{}
+						}
+						p := Point{Workload: w, Config: cfg, Size: size, Threads: th, SKU: sku, Fidelity: fidelity, Nodes: n}
+						k := p.Key()
+						if seen[k] {
+							continue
+						}
+						seen[k] = true
+						points = append(points, p)
 					}
-					if fidelity == FidelityAdvise {
-						// The advisor evaluates every memory mode, so
-						// the config axis collapses the same way.
-						cfg = engine.MemoryConfig{}
-					}
-					p := Point{Workload: w, Config: cfg, Size: size, Threads: th, SKU: sku, Fidelity: fidelity}
-					k := p.Key()
-					if seen[k] {
-						continue
-					}
-					seen[k] = true
-					points = append(points, p)
 				}
 			}
 		}

@@ -31,6 +31,7 @@ type Outcome struct {
 	Cached      bool
 	Trace       *TraceStats
 	Advice      *AdviceSummary
+	Cluster     *ClusterStats
 }
 
 // Format renders the outcome's value cell the way the paper's figures
@@ -48,18 +49,24 @@ func (o Outcome) Format() string {
 // configuration per row. Tables are emitted in first-seen order so a
 // campaign renders deterministically. Advise-fidelity outcomes render
 // through the mode-recommendation table instead (columns are memory
-// modes, cells are speedups vs all-DDR).
+// modes, cells are speedups vs all-DDR), and cluster-fidelity
+// outcomes through the node-count scaling table (rows are node
+// counts, with the minimum HBM-fitting decomposition called out).
 func Tables(outcomes []Outcome) []string {
-	var plain, advised []Outcome
+	var plain, advised, clustered []Outcome
 	for _, o := range outcomes {
-		if o.Point.Fidelity == FidelityAdvise {
+		switch o.Point.Fidelity {
+		case FidelityAdvise:
 			advised = append(advised, o)
-		} else {
+		case FidelityCluster:
+			clustered = append(clustered, o)
+		default:
 			plain = append(plain, o)
 		}
 	}
 	tables := plainTables(plain)
-	return append(tables, adviseTables(advised)...)
+	tables = append(tables, adviseTables(advised)...)
+	return append(tables, clusterTables(clustered)...)
 }
 
 // plainTables renders the model/trace outcome grid.

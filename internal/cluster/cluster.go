@@ -105,6 +105,14 @@ type IterationResult struct {
 	Efficiency float64 // parallel efficiency vs single node with the global problem
 }
 
+// Iterate is the service-facing name of PredictIterations: one
+// bulk-synchronous iteration of the global problem on this cluster.
+// The HTTP /v1/cluster answer is pinned by test to match an
+// in-process New(...).Iterate run exactly.
+func (c *Cluster) Iterate(mdl workload.Model, global units.Bytes, threads int) (IterationResult, error) {
+	return c.PredictIterations(mdl, global, threads)
+}
+
 // PredictIterations predicts the per-iteration time of a
 // MiniFE-like bulk-synchronous workload (one model evaluation per
 // iteration plus halo exchange and one allreduce), choosing the best

@@ -140,6 +140,25 @@ func TestStrongScalingShowsHBMSweetSpot(t *testing.T) {
 	}
 }
 
+// TestIterateIsPredictIterations pins the service-facing alias: the
+// HTTP equivalence tests compare against Iterate, so it must be the
+// same computation.
+func TestIterateIsPredictIterations(t *testing.T) {
+	mdl := minife.Model{}
+	c := testCluster(t, 12)
+	a, err := c.Iterate(mdl, units.GB(120), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.PredictIterations(mdl, units.GB(120), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("Iterate %+v != PredictIterations %+v", a, b)
+	}
+}
+
 func TestStrongScalingErrors(t *testing.T) {
 	mdl := minife.Model{}
 	if _, err := StrongScaling(engine.Default(), Aries(), mdl, units.GB(120), 64, []int{0}); err == nil {

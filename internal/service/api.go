@@ -30,6 +30,11 @@ func (r RunRequest) Point() (campaign.Point, error) {
 	if r.Workload == "" {
 		return campaign.Point{}, fmt.Errorf("service: request names no workload")
 	}
+	if r.Fidelity == campaign.FidelityCluster {
+		// A cluster point needs a node count; the sweep endpoint owns
+		// that axis.
+		return campaign.Point{}, fmt.Errorf("service: cluster fidelity is served by POST /v1/cluster (or a cluster-fidelity campaign)")
+	}
 	var cfg engine.MemoryConfig
 	if !(r.Fidelity == campaign.FidelityAdvise && r.Config == "") {
 		var err error
@@ -87,6 +92,8 @@ type RunResponse struct {
 	Unavailable string                  `json:"unavailable,omitempty"`
 	Trace       *campaign.TraceStats    `json:"trace,omitempty"`
 	Advice      *campaign.AdviceSummary `json:"advice,omitempty"`
+	Cluster     *campaign.ClusterStats  `json:"cluster,omitempty"`
+	Nodes       int                     `json:"nodes,omitempty"`
 	Cached      bool                    `json:"cached"`
 	ElapsedMS   float64                 `json:"elapsed_ms"`
 }
@@ -110,6 +117,8 @@ func runResponse(o campaign.Outcome, cached bool, elapsedMS float64) RunResponse
 		Unavailable: o.Unavailable,
 		Trace:       o.Trace,
 		Advice:      o.Advice,
+		Cluster:     o.Cluster,
+		Nodes:       o.Point.Nodes,
 		Cached:      cached,
 		ElapsedMS:   elapsedMS,
 	}

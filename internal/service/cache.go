@@ -69,9 +69,13 @@ func (c *Cache[V]) GetOrCompute(key string, fn func() (V, error)) (V, bool, erro
 	close(e.done)
 	if e.err != nil {
 		c.mu.Lock()
-		// Drop the failed entry so the key stays retryable.
+		// Drop the failed entry — map AND fifo — so the key stays
+		// retryable without growing the eviction queue: a retry appends
+		// the key again, so leaving the stale slot behind would let
+		// repeated failures grow fifo without bound.
 		if cur, ok := c.entries[key]; ok && cur == e {
 			delete(c.entries, key)
+			c.dropFIFOLocked(key)
 		}
 		c.mu.Unlock()
 		var zero V
@@ -80,15 +84,33 @@ func (c *Cache[V]) GetOrCompute(key string, fn func() (V, error)) (V, bool, erro
 	return e.val, false, nil
 }
 
+// dropFIFOLocked removes one occurrence of key from the eviction
+// queue. Keys appear at most once (inserts are guarded by the entries
+// map). The scan runs back-to-front because the only caller is the
+// failure path purging the key it just appended — only keys inserted
+// while fn ran can sit behind it, so the scan is O(concurrent
+// inserts), not O(cache size).
+func (c *Cache[V]) dropFIFOLocked(key string) {
+	for i := len(c.fifo) - 1; i >= 0; i-- {
+		if c.fifo[i] == key {
+			c.fifo = append(c.fifo[:i], c.fifo[i+1:]...)
+			return
+		}
+	}
+}
+
 // evictLocked enforces the bound. Entries still being computed are
-// skipped (their waiters hold the only reference that matters).
+// pushed to the back and the scan continues with the next candidate —
+// one long-running computation must not stall eviction for everyone
+// else. The scan is bounded to one full rotation of the queue so a
+// cache whose entries are all in flight cannot spin.
 func (c *Cache[V]) evictLocked() {
-	for len(c.entries) > c.max && len(c.fifo) > 0 {
+	for scanned, limit := 0, len(c.fifo); len(c.entries) > c.max && scanned < limit; scanned++ {
 		victim := c.fifo[0]
 		c.fifo = c.fifo[1:]
 		e, ok := c.entries[victim]
 		if !ok {
-			continue
+			continue // stale key; nothing to evict
 		}
 		select {
 		case <-e.done:
@@ -96,9 +118,16 @@ func (c *Cache[V]) evictLocked() {
 		default:
 			// In flight; push it to the back and try the next one.
 			c.fifo = append(c.fifo, victim)
-			return
 		}
 	}
+}
+
+// fifoLen returns the eviction-queue length (test hook: it must track
+// len(entries) exactly, even under repeated failures).
+func (c *Cache[V]) fifoLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.fifo)
 }
 
 // Len returns the number of cached entries.

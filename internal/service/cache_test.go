@@ -77,6 +77,112 @@ func TestCacheErrorsNotCached(t *testing.T) {
 	}
 }
 
+// TestCacheFailedKeyDoesNotLeakFIFO hammers a key whose computation
+// keeps failing: every failure must purge its fifo slot, so repeated
+// retries cannot grow the eviction queue or plant duplicate entries.
+func TestCacheFailedKeyDoesNotLeakFIFO(t *testing.T) {
+	c := NewCache[int](8)
+	boom := errors.New("boom")
+	for i := 0; i < 100; i++ {
+		if _, _, err := c.GetOrCompute("flaky", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+			t.Fatalf("iteration %d: err = %v", i, err)
+		}
+		if n := c.fifoLen(); n != 0 {
+			t.Fatalf("iteration %d: fifo holds %d entries after failure, want 0", i, n)
+		}
+	}
+	// Interleave successes so the queue is busy, then keep failing: the
+	// fifo must track the entry count exactly (no duplicates, no leak).
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("k%d", i%4)
+		if _, _, err := c.GetOrCompute(k, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+		_, _, _ = c.GetOrCompute("flaky", func() (int, error) { return 0, boom })
+		if fifo, entries := c.fifoLen(), c.Len(); fifo != entries {
+			t.Fatalf("iteration %d: fifo=%d entries=%d — queue out of sync", i, fifo, entries)
+		}
+	}
+	if n := c.fifoLen(); n > 8 {
+		t.Fatalf("fifo grew to %d under repeated failures, bound is 8", n)
+	}
+	// The flaky key must still be retryable and then cache the success.
+	v, cached, err := c.GetOrCompute("flaky", func() (int, error) { return 77, nil })
+	if err != nil || v != 77 || cached {
+		t.Fatalf("recovery: v=%d cached=%v err=%v", v, cached, err)
+	}
+}
+
+// TestCacheEvictionProceedsPastInFlight pins the eviction scan: one
+// long-running computation at the head of the queue must not stall
+// eviction of the completed entries behind it.
+func TestCacheEvictionProceedsPastInFlight(t *testing.T) {
+	c := NewCache[int](2)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = c.GetOrCompute("inflight", func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-started
+
+	// Every insert beyond the bound must evict a completed entry even
+	// though the oldest entry ("inflight") cannot be evicted yet.
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if _, _, err := c.GetOrCompute(k, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+		if n := c.Len(); n > 2 {
+			t.Fatalf("insert %d: cache holds %d entries, bound is 2 — eviction stalled on in-flight head", i, n)
+		}
+	}
+	close(release)
+	wg.Wait()
+	// The in-flight entry survived the whole sweep and now serves hits.
+	v, cached, err := c.GetOrCompute("inflight", func() (int, error) { return -1, nil })
+	if err != nil || !cached || v != 1 {
+		t.Fatalf("in-flight entry lost: v=%d cached=%v err=%v", v, cached, err)
+	}
+}
+
+// TestCacheAllInFlightDoesNotSpin fills the cache beyond its bound
+// with computations that never finish: evictLocked must give up after
+// one rotation instead of spinning forever.
+func TestCacheAllInFlightDoesNotSpin(t *testing.T) {
+	c := NewCache[int](1)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		started := make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, _ = c.GetOrCompute(fmt.Sprintf("k%d", i), func() (int, error) {
+				close(started)
+				<-release
+				return 0, nil
+			})
+		}()
+		<-started // the insert (and its eviction scan) has happened
+	}
+	close(release)
+	wg.Wait()
+	// Entries completed after the scans; the next insert trims to max.
+	if _, _, err := c.GetOrCompute("kn", func() (int, error) { return 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Len(); n > 1 {
+		t.Fatalf("cache holds %d entries after completions, bound is 1", n)
+	}
+}
+
 func TestCacheEviction(t *testing.T) {
 	c := NewCache[int](4)
 	for i := 0; i < 10; i++ {

@@ -105,6 +105,15 @@ func (c *Client) Advise(ctx context.Context, req AdviseRequest) (AdviseResponse,
 	return out, err
 }
 
+// Cluster asks for a multi-node scaling sweep: how the workload's
+// global problem decomposes across node counts, and the minimum node
+// count whose sub-problems fit HBM.
+func (c *Client) Cluster(ctx context.Context, req ClusterRequest) (ClusterResponse, error) {
+	var out ClusterResponse
+	err := c.do(ctx, http.MethodPost, "/v1/cluster", req, &out)
+	return out, err
+}
+
 // SubmitCampaign submits a campaign. With wait set the call blocks
 // until the result is ready.
 func (c *Client) SubmitCampaign(ctx context.Context, spec campaign.Spec, wait bool) (CampaignResponse, error) {

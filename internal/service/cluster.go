@@ -1,0 +1,316 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+// This file is the multi-node endpoint: POST /v1/cluster asks "how
+// does this workload scale when its global problem is decomposed over
+// N KNL nodes, and at which node count do the sub-problems first fit
+// HBM?" — the paper's §IV-C argument served as a query. The model is
+// internal/cluster (bulk-synchronous iterations over an Aries-like
+// interconnect); answers are cached behind the same content-addressed
+// singleflight cache as every other query, and the same engine backs
+// cluster-fidelity campaign points.
+
+// InterconnectSpec overrides the network between nodes in wire
+// vocabulary. The zero spec (or an absent one) means the testbed's
+// Cray Aries.
+type InterconnectSpec struct {
+	// Name labels the network in responses ("Cray Aries").
+	Name string `json:"name,omitempty"`
+	// LatencyNS is the one-way small-message latency.
+	LatencyNS float64 `json:"latency_ns,omitempty"`
+	// BandwidthGBs is the per-node injection bandwidth.
+	BandwidthGBs float64 `json:"bandwidth_gbs,omitempty"`
+}
+
+// ClusterRequest asks for a node-count scaling sweep of one workload.
+type ClusterRequest struct {
+	// Workload names a registered workload.
+	Workload string `json:"workload"`
+	// Size is the GLOBAL problem, decomposed across the nodes.
+	Size string `json:"size"`
+	// Threads is the per-node thread count (default 64).
+	Threads int `json:"threads,omitempty"`
+	// SKU selects the per-node machine preset (default 7210).
+	SKU string `json:"sku,omitempty"`
+	// Nodes lists the node counts to sweep (default 1,2,4,8,12,16).
+	Nodes []int `json:"nodes,omitempty"`
+	// WorkingSetFactor inflates the per-node footprint for the
+	// capacity sweet-spot rule (default 1; MiniFE-like workloads carry
+	// auxiliary state beyond the raw decomposition).
+	WorkingSetFactor float64 `json:"working_set_factor,omitempty"`
+	// Interconnect overrides the network (default Cray Aries).
+	Interconnect *InterconnectSpec `json:"interconnect,omitempty"`
+}
+
+// ClusterRow is one node count of the scaling sweep: the shared
+// campaign.ClusterStats cost split (flattened into the row's JSON) —
+// or the reason the decomposition cannot run (Unavailable, the
+// paper's "no bar"). The cost fields carry no omitempty: a 1-node
+// sweep has a legitimately zero reduce_ns (no allreduce partners) and
+// available rows always serialize their full compute/halo/reduce
+// split.
+type ClusterRow struct {
+	Nodes int `json:"nodes"`
+	campaign.ClusterStats
+	Unavailable string `json:"unavailable,omitempty"`
+}
+
+// ClusterResponse is the scaling answer: the canonical echo of the
+// resolved request, one row per node count, and the decomposition
+// advisor's verdicts.
+type ClusterResponse struct {
+	Workload string `json:"workload"`
+	// Size is the canonical global problem size.
+	Size    string `json:"size"`
+	Threads int    `json:"threads"`
+	SKU     string `json:"sku"`
+	// Network names the interconnect the sweep assumed.
+	Network string `json:"network"`
+	// WorkingSetFactor echoes the capacity-rule inflation factor.
+	WorkingSetFactor float64 `json:"working_set_factor"`
+	// Key is the content address the answer is cached under.
+	Key string `json:"key"`
+	// Rows holds one entry per swept node count, ascending.
+	Rows []ClusterRow `json:"rows"`
+	// MinHBMNodes is the smallest swept node count whose best per-node
+	// configuration binds to HBM (0 when none does) — the empirical
+	// §IV-C answer.
+	MinHBMNodes int `json:"min_hbm_nodes"`
+	// CapacityNodes is the analytic capacity rule: the smallest node
+	// count at which size*factor/nodes fits the HBM capacity.
+	CapacityNodes int `json:"capacity_nodes"`
+	// Cached marks responses served from the content-addressed cache.
+	Cached    bool    `json:"cached"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// clusterQuery is the canonical resolved form of a ClusterRequest:
+// the unit of execution and caching.
+type clusterQuery struct {
+	workload string
+	size     units.Bytes
+	threads  int
+	sku      string
+	nodes    []int // ascending, deduplicated
+	factor   float64
+	network  cluster.Interconnect
+}
+
+// Resolve canonicalizes the request: the size parses to bytes (so
+// "120GB" and "122880MB" sweep identically), node counts sort and
+// deduplicate, defaults fill in. Validation errors here map to HTTP
+// 400.
+func (r ClusterRequest) Resolve() (clusterQuery, error) {
+	q := clusterQuery{workload: r.Workload, threads: r.Threads, sku: r.SKU, factor: r.WorkingSetFactor}
+	if q.workload == "" {
+		return clusterQuery{}, fmt.Errorf("service: cluster request names no workload")
+	}
+	if r.Size == "" {
+		return clusterQuery{}, fmt.Errorf("service: cluster request for workload %q needs a global size", r.Workload)
+	}
+	size, err := units.ParseBytes(r.Size)
+	if err != nil {
+		return clusterQuery{}, err
+	}
+	if size <= 0 {
+		return clusterQuery{}, fmt.Errorf("service: size %q must be positive", r.Size)
+	}
+	q.size = size
+	if q.threads <= 0 {
+		q.threads = 64
+	}
+	if q.sku == "" {
+		q.sku = campaign.DefaultSKU
+	}
+	if q.factor == 0 {
+		q.factor = 1
+	}
+	if q.factor < 1 {
+		return clusterQuery{}, fmt.Errorf("service: working set factor %v must be >= 1", q.factor)
+	}
+	nodes := r.Nodes
+	if len(nodes) == 0 {
+		nodes = campaign.DefaultNodeCounts()
+	}
+	seen := make(map[int]bool)
+	for _, n := range nodes {
+		if n < 1 {
+			return clusterQuery{}, fmt.Errorf("service: node count %d must be >= 1", n)
+		}
+		if !seen[n] {
+			seen[n] = true
+			q.nodes = append(q.nodes, n)
+		}
+	}
+	sort.Ints(q.nodes)
+	q.network = cluster.Aries()
+	if r.Interconnect != nil {
+		q.network = cluster.Interconnect{
+			Name:         r.Interconnect.Name,
+			LatencyNS:    r.Interconnect.LatencyNS,
+			BandwidthGBs: r.Interconnect.BandwidthGBs,
+		}
+		if q.network.Name == "" {
+			q.network.Name = "custom"
+		}
+		if err := q.network.Validate(); err != nil {
+			return clusterQuery{}, err
+		}
+	}
+	return q, nil
+}
+
+// Key content-addresses the canonical query, mirroring
+// campaign.Point.Key: equal resolved requests — however their sizes
+// were spelled — hash equal.
+func (q clusterQuery) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster|w=%d:%s|b=%d|t=%d|sku=%s|wsf=%016x|net=%d:%s:%016x:%016x",
+		len(q.workload), q.workload, int64(q.size), q.threads, q.sku,
+		math.Float64bits(q.factor), len(q.network.Name), q.network.Name,
+		math.Float64bits(q.network.LatencyNS), math.Float64bits(q.network.BandwidthGBs))
+	for _, n := range q.nodes {
+		fmt.Fprintf(&b, "|n=%d", n)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// clusterStats converts one Iterate result to the shared wire stats —
+// the single place the cost split is copied, used by the sweep rows,
+// the campaign points and (via embedding) the rendering.
+func clusterStats(perNode units.Bytes, r cluster.IterationResult) campaign.ClusterStats {
+	return campaign.ClusterStats{
+		PerNodeSize: perNode.String(),
+		Config:      r.Config.String(),
+		ComputeNS:   r.ComputeNS,
+		HaloNS:      r.HaloNS,
+		ReduceNS:    r.ReduceNS,
+		TotalNS:     r.TotalNS,
+		Efficiency:  r.Efficiency,
+		FitsHBM:     r.Config.Kind == engine.BindHBM,
+	}
+}
+
+// ClusterSweep runs the scaling sweep for a resolved query. This is
+// the uncached execution path; the server wraps it in the
+// content-addressed cache.
+func (e *Executor) ClusterSweep(q clusterQuery) (ClusterResponse, error) {
+	sys, err := e.System(q.sku)
+	if err != nil {
+		return ClusterResponse{}, err
+	}
+	mdl, err := sys.Workload(q.workload)
+	if err != nil {
+		return ClusterResponse{}, err
+	}
+	resp := ClusterResponse{
+		Workload:         q.workload,
+		Size:             q.size.String(),
+		Threads:          q.threads,
+		SKU:              q.sku,
+		Network:          q.network.Name,
+		WorkingSetFactor: q.factor,
+		Key:              q.Key(),
+	}
+	for _, n := range q.nodes {
+		c, err := cluster.New(sys.Machine, n, q.network)
+		if err != nil {
+			return ClusterResponse{}, err
+		}
+		perNode := q.size / units.Bytes(n)
+		row := ClusterRow{Nodes: n, ClusterStats: campaign.ClusterStats{PerNodeSize: perNode.String()}}
+		r, err := c.Iterate(mdl, q.size, q.threads)
+		if err != nil {
+			// Over-capacity decomposition: the paper prints no bar; the
+			// sweep's other node counts still render.
+			row.Unavailable = err.Error()
+		} else {
+			row.ClusterStats = clusterStats(perNode, r)
+			if row.FitsHBM && (resp.MinHBMNodes == 0 || n < resp.MinHBMNodes) {
+				resp.MinHBMNodes = n
+			}
+		}
+		resp.Rows = append(resp.Rows, row)
+	}
+	// The analytic capacity rule (ceil(size*factor / HBM)) — the node
+	// count the §IV-C argument asks for, whether or not it was swept.
+	one, err := cluster.New(sys.Machine, 1, q.network)
+	if err != nil {
+		return ClusterResponse{}, err
+	}
+	resp.CapacityNodes, err = one.SweetSpot(q.size, q.factor)
+	if err != nil {
+		return ClusterResponse{}, err
+	}
+	return resp, nil
+}
+
+// runClusterPoint executes one FidelityCluster campaign point: the
+// same multi-node engine under canonical sweep conditions (Aries
+// interconnect), recorded as an outcome whose Value is the
+// per-iteration time. A decomposition that cannot run anywhere is a
+// valid "no bar" outcome, matching RunPoint's contract.
+func (e *Executor) runClusterPoint(p campaign.Point) (campaign.Outcome, error) {
+	sys, err := e.System(p.SKU)
+	if err != nil {
+		return campaign.Outcome{}, err
+	}
+	mdl, err := sys.Workload(p.Workload)
+	if err != nil {
+		return campaign.Outcome{}, err
+	}
+	c, err := cluster.New(sys.Machine, p.Nodes, cluster.Aries())
+	if err != nil {
+		return campaign.Outcome{}, fmt.Errorf("service: %s: %w", p, err)
+	}
+	out := campaign.Outcome{Point: p, Metric: "iteration ns"}
+	r, err := c.Iterate(mdl, p.Size, p.Threads)
+	if err != nil {
+		out.Unavailable = err.Error()
+		return out, nil
+	}
+	out.Value = r.TotalNS
+	stats := clusterStats(p.Size/units.Bytes(p.Nodes), r)
+	out.Cluster = &stats
+	return out, nil
+}
+
+// RenderCluster renders the scaling sweep the way simctl prints it:
+// the node-count table (the same row renderer campaign tables use),
+// then the decomposition advisor's summary.
+func RenderCluster(resp ClusterResponse) string {
+	var b strings.Builder
+	from := ""
+	if resp.Cached {
+		from = ", served from cache"
+	}
+	fmt.Fprintf(&b, "cluster scaling for %s, %s global, %d threads/node (KNL %s over %s%s):\n",
+		resp.Workload, resp.Size, resp.Threads, resp.SKU, resp.Network, from)
+	b.WriteString(campaign.ClusterTableHeader())
+	for _, r := range resp.Rows {
+		var stats *campaign.ClusterStats
+		if r.Unavailable == "" {
+			s := r.ClusterStats
+			stats = &s
+		}
+		b.WriteString(campaign.RenderClusterRow(r.Nodes, stats))
+	}
+	b.WriteString(campaign.RenderClusterSummary(resp.MinHBMNodes))
+	fmt.Fprintf(&b, "capacity rule: %s x %.2g working-set factor needs %d nodes to fit HBM\n",
+		resp.Size, resp.WorkingSetFactor, resp.CapacityNodes)
+	return b.String()
+}

@@ -68,8 +68,10 @@ func (e *Executor) RunPoint(p campaign.Point) (campaign.Outcome, error) {
 		return e.runTracePoint(p)
 	case campaign.FidelityAdvise:
 		return e.runAdvisePoint(p)
+	case campaign.FidelityCluster:
+		return e.runClusterPoint(p)
 	default:
-		return campaign.Outcome{}, fmt.Errorf("service: unknown fidelity %q (model|trace|advise)", p.Fidelity)
+		return campaign.Outcome{}, fmt.Errorf("service: unknown fidelity %q (model|trace|advise|cluster)", p.Fidelity)
 	}
 	sys, err := e.System(p.SKU)
 	if err != nil {

@@ -35,16 +35,23 @@ type JobFunc func(ctx context.Context, progress func(done, total int)) error
 // JobInfo is the externally visible snapshot of a job. Whether a
 // campaign was served from the result cache is reported on its
 // CampaignResult, not here.
+//
+// Started and Finished are pointers because time.Time is a struct, so
+// `omitempty` never fires on the value form and queued jobs would
+// serialize the zero time ("0001-01-01T00:00:00Z") instead of omitting
+// the field. They are set exactly once (under the job mutex) and never
+// mutated afterwards, so sharing the pointers across snapshots is
+// safe.
 type JobInfo struct {
-	ID        string    `json:"id"`
-	Kind      string    `json:"kind"` // "run" or "campaign"
-	State     JobState  `json:"state"`
-	Done      int       `json:"done"`
-	Total     int       `json:"total"`
-	Error     string    `json:"error,omitempty"`
-	Submitted time.Time `json:"submitted"`
-	Started   time.Time `json:"started,omitempty"`
-	Finished  time.Time `json:"finished,omitempty"`
+	ID        string     `json:"id"`
+	Kind      string     `json:"kind"` // "run" or "campaign"
+	State     JobState   `json:"state"`
+	Done      int        `json:"done"`
+	Total     int        `json:"total"`
+	Error     string     `json:"error,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
 }
 
 // job is the internal record: a snapshot guarded by mu plus the work.
@@ -204,9 +211,10 @@ func (q *Queue) worker(ctx context.Context) {
 }
 
 func (q *Queue) runJob(ctx context.Context, j *job) {
+	started := time.Now()
 	j.mu.Lock()
 	j.info.State = JobRunning
-	j.info.Started = time.Now()
+	j.info.Started = &started
 	j.mu.Unlock()
 	q.running.Add(1)
 
@@ -218,8 +226,9 @@ func (q *Queue) runJob(ctx context.Context, j *job) {
 	err := j.fn(ctx, progress)
 
 	q.running.Add(-1)
+	finished := time.Now()
 	j.mu.Lock()
-	j.info.Finished = time.Now()
+	j.info.Finished = &finished
 	if err != nil {
 		j.info.State = JobFailed
 		j.info.Error = err.Error()

@@ -2,7 +2,9 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -30,8 +32,58 @@ func TestQueueRunsJobs(t *testing.T) {
 	if final.Done != 1 || final.Total != 1 {
 		t.Fatalf("default progress = %d/%d, want 1/1", final.Done, final.Total)
 	}
-	if final.Started.Before(final.Submitted) || final.Finished.Before(final.Started) {
+	if final.Started == nil || final.Finished == nil {
+		t.Fatal("finished job missing timestamps")
+	}
+	if final.Started.Before(final.Submitted) || final.Finished.Before(*final.Started) {
 		t.Fatal("timestamps out of order")
+	}
+}
+
+// TestQueuedJobOmitsZeroTimestamps pins the wire format: a job that
+// has not started must not serialize "started"/"finished" at all —
+// time.Time is a struct, so the value form of omitempty never fires
+// and queued jobs used to leak "0001-01-01T00:00:00Z".
+func TestQueuedJobOmitsZeroTimestamps(t *testing.T) {
+	q := NewQueue(1, 8, 0)
+	defer q.Close(context.Background())
+
+	block := make(chan struct{})
+	defer close(block)
+	busy, err := q.Submit("run", func(context.Context, func(int, int)) error {
+		<-block
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker picked the blocker up, so the next job is
+	// guaranteed to snapshot in the queued state.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if info, _ := q.Get(busy.ID); info.State == JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	queued, err := q.Submit("run", func(context.Context, func(int, int)) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.Marshal(queued)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{`"started"`, `"finished"`, "0001-01-01"} {
+		if strings.Contains(string(buf), banned) {
+			t.Errorf("queued job JSON contains %s: %s", banned, buf)
+		}
+	}
+	if !strings.Contains(string(buf), `"submitted"`) {
+		t.Errorf("queued job JSON missing submitted: %s", buf)
 	}
 }
 

@@ -40,6 +40,7 @@ type Server struct {
 	campaigns   *Cache[*CampaignResult]
 	experiments *Cache[ExperimentResult]
 	advices     *Cache[AdviseResponse]
+	clusters    *Cache[ClusterResponse]
 	metrics     *Metrics
 	mux         *http.ServeMux
 
@@ -56,6 +57,7 @@ func NewServer(opt Options) *Server {
 		campaigns:   NewCache[*CampaignResult](opt.CacheSize),
 		experiments: NewCache[ExperimentResult](opt.CacheSize),
 		advices:     NewCache[AdviseResponse](opt.CacheSize),
+		clusters:    NewCache[ClusterResponse](opt.CacheSize),
 		metrics:     NewMetrics(),
 		mux:         http.NewServeMux(),
 		results:     make(map[string]*CampaignResult),
@@ -66,6 +68,7 @@ func NewServer(opt Options) *Server {
 	s.route("GET /v1/experiments", s.handleExperiments)
 	s.route("POST /v1/run", s.handleRun)
 	s.route("POST /v1/advise", s.handleAdvise)
+	s.route("POST /v1/cluster", s.handleCluster)
 	s.route("POST /v1/campaigns", s.handleSubmitCampaign)
 	s.route("GET /v1/jobs/{id}", s.handleJob)
 	s.route("GET /v1/jobs/{id}/result", s.handleJobResult)
@@ -180,6 +183,33 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	resp, cached, err := s.advices.GetOrCompute(q.Key(), func() (AdviseResponse, error) {
 		return s.exec.Advise(q)
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp.Cached = cached
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCluster is the synchronous multi-node scaling path: resolve
+// the request to its canonical form, answer from the content-addressed
+// cluster cache, compute through the cluster model on a miss.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	var req ClusterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad cluster body: %w", err))
+		return
+	}
+	q, err := req.Resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	resp, cached, err := s.clusters.GetOrCompute(q.Key(), func() (ClusterResponse, error) {
+		return s.exec.ClusterSweep(q)
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)

@@ -13,6 +13,15 @@
 //	simctl campaign -experiments all
 //	simctl job j000001
 //
+// Stored traces (the durable trace store behind /v1/traces):
+//
+//	simctl trace upload app.ndjson.gz        # NDJSON/CSV, gzip, or binary
+//	simctl trace list
+//	simctl trace show  <id>
+//	simctl trace replay -id <id> -config cache
+//	simctl trace delete <id>
+//	simctl campaign -fidelity replay -traces <id> -configs dram,hbm,cache
+//
 // Campaign submissions stream the job's progress to stderr and render
 // the aggregate tables to stdout when the sweep completes. advise
 // renders the ranked memory-mode recommendation table; cluster
@@ -45,7 +54,7 @@ func main() {
 	}
 }
 
-const usage = `usage: simctl [-addr URL] <workloads|experiments|run|advise|cluster|campaign|job> [flags]`
+const usage = `usage: simctl [-addr URL] <workloads|experiments|run|advise|cluster|trace|campaign|job> [flags]`
 
 // run dispatches the subcommands; it is the testable body of the
 // command.
@@ -73,6 +82,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return cmdAdvise(ctx, client, rest[1:], stdout, stderr)
 	case "cluster":
 		return cmdCluster(ctx, client, rest[1:], stdout, stderr)
+	case "trace":
+		return cmdTrace(ctx, client, rest[1:], stdout, stderr)
 	case "campaign":
 		return cmdCampaign(ctx, client, rest[1:], stdout, stderr)
 	case "job":
@@ -217,6 +228,97 @@ func cmdCluster(ctx context.Context, c *service.Client, args []string, stdout, s
 	return nil
 }
 
+// cmdTrace dispatches the stored-trace subcommands: upload a trace
+// into the durable store, list/show/delete stored traces, and replay
+// one through the scaled cache hierarchy.
+func cmdTrace(ctx context.Context, c *service.Client, args []string, stdout, stderr io.Writer) error {
+	const traceUsage = `usage: simctl trace <upload FILE|list|show ID|delete ID|replay -id ID -config CFG>`
+	if len(args) == 0 {
+		return fmt.Errorf("%s", traceUsage)
+	}
+	switch args[0] {
+	case "upload":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: simctl trace upload <file>")
+		}
+		f, err := os.Open(args[1])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		resp, err := c.UploadTrace(ctx, f)
+		if err != nil {
+			return err
+		}
+		state := "stored"
+		if resp.Existed {
+			state = "already stored (deduplicated)"
+		}
+		fmt.Fprintf(stdout, "trace %s %s\n", resp.ID, state)
+		fmt.Fprintf(stdout, "accesses:  %d (%d reads, %d writes)\n", resp.Accesses, resp.Reads, resp.Writes)
+		fmt.Fprintf(stdout, "footprint: %s, %d bytes on disk\n", resp.Footprint, resp.FileBytes)
+		return nil
+	case "list":
+		traces, err := c.Traces(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, service.RenderTraces(traces))
+		return nil
+	case "show":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: simctl trace show <id>")
+		}
+		info, err := c.Trace(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		return printJSON(stdout, info)
+	case "delete":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: simctl trace delete <id>")
+		}
+		if err := c.DeleteTrace(ctx, args[1]); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace %s deleted\n", args[1])
+		return nil
+	case "replay":
+		return cmdTraceReplay(ctx, c, args[1:], stdout, stderr)
+	}
+	return fmt.Errorf("unknown trace subcommand %q\n%s", args[0], traceUsage)
+}
+
+// cmdTraceReplay runs one stored trace through the hierarchy.
+func cmdTraceReplay(ctx context.Context, c *service.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("simctl trace replay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	id := fs.String("id", "", "stored trace content address")
+	cfg := fs.String("config", "cache", "memory configuration: dram|hbm|cache|interleave|hybrid:F")
+	sku := fs.String("sku", "", "KNL SKU (default 7210)")
+	passes := fs.Int("passes", 0, "replay passes, last one measured (default 1: cold caches)")
+	shards := fs.Int("shards", 0, "sharded replay worker count (power of two; 0/1 scalar)")
+	noPrefetch := fs.Bool("no-prefetch", false, "disable the stream prefetcher")
+	asJSON := fs.Bool("json", false, "print the raw JSON response")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req := service.ReplayRequest{Trace: *id, Config: *cfg, SKU: *sku, Passes: *passes, Shards: *shards}
+	if *noPrefetch {
+		pf := false
+		req.Prefetch = &pf
+	}
+	resp, err := c.Replay(ctx, req)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return printJSON(stdout, resp)
+	}
+	fmt.Fprint(stdout, service.RenderReplay(resp))
+	return nil
+}
+
 // parseList splits a comma list, dropping empties.
 func parseList(s string) []string {
 	var out []string
@@ -246,6 +348,7 @@ func cmdCampaign(ctx context.Context, c *service.Client, args []string, stdout, 
 	specPath := fs.String("spec", "", "JSON campaign spec file (flags below override its axes)")
 	name := fs.String("name", "", "campaign name")
 	workloads := fs.String("workloads", "", "comma-separated workload names")
+	traces := fs.String("traces", "", "comma-separated stored trace ids (replay fidelity only)")
 	configs := fs.String("configs", "", "comma-separated memory configurations")
 	sizes := fs.String("sizes", "", "comma-separated problem sizes")
 	gridFrom := fs.String("grid-from", "", "geometric size grid start")
@@ -255,7 +358,7 @@ func cmdCampaign(ctx context.Context, c *service.Client, args []string, stdout, 
 	nodes := fs.String("nodes", "", "comma-separated node counts (cluster fidelity only)")
 	experiments := fs.String("experiments", "", "comma-separated paper experiment IDs, or 'all'")
 	sku := fs.String("sku", "", "KNL SKU (default 7210)")
-	fidelity := fs.String("fidelity", "", "execution fidelity: model (default) | trace | advise | cluster")
+	fidelity := fs.String("fidelity", "", "execution fidelity: model (default) | trace | replay | advise | cluster")
 	async := fs.Bool("async", false, "submit and print the job ID without waiting")
 	asJSON := fs.Bool("json", false, "print the raw JSON result")
 	if err := fs.Parse(args); err != nil {
@@ -277,6 +380,9 @@ func cmdCampaign(ctx context.Context, c *service.Client, args []string, stdout, 
 	}
 	if *workloads != "" {
 		spec.Workloads = parseList(*workloads)
+	}
+	if *traces != "" {
+		spec.Traces = parseList(*traces)
 	}
 	if *configs != "" {
 		spec.Configs = parseList(*configs)

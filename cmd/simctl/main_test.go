@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -355,5 +356,131 @@ func TestBadInvocations(t *testing.T) {
 	}
 	if _, _, err := runCLI(t, "-addr", url, "campaign", "-threads", "abc"); err == nil {
 		t.Error("bad threads accepted")
+	}
+}
+
+// startTraceServer runs a service with an isolated trace store.
+func startTraceServer(t *testing.T) string {
+	t.Helper()
+	srv := service.NewServer(service.Options{Workers: 4, QueueDepth: 64, TraceDir: t.TempDir()})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = srv.Close(context.Background())
+	})
+	return ts.URL
+}
+
+func writeTraceFixture(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fix.csv")
+	var b strings.Builder
+	b.WriteString("addr,kind\n")
+	for i := 0; i < 50000; i++ {
+		kind := "R"
+		if i%7 == 0 {
+			kind = "W"
+		}
+		fmt.Fprintf(&b, "%d,%s\n", (i*2777)%(4<<20), kind)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTraceSubcommands(t *testing.T) {
+	url := startTraceServer(t)
+	fixture := writeTraceFixture(t)
+
+	out, _, err := runCLI(t, "-addr", url, "trace", "upload", fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "stored") || !strings.Contains(out, "accesses:  50000") {
+		t.Fatalf("upload output %q", out)
+	}
+	id := strings.Fields(strings.SplitN(out, "\n", 2)[0])[1]
+	if len(id) != 64 {
+		t.Fatalf("no content address in %q", out)
+	}
+
+	// Re-upload dedupes.
+	out, _, err = runCLI(t, "-addr", url, "trace", "upload", fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "deduplicated") {
+		t.Fatalf("re-upload output %q", out)
+	}
+
+	out, _, err = runCLI(t, "-addr", url, "trace", "list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, id[:12]) || !strings.Contains(out, "footprint") {
+		t.Fatalf("list output %q", out)
+	}
+
+	out, _, err = runCLI(t, "-addr", url, "trace", "show", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info service.TraceInfo
+	if err := json.Unmarshal([]byte(out), &info); err != nil || info.ID != id {
+		t.Fatalf("show output %q (%v)", out, err)
+	}
+
+	// Cold replay, then cached.
+	out, _, err = runCLI(t, "-addr", url, "trace", "replay", "-id", id, "-config", "cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "replay of trace") || !strings.Contains(out, "computed") || !strings.Contains(out, "avg latency") {
+		t.Fatalf("replay output %q", out)
+	}
+	out, _, err = runCLI(t, "-addr", url, "trace", "replay", "-id", id, "-config", "cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "served from cache") {
+		t.Fatalf("second replay not cached: %q", out)
+	}
+
+	// Replay campaign over the stored trace.
+	out, _, err = runCLI(t, "-addr", url, "campaign", "-fidelity", "replay",
+		"-traces", id, "-configs", "dram,hbm,cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "3 points") || !strings.Contains(out, "replay of trace") || !strings.Contains(out, "best:") {
+		t.Fatalf("replay campaign output %q", out)
+	}
+
+	// Delete; replay now fails with 404.
+	if out, _, err = runCLI(t, "-addr", url, "trace", "delete", id); err != nil || !strings.Contains(out, "deleted") {
+		t.Fatalf("delete: %q %v", out, err)
+	}
+	if _, _, err = runCLI(t, "-addr", url, "trace", "show", id); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("show after delete: %v", err)
+	}
+	if _, _, err = runCLI(t, "-addr", url, "trace", "replay", "-id", id, "-config", "dram"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("replay after delete: %v", err)
+	}
+}
+
+func TestTraceSubcommandErrors(t *testing.T) {
+	url := startTraceServer(t)
+	if _, _, err := runCLI(t, "-addr", url, "trace"); err == nil {
+		t.Fatal("bare trace subcommand accepted")
+	}
+	if _, _, err := runCLI(t, "-addr", url, "trace", "bogus"); err == nil {
+		t.Fatal("unknown trace subcommand accepted")
+	}
+	if _, _, err := runCLI(t, "-addr", url, "trace", "upload", "/does/not/exist"); err == nil {
+		t.Fatal("missing upload file accepted")
+	}
+	if _, _, err := runCLI(t, "-addr", url, "trace", "replay", "-id", "nope", "-config", "dram"); err == nil {
+		t.Fatal("unknown trace id accepted")
 	}
 }

@@ -6,15 +6,24 @@
 //
 // Endpoints:
 //
-//	GET  /healthz                 liveness
-//	GET  /metrics                 Prometheus text metrics
-//	GET  /v1/workloads            registered workloads
-//	GET  /v1/experiments          paper experiments
-//	POST /v1/run                  one synchronous prediction
-//	POST /v1/campaigns[?wait=1]   submit a declarative sweep
-//	GET  /v1/jobs/{id}            poll a job
-//	GET  /v1/jobs/{id}/result     block for a job's result
-//	GET  /v1/jobs/{id}/stream     NDJSON progress feed
+//	GET    /healthz                 liveness
+//	GET    /metrics                 Prometheus text metrics
+//	GET    /v1/workloads            registered workloads
+//	GET    /v1/experiments          paper experiments
+//	POST   /v1/run                  one synchronous prediction
+//	POST   /v1/advise               ranked memory-mode recommendation
+//	POST   /v1/cluster              multi-node scaling sweep
+//	POST   /v1/traces               ingest a memory trace (streaming)
+//	GET    /v1/traces[/{id}]        stored trace metadata
+//	DELETE /v1/traces/{id}          delete a stored trace
+//	POST   /v1/replay               replay a stored trace
+//	POST   /v1/campaigns[?wait=1]   submit a declarative sweep
+//	GET    /v1/jobs/{id}            poll a job
+//	GET    /v1/jobs/{id}/result     block for a job's result
+//	GET    /v1/jobs/{id}/stream     NDJSON progress feed
+//
+// The trace store is durable: -traces names its directory, and a
+// restarted server re-serves every previously ingested trace.
 //
 // Use cmd/simctl to talk to it from the shell.
 package main
@@ -33,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/units"
 )
 
 func main() {
@@ -54,15 +64,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 	workers := fs.Int("workers", 0, "job workers and per-campaign fan-out (0: GOMAXPROCS)")
 	depth := fs.Int("queue", 256, "pending job queue depth")
 	cacheSize := fs.Int("cache", 0, "result cache bound in entries (0: default 64k)")
+	traceDir := fs.String("traces", "traces", "durable trace store directory")
+	maxBody := fs.String("max-body", "1MB", "JSON request body cap (413 beyond it)")
+	maxTrace := fs.String("max-trace", "256MB", "trace upload body cap (413 beyond it)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	maxBodyBytes, err := units.ParseBytes(*maxBody)
+	if err != nil {
+		return fmt.Errorf("bad -max-body: %w", err)
+	}
+	maxTraceBytes, err := units.ParseBytes(*maxTrace)
+	if err != nil {
+		return fmt.Errorf("bad -max-trace: %w", err)
+	}
 
 	srv := service.NewServer(service.Options{
-		Workers:    *workers,
-		QueueDepth: *depth,
-		CacheSize:  *cacheSize,
+		Workers:       *workers,
+		QueueDepth:    *depth,
+		CacheSize:     *cacheSize,
+		TraceDir:      *traceDir,
+		MaxBodyBytes:  int64(maxBodyBytes),
+		MaxTraceBytes: int64(maxTraceBytes),
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -8,15 +8,24 @@
 //	trace -pattern chase  -footprint 16MB -accesses 1000000
 //	trace -pattern seq    -footprint 6MB  -memcache 4MB -passes 3
 //	trace -pattern random -footprint 64MB -shards 4       # parallel replay
+//
+// With -o the generated stream is exported in the tracestore binary
+// format instead of being replayed, turning every synthetic pattern
+// into a seedable fixture for the trace service:
+//
+//	trace -pattern chase -footprint 16MB -accesses 1000000 -o chase.trc
+//	simctl trace upload chase.trc
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cache"
 	"repro/internal/tracesim"
+	"repro/internal/tracestore"
 	"repro/internal/units"
 )
 
@@ -26,35 +35,36 @@ type replayer interface {
 }
 
 func main() {
-	pattern := flag.String("pattern", "seq", "access pattern: seq|random|chase")
-	shards := flag.Int("shards", 1, "parallel replay shards (1 = scalar)")
-	footprint := flag.String("footprint", "8MB", "region size")
-	accesses := flag.Int64("accesses", 200000, "random accesses (random pattern)")
-	memcache := flag.String("memcache", "0", "memory-side cache size (0 = flat mode)")
-	passes := flag.Int("passes", 2, "replay passes (last one measured)")
-	prefetch := flag.Bool("prefetch", true, "enable the stream prefetcher")
-	writes := flag.Bool("writes", false, "issue writes instead of reads")
-	seed := flag.Int64("seed", 1, "random seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	pattern := fs.String("pattern", "seq", "access pattern: seq|random|chase")
+	shards := fs.Int("shards", 1, "parallel replay shards (1 = scalar)")
+	footprint := fs.String("footprint", "8MB", "region size")
+	accesses := fs.Int64("accesses", 200000, "random accesses (random pattern)")
+	memcache := fs.String("memcache", "0", "memory-side cache size (0 = flat mode)")
+	passes := fs.Int("passes", 2, "replay passes (last one measured)")
+	prefetch := fs.Bool("prefetch", true, "enable the stream prefetcher")
+	writes := fs.Bool("writes", false, "issue writes instead of reads")
+	seed := fs.Int64("seed", 1, "random seed")
+	output := fs.String("o", "", "export the stream to this file (tracestore binary format) instead of replaying")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	fp, err := units.ParseBytes(*footprint)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	mc, err := units.ParseBytes(*memcache)
 	if err != nil {
-		fatal(err)
-	}
-	cfg := tracesim.DefaultConfig(mc)
-	cfg.Prefetcher = *prefetch
-	var sim replayer
-	if *shards > 1 {
-		sim, err = tracesim.NewSharded(cfg, *shards)
-	} else {
-		sim, err = tracesim.New(cfg)
-	}
-	if err != nil {
-		fatal(err)
+		return err
 	}
 	kind := cache.Read
 	if *writes {
@@ -72,28 +82,48 @@ func main() {
 		err = fmt.Errorf("unknown pattern %q (seq|random|chase)", *pattern)
 	}
 	if err != nil {
-		fatal(err)
+		return err
+	}
+
+	if *output != "" {
+		sum, id, err := tracestore.Export(*output, gen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "exported %s trace to %s\n", *pattern, *output)
+		fmt.Fprintf(stdout, "id:        %s\n", id)
+		fmt.Fprintf(stdout, "accesses:  %d (%d reads, %d writes)\n", sum.Accesses, sum.Reads, sum.Writes)
+		fmt.Fprintf(stdout, "footprint: %v (%d lines)\n", sum.Footprint(), sum.Lines)
+		return nil
+	}
+
+	cfg := tracesim.DefaultConfig(mc)
+	cfg.Prefetcher = *prefetch
+	var sim replayer
+	if *shards > 1 {
+		sim, err = tracesim.NewSharded(cfg, *shards)
+	} else {
+		sim, err = tracesim.New(cfg)
+	}
+	if err != nil {
+		return err
 	}
 	res, err := sim.RunPasses(gen, *passes)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("pattern=%s footprint=%v memcache=%v prefetch=%v passes=%d shards=%d\n",
+	fmt.Fprintf(stdout, "pattern=%s footprint=%v memcache=%v prefetch=%v passes=%d shards=%d\n",
 		*pattern, fp, mc, *prefetch, *passes, *shards)
-	fmt.Printf("accesses:      %d\n", res.Accesses)
-	fmt.Printf("L1  hit ratio: %.3f (%d/%d)\n", res.L1.HitRatio(), res.L1.Hits, res.L1.Hits+res.L1.Misses)
-	fmt.Printf("L2  hit ratio: %.3f (%d/%d)\n", res.L2.HitRatio(), res.L2.Hits, res.L2.Hits+res.L2.Misses)
+	fmt.Fprintf(stdout, "accesses:      %d\n", res.Accesses)
+	fmt.Fprintf(stdout, "L1  hit ratio: %.3f (%d/%d)\n", res.L1.HitRatio(), res.L1.Hits, res.L1.Hits+res.L1.Misses)
+	fmt.Fprintf(stdout, "L2  hit ratio: %.3f (%d/%d)\n", res.L2.HitRatio(), res.L2.Hits, res.L2.Hits+res.L2.Misses)
 	if mc > 0 {
-		fmt.Printf("MSC hit ratio: %.3f (%d/%d)\n", res.MemCache.HitRatio(),
+		fmt.Fprintf(stdout, "MSC hit ratio: %.3f (%d/%d)\n", res.MemCache.HitRatio(),
 			res.MemCache.Hits, res.MemCache.Hits+res.MemCache.Misses)
 	}
-	fmt.Printf("memory reads:  %d lines\n", res.MemReads)
-	fmt.Printf("memory writes: %d lines\n", res.MemWrites)
-	fmt.Printf("prefetches:    %d\n", res.Prefetches)
-	fmt.Printf("avg latency:   %.1f ns\n", res.AvgLatencyNS())
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "trace:", err)
-	os.Exit(1)
+	fmt.Fprintf(stdout, "memory reads:  %d lines\n", res.MemReads)
+	fmt.Fprintf(stdout, "memory writes: %d lines\n", res.MemWrites)
+	fmt.Fprintf(stdout, "prefetches:    %d\n", res.Prefetches)
+	fmt.Fprintf(stdout, "avg latency:   %.1f ns\n", res.AvgLatencyNS())
+	return nil
 }

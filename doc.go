@@ -45,6 +45,15 @@
 //	go run ./cmd/simctl cluster -workload MiniFE -size 120GB \
 //	    -threads 64 -nodes 2,4,8,12,16
 //
+//	# Bring a real memory trace into the system: upload it (NDJSON,
+//	# CSV, gzipped, or a cmd/trace -o export), then replay it through
+//	# the cache hierarchy under each memory mode.
+//	go run ./cmd/trace -pattern chase -footprint 4MB -accesses 400000 -o chase.trc
+//	go run ./cmd/simctl trace upload chase.trc
+//	go run ./cmd/simctl trace replay -id <id> -config cache
+//	go run ./cmd/simctl campaign -fidelity replay -traces <id> \
+//	    -configs dram,hbm,cache
+//
 // Resubmitting any of these is served from the content-addressed
 // caches ("(cached)" / "served from campaign cache" in the output) —
 // spelling does not matter ("8GB" == "8192MB"). Everything also works
@@ -170,4 +179,28 @@
 // configuration are "no bar" rows, not errors. The service answer is
 // pinned by test to match an in-process cluster.New(...).Iterate run
 // exactly. See examples/capacity and docs/api.md.
+//
+// # Durable trace store
+//
+// The paper's methodology rests on traces collected from instrumented
+// applications; internal/tracestore lets a real reference stream enter
+// the reproduction and stay. Traces upload as NDJSON or CSV (either
+// gzipped) or the store's own binary format, are re-encoded block by
+// block — never buffering a whole trace — into a compact on-disk form
+// (varint-delta addresses, run-length access kinds, CRC-checked
+// blocks, versioned header), and are addressed by the SHA-256 of the
+// canonical access stream, so re-uploads — in any format or
+// compression — dedupe to the same id without a second copy.
+//
+// POST /v1/replay feeds a stored trace through the same scaled cache
+// hierarchy as the synthetic trace fidelity, behind its own
+// content-addressed singleflight cache; the campaign fidelity
+// "replay" sweeps stored traces over memory configurations and ranks
+// them per trace. Replay results are pinned by test to be
+// byte-identical to an in-process scalar tracesim.Simulator run, and
+// sharded replay (an execution hint, excluded from the cache key)
+// matches scalar exactly. cmd/trace -o exports every synthetic
+// generator as a seedable fixture; simctl trace
+// upload|list|show|replay|delete manages the store from the shell.
+// See examples/replay, BENCH_REPLAY.json and docs/api.md.
 package repro

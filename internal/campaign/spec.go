@@ -39,6 +39,12 @@ const (
 	// Expand canonicalizes their Threads to 0 and a thread grid
 	// collapses to one point per (workload, config, size).
 	FidelityTrace = "trace"
+	// FidelityReplay replays a stored trace (internal/tracestore, by
+	// content address) through the functional cache hierarchy under
+	// each memory configuration. Replay points carry no workload,
+	// size, thread or node axis — the stored stream is the workload
+	// and defines its own footprint.
+	FidelityReplay = "replay"
 )
 
 // normalizeFidelity maps the empty string to FidelityModel and
@@ -49,12 +55,14 @@ func normalizeFidelity(f string) (string, error) {
 		return FidelityModel, nil
 	case FidelityTrace:
 		return FidelityTrace, nil
+	case FidelityReplay:
+		return FidelityReplay, nil
 	case FidelityAdvise:
 		return FidelityAdvise, nil
 	case FidelityCluster:
 		return FidelityCluster, nil
 	}
-	return "", fmt.Errorf("campaign: unknown fidelity %q (model|trace|advise|cluster)", f)
+	return "", fmt.Errorf("campaign: unknown fidelity %q (model|trace|replay|advise|cluster)", f)
 }
 
 // Grid is a geometric problem-size axis: Points sizes spaced evenly in
@@ -74,12 +82,16 @@ type Grid struct {
 type Spec struct {
 	Name      string   `json:"name,omitempty"`
 	SKU       string   `json:"sku,omitempty"`
-	Fidelity  string   `json:"fidelity,omitempty"` // model (default) | trace | advise | cluster
+	Fidelity  string   `json:"fidelity,omitempty"` // model (default) | trace | replay | advise | cluster
 	Workloads []string `json:"workloads,omitempty"`
-	Configs   []string `json:"configs,omitempty"`
-	Sizes     []string `json:"sizes,omitempty"`
-	SizeGrid  *Grid    `json:"size_grid,omitempty"`
-	Threads   []int    `json:"threads,omitempty"`
+	// Traces is the stored-trace axis of replay-fidelity sweeps: each
+	// entry is a tracestore content address, replayed under every
+	// configuration in Configs. Only valid with Fidelity "replay".
+	Traces   []string `json:"traces,omitempty"`
+	Configs  []string `json:"configs,omitempty"`
+	Sizes    []string `json:"sizes,omitempty"`
+	SizeGrid *Grid    `json:"size_grid,omitempty"`
+	Threads  []int    `json:"threads,omitempty"`
 	// Nodes is the node-count axis of cluster-fidelity sweeps: each
 	// point decomposes the (global) problem size over that many KNL
 	// nodes. Only valid with Fidelity "cluster"; empty defaults to
@@ -103,6 +115,10 @@ type Point struct {
 	// is then the global problem decomposed across them); 0 for every
 	// single-node fidelity.
 	Nodes int
+	// TraceID is the stored trace's content address for FidelityReplay
+	// points; empty for every other fidelity (Workload and Size are
+	// then empty/zero — the stored stream defines both).
+	TraceID string
 }
 
 // Key returns the content address of the point: a SHA-256 over its
@@ -113,9 +129,9 @@ func (p Point) Key() string {
 	if fid == "" {
 		fid = FidelityModel
 	}
-	canon := fmt.Sprintf("w=%s|k=%d|f=%.6f|b=%d|t=%d|sku=%s|fid=%s|n=%d",
+	canon := fmt.Sprintf("w=%s|k=%d|f=%.6f|b=%d|t=%d|sku=%s|fid=%s|n=%d|tr=%s",
 		p.Workload, int(p.Config.Kind), p.Config.HybridFlatFraction,
-		int64(p.Size), p.Threads, p.SKU, fid, p.Nodes)
+		int64(p.Size), p.Threads, p.SKU, fid, p.Nodes, p.TraceID)
 	sum := sha256.Sum256([]byte(canon))
 	return hex.EncodeToString(sum[:])
 }
@@ -125,10 +141,21 @@ func (p Point) Key() string {
 // model picks the best per-node configuration itself), so printing
 // the zero config's "DRAM" label would misreport what runs.
 func (p Point) String() string {
+	if p.TraceID != "" {
+		return fmt.Sprintf("trace %s/%v", ShortTraceID(p.TraceID), p.Config)
+	}
 	if p.Nodes > 0 {
 		return fmt.Sprintf("%s/%v/t%d/n%d", p.Workload, p.Size, p.Threads, p.Nodes)
 	}
 	return fmt.Sprintf("%s/%v/%v/t%d", p.Workload, p.Config, p.Size, p.Threads)
+}
+
+// ShortTraceID abbreviates a trace content address for labels.
+func ShortTraceID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
 }
 
 // expandGrid resolves the geometric size axis.
@@ -168,6 +195,12 @@ func (s Spec) Expand() (points []Point, raw int, err error) {
 	fidelity, err := normalizeFidelity(s.Fidelity)
 	if err != nil {
 		return nil, 0, err
+	}
+	if fidelity == FidelityReplay {
+		return s.expandReplay(sku)
+	}
+	if len(s.Traces) != 0 {
+		return nil, 0, fmt.Errorf("campaign: the traces axis requires fidelity %q (have %q)", FidelityReplay, fidelity)
 	}
 	if len(s.Workloads) == 0 && len(s.Experiments) == 0 {
 		return nil, 0, fmt.Errorf("campaign: spec names no workloads and no experiments")
@@ -273,6 +306,58 @@ func (s Spec) Expand() (points []Point, raw int, err error) {
 					}
 				}
 			}
+		}
+	}
+	return points, raw, nil
+}
+
+// expandReplay resolves a replay-fidelity spec: the cross product of
+// stored traces x memory configurations. The workload, size, thread
+// and node axes do not apply — the stored stream is the workload and
+// defines its own footprint — so naming them is a spec error rather
+// than a silently ignored field.
+func (s Spec) expandReplay(sku string) (points []Point, raw int, err error) {
+	if len(s.Traces) == 0 {
+		return nil, 0, fmt.Errorf("campaign: replay spec names no traces")
+	}
+	if len(s.Workloads) != 0 {
+		return nil, 0, fmt.Errorf("campaign: replay fidelity replays stored traces; drop the workloads axis")
+	}
+	if len(s.Sizes) != 0 || s.SizeGrid != nil {
+		return nil, 0, fmt.Errorf("campaign: replay points take their footprint from the stored trace; drop the sizes axis")
+	}
+	if len(s.Nodes) != 0 {
+		return nil, 0, fmt.Errorf("campaign: the nodes axis requires fidelity %q (have %q)", FidelityCluster, FidelityReplay)
+	}
+	if len(s.Threads) != 0 {
+		return nil, 0, fmt.Errorf("campaign: replay is a single access stream; drop the threads axis")
+	}
+	if len(s.Configs) == 0 {
+		return nil, 0, fmt.Errorf("campaign: replay spec names no memory configurations")
+	}
+	var cfgs []engine.MemoryConfig
+	for _, rawCfg := range s.Configs {
+		cfg, err := engine.ParseConfig(rawCfg)
+		if err != nil {
+			return nil, 0, fmt.Errorf("campaign: %w", err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	seen := make(map[string]bool)
+	for _, id := range s.Traces {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			return nil, 0, fmt.Errorf("campaign: empty trace id")
+		}
+		for _, cfg := range cfgs {
+			raw++
+			p := Point{TraceID: id, Config: cfg, SKU: sku, Fidelity: FidelityReplay}
+			k := p.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			points = append(points, p)
 		}
 	}
 	return points, raw, nil

@@ -254,3 +254,86 @@ func TestTablesRendering(t *testing.T) {
 		t.Errorf("32 GB row should pick DRAM as best: %q", last)
 	}
 }
+
+func TestReplayFidelityExpansion(t *testing.T) {
+	spec := Spec{
+		Fidelity: FidelityReplay,
+		Traces:   []string{"aaa111", "bbb222", "aaa111"}, // duplicate dedups
+		Configs:  []string{"dram", "cache", "DDR"},       // "DDR" == "dram"
+	}
+	points, raw, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != 9 {
+		t.Fatalf("raw cross product %d, want 9", raw)
+	}
+	if len(points) != 4 { // 2 traces x 2 distinct configs
+		t.Fatalf("expanded to %d points, want 4: %+v", len(points), points)
+	}
+	for _, p := range points {
+		if p.TraceID == "" || p.Workload != "" || p.Size != 0 || p.Threads != 0 || p.Nodes != 0 {
+			t.Fatalf("replay point carries a foreign axis: %+v", p)
+		}
+		if p.Fidelity != FidelityReplay {
+			t.Fatalf("point fidelity %q", p.Fidelity)
+		}
+	}
+	// Same trace under different configs must be distinct points.
+	if points[0].Key() == points[1].Key() {
+		t.Fatal("distinct configs share a key")
+	}
+	// And the key must separate replay points from trace points.
+	tracePoint := Point{Workload: "STREAM", Fidelity: FidelityTrace, SKU: DefaultSKU}
+	replayPoint := Point{TraceID: "aaa111", Fidelity: FidelityReplay, SKU: DefaultSKU}
+	if tracePoint.Key() == replayPoint.Key() {
+		t.Fatal("replay and trace points share a key")
+	}
+}
+
+func TestReplaySpecErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"no-traces", Spec{Fidelity: FidelityReplay, Configs: []string{"dram"}}, "names no traces"},
+		{"no-configs", Spec{Fidelity: FidelityReplay, Traces: []string{"a"}}, "no memory configurations"},
+		{"workloads", Spec{Fidelity: FidelityReplay, Traces: []string{"a"}, Configs: []string{"dram"}, Workloads: []string{"STREAM"}}, "drop the workloads axis"},
+		{"sizes", Spec{Fidelity: FidelityReplay, Traces: []string{"a"}, Configs: []string{"dram"}, Sizes: []string{"8GB"}}, "drop the sizes axis"},
+		{"threads", Spec{Fidelity: FidelityReplay, Traces: []string{"a"}, Configs: []string{"dram"}, Threads: []int{64}}, "drop the threads axis"},
+		{"nodes", Spec{Fidelity: FidelityReplay, Traces: []string{"a"}, Configs: []string{"dram"}, Nodes: []int{2}}, "nodes axis"},
+		{"empty-id", Spec{Fidelity: FidelityReplay, Traces: []string{" "}, Configs: []string{"dram"}}, "empty trace id"},
+		{"traces-without-replay", Spec{Fidelity: FidelityModel, Traces: []string{"a"}, Workloads: []string{"STREAM"}, Configs: []string{"dram"}, Sizes: []string{"8GB"}}, "traces axis requires fidelity"},
+	}
+	for _, c := range cases {
+		if _, _, err := c.spec.Expand(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestReplayTablesRendering(t *testing.T) {
+	mk := func(cfg string, ns float64) Outcome {
+		c, err := engine.ParseConfig(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Outcome{
+			Point:  Point{TraceID: "deadbeefcafe0123", Config: c, Fidelity: FidelityReplay, SKU: DefaultSKU},
+			Metric: "ns/access",
+			Value:  ns,
+			Trace:  &TraceStats{Accesses: 1000, L1HitRate: 0.9, AvgLatencyNS: ns},
+		}
+	}
+	tables := Tables([]Outcome{mk("dram", 30), mk("cache", 12)})
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(tables))
+	}
+	tbl := tables[0]
+	for _, want := range []string{"replay of trace deadbeefcafe", "1000 accesses", "best: Cache"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}

@@ -53,20 +53,76 @@ func (o Outcome) Format() string {
 // outcomes through the node-count scaling table (rows are node
 // counts, with the minimum HBM-fitting decomposition called out).
 func Tables(outcomes []Outcome) []string {
-	var plain, advised, clustered []Outcome
+	var plain, advised, clustered, replayed []Outcome
 	for _, o := range outcomes {
 		switch o.Point.Fidelity {
 		case FidelityAdvise:
 			advised = append(advised, o)
 		case FidelityCluster:
 			clustered = append(clustered, o)
+		case FidelityReplay:
+			replayed = append(replayed, o)
 		default:
 			plain = append(plain, o)
 		}
 	}
 	tables := plainTables(plain)
 	tables = append(tables, adviseTables(advised)...)
-	return append(tables, clusterTables(clustered)...)
+	tables = append(tables, clusterTables(clustered)...)
+	return append(tables, replayTables(replayed)...)
+}
+
+// replayTables renders replay-fidelity outcomes: one table per stored
+// trace, rows are the swept memory configurations with the replay's
+// hierarchy behaviour, and a closing line names the fastest
+// configuration — the placement question asked of a real reference
+// stream.
+func replayTables(outcomes []Outcome) []string {
+	var order []string
+	groups := make(map[string][]Outcome)
+	for _, o := range outcomes {
+		id := o.Point.TraceID
+		if _, ok := groups[id]; !ok {
+			order = append(order, id)
+		}
+		groups[id] = append(groups[id], o)
+	}
+	var tables []string
+	for _, id := range order {
+		tables = append(tables, renderReplayGroup(id, groups[id]))
+	}
+	return tables
+}
+
+func renderReplayGroup(id string, outcomes []Outcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "replay of trace %s", ShortTraceID(id))
+	if t := outcomes[0].Trace; t != nil {
+		fmt.Fprintf(&b, " (%d accesses)", t.Accesses)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-14s%14s%10s%10s%10s%12s%12s\n",
+		"config", "ns/access", "L1 hit", "L2 hit", "MC hit", "mem reads", "mem writes")
+	best := "-"
+	var bestVal float64
+	haveBest := false
+	for _, o := range outcomes {
+		cfg := o.Point.Config.String()
+		if o.Unavailable != "" || o.Trace == nil {
+			fmt.Fprintf(&b, "%-14s%14s\n", cfg, "-")
+			continue
+		}
+		t := o.Trace
+		fmt.Fprintf(&b, "%-14s%14.2f%10.3f%10.3f%10.3f%12d%12d\n",
+			cfg, t.AvgLatencyNS, t.L1HitRate, t.L2HitRate, t.MCHitRate, t.MemReads, t.MemWrites)
+		if !haveBest || o.Value < bestVal {
+			best, bestVal, haveBest = cfg, o.Value, true
+		}
+	}
+	if haveBest {
+		fmt.Fprintf(&b, "best: %s (%.2f ns/access)\n", best, bestVal)
+	}
+	return b.String()
 }
 
 // plainTables renders the model/trace outcome grid.

@@ -35,6 +35,11 @@ func (r RunRequest) Point() (campaign.Point, error) {
 		// that axis.
 		return campaign.Point{}, fmt.Errorf("service: cluster fidelity is served by POST /v1/cluster (or a cluster-fidelity campaign)")
 	}
+	if r.Fidelity == campaign.FidelityReplay {
+		// A replay point needs a stored trace id; the replay endpoint
+		// owns that vocabulary.
+		return campaign.Point{}, fmt.Errorf("service: replay fidelity is served by POST /v1/replay (or a replay-fidelity campaign)")
+	}
 	var cfg engine.MemoryConfig
 	if !(r.Fidelity == campaign.FidelityAdvise && r.Config == "") {
 		var err error
@@ -94,6 +99,7 @@ type RunResponse struct {
 	Advice      *campaign.AdviceSummary `json:"advice,omitempty"`
 	Cluster     *campaign.ClusterStats  `json:"cluster,omitempty"`
 	Nodes       int                     `json:"nodes,omitempty"`
+	TraceID     string                  `json:"trace_id,omitempty"`
 	Cached      bool                    `json:"cached"`
 	ElapsedMS   float64                 `json:"elapsed_ms"`
 }
@@ -119,6 +125,7 @@ func runResponse(o campaign.Outcome, cached bool, elapsedMS float64) RunResponse
 		Advice:      o.Advice,
 		Cluster:     o.Cluster,
 		Nodes:       o.Point.Nodes,
+		TraceID:     o.Point.TraceID,
 		Cached:      cached,
 		ElapsedMS:   elapsedMS,
 	}

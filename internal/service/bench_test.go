@@ -1,12 +1,16 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"math/rand"
 	"net/http/httptest"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/campaign"
+	"repro/internal/tracesim"
 )
 
 // benchTraceSpec is the headline sweep for BENCH_SERVE.json: trace
@@ -161,4 +165,110 @@ func BenchmarkServeRun(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkReplayStored measures the stored-trace path end to end
+// over real HTTP: ingest throughput (NDJSON upload into the durable
+// store), a cold replay through the scaled cache hierarchy, and the
+// warm replay served from the content-addressed replay cache. The
+// recorded baseline lives in BENCH_REPLAY.json.
+func BenchmarkReplayStored(b *testing.B) {
+	accs := benchReplayAccesses(200000)
+	body := ndjsonBody(accs)
+
+	b.Run("Ingest", func(b *testing.B) {
+		srv := NewServer(Options{Workers: 2, QueueDepth: 16, TraceDir: b.TempDir()})
+		ts := httptest.NewServer(srv.Handler())
+		defer func() {
+			ts.Close()
+			_ = srv.Close(context.Background())
+		}()
+		c := NewClient(ts.URL)
+		b.SetBytes(int64(len(body)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Each iteration ingests a distinct stream (the previous
+			// upload would otherwise dedupe into a no-op).
+			b.StopTimer()
+			variant := append([]byte(nil), body...)
+			variant = append(variant, []byte(fmt.Sprintf("{\"addr\": %d}\n", 1<<30+i*64))...)
+			b.StartTimer()
+			if _, err := c.UploadTrace(context.Background(), bytes.NewReader(variant)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("ColdReplay", func(b *testing.B) {
+		// Fresh server (empty replay cache) per iteration; upload and
+		// teardown stay outside the timer.
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			srv := NewServer(Options{Workers: 2, QueueDepth: 16, TraceDir: b.TempDir()})
+			ts := httptest.NewServer(srv.Handler())
+			c := NewClient(ts.URL)
+			up, err := c.UploadTrace(context.Background(), bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+
+			resp, err := c.Replay(context.Background(), ReplayRequest{Trace: up.ID, Config: "cache"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Cached {
+				b.Fatal("cold replay served from cache")
+			}
+
+			b.StopTimer()
+			ts.Close()
+			_ = srv.Close(context.Background())
+			b.StartTimer()
+		}
+	})
+
+	b.Run("WarmReplay", func(b *testing.B) {
+		srv := NewServer(Options{Workers: 2, QueueDepth: 16, TraceDir: b.TempDir()})
+		ts := httptest.NewServer(srv.Handler())
+		defer func() {
+			ts.Close()
+			_ = srv.Close(context.Background())
+		}()
+		c := NewClient(ts.URL)
+		up, err := c.UploadTrace(context.Background(), bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := ReplayRequest{Trace: up.ID, Config: "cache"}
+		if _, err := c.Replay(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := c.Replay(context.Background(), req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !resp.Cached {
+				b.Fatal("warm replay not cached")
+			}
+		}
+	})
+}
+
+// benchReplayAccesses mirrors the test stream shape at benchmark size.
+func benchReplayAccesses(n int) []tracesim.Access {
+	rng := rand.New(rand.NewSource(5))
+	out := make([]tracesim.Access, n)
+	addr := uint64(0)
+	for i := range out {
+		if rng.Intn(3) == 0 {
+			addr = uint64(rng.Intn(16 << 20))
+		} else {
+			addr += 64
+		}
+		out[i] = tracesim.Access{Addr: addr, Kind: cache.Read}
+	}
+	return out
 }

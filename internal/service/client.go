@@ -114,6 +114,62 @@ func (c *Client) Cluster(ctx context.Context, req ClusterRequest) (ClusterRespon
 	return out, err
 }
 
+// UploadTrace streams a trace body (NDJSON, CSV, gzip of either, or
+// the binary trace format — the server sniffs) into the durable
+// store and returns its content address. Re-uploading an identical
+// stream dedupes: Existed is true and no second copy is written.
+func (c *Client) UploadTrace(ctx context.Context, body io.Reader) (TraceUploadResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/traces", body)
+	if err != nil {
+		return TraceUploadResponse{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return TraceUploadResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var apiErr apiError
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return TraceUploadResponse{}, fmt.Errorf("service: POST /v1/traces: %s (HTTP %d)", apiErr.Error, resp.StatusCode)
+		}
+		return TraceUploadResponse{}, fmt.Errorf("service: POST /v1/traces: HTTP %d", resp.StatusCode)
+	}
+	var out TraceUploadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return TraceUploadResponse{}, err
+	}
+	return out, nil
+}
+
+// Traces lists the stored traces.
+func (c *Client) Traces(ctx context.Context) ([]TraceInfo, error) {
+	var out []TraceInfo
+	err := c.do(ctx, http.MethodGet, "/v1/traces", nil, &out)
+	return out, err
+}
+
+// Trace fetches one stored trace's metadata.
+func (c *Client) Trace(ctx context.Context, id string) (TraceInfo, error) {
+	var out TraceInfo
+	err := c.do(ctx, http.MethodGet, "/v1/traces/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// DeleteTrace removes a stored trace.
+func (c *Client) DeleteTrace(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/traces/"+url.PathEscape(id), nil, nil)
+}
+
+// Replay feeds a stored trace through the scaled cache hierarchy
+// under one memory configuration.
+func (c *Client) Replay(ctx context.Context, req ReplayRequest) (ReplayResponse, error) {
+	var out ReplayResponse
+	err := c.do(ctx, http.MethodPost, "/v1/replay", req, &out)
+	return out, err
+}
+
 // SubmitCampaign submits a campaign. With wait set the call blocks
 // until the result is ready.
 func (c *Client) SubmitCampaign(ctx context.Context, spec campaign.Spec, wait bool) (CampaignResponse, error) {

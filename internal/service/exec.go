@@ -70,8 +70,12 @@ func (e *Executor) RunPoint(p campaign.Point) (campaign.Outcome, error) {
 		return e.runAdvisePoint(p)
 	case campaign.FidelityCluster:
 		return e.runClusterPoint(p)
+	case campaign.FidelityReplay:
+		// Replay points need the trace store, which the server owns;
+		// Server.runPoint intercepts them before reaching here.
+		return campaign.Outcome{}, fmt.Errorf("service: replay points are served by the server's trace store, not the bare executor")
 	default:
-		return campaign.Outcome{}, fmt.Errorf("service: unknown fidelity %q (model|trace|advise|cluster)", p.Fidelity)
+		return campaign.Outcome{}, fmt.Errorf("service: unknown fidelity %q (model|trace|replay|advise|cluster)", p.Fidelity)
 	}
 	sys, err := e.System(p.SKU)
 	if err != nil {

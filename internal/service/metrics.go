@@ -55,24 +55,40 @@ func (m *Metrics) WriteTo(w io.Writer, s *Server) {
 	ch, cm := s.campaigns.Stats()
 	ah, am := s.advices.Stats()
 	clh, clm := s.clusters.Stats()
+	rh, rm := s.replays.Stats()
 	fmt.Fprintf(w, "# HELP simd_cache_hits_total Content-addressed cache hits.\n")
 	fmt.Fprintf(w, "# TYPE simd_cache_hits_total counter\n")
 	fmt.Fprintf(w, "simd_cache_hits_total{cache=\"point\"} %d\n", ph)
 	fmt.Fprintf(w, "simd_cache_hits_total{cache=\"campaign\"} %d\n", ch)
 	fmt.Fprintf(w, "simd_cache_hits_total{cache=\"advice\"} %d\n", ah)
 	fmt.Fprintf(w, "simd_cache_hits_total{cache=\"cluster\"} %d\n", clh)
+	fmt.Fprintf(w, "simd_cache_hits_total{cache=\"replay\"} %d\n", rh)
 	fmt.Fprintf(w, "# HELP simd_cache_misses_total Content-addressed cache misses.\n")
 	fmt.Fprintf(w, "# TYPE simd_cache_misses_total counter\n")
 	fmt.Fprintf(w, "simd_cache_misses_total{cache=\"point\"} %d\n", pm)
 	fmt.Fprintf(w, "simd_cache_misses_total{cache=\"campaign\"} %d\n", cm)
 	fmt.Fprintf(w, "simd_cache_misses_total{cache=\"advice\"} %d\n", am)
 	fmt.Fprintf(w, "simd_cache_misses_total{cache=\"cluster\"} %d\n", clm)
+	fmt.Fprintf(w, "simd_cache_misses_total{cache=\"replay\"} %d\n", rm)
 	fmt.Fprintf(w, "# HELP simd_cache_entries Cached entries resident.\n")
 	fmt.Fprintf(w, "# TYPE simd_cache_entries gauge\n")
 	fmt.Fprintf(w, "simd_cache_entries{cache=\"point\"} %d\n", s.points.Len())
 	fmt.Fprintf(w, "simd_cache_entries{cache=\"campaign\"} %d\n", s.campaigns.Len())
 	fmt.Fprintf(w, "simd_cache_entries{cache=\"advice\"} %d\n", s.advices.Len())
 	fmt.Fprintf(w, "simd_cache_entries{cache=\"cluster\"} %d\n", s.clusters.Len())
+	fmt.Fprintf(w, "simd_cache_entries{cache=\"replay\"} %d\n", s.replays.Len())
+
+	// Only report trace gauges once a trace request has opened the
+	// store — a scrape must not create the directory as a side effect.
+	if st := s.traceStoreIfOpen(); st != nil {
+		count, bytes := st.Totals()
+		fmt.Fprintf(w, "# HELP simd_traces_stored Traces resident in the durable store.\n")
+		fmt.Fprintf(w, "# TYPE simd_traces_stored gauge\n")
+		fmt.Fprintf(w, "simd_traces_stored %d\n", count)
+		fmt.Fprintf(w, "# HELP simd_trace_store_bytes Encoded bytes in the trace store.\n")
+		fmt.Fprintf(w, "# TYPE simd_trace_store_bytes gauge\n")
+		fmt.Fprintf(w, "simd_trace_store_bytes %d\n", bytes)
+	}
 
 	queued, running, completed, failed := s.queue.Counts()
 	fmt.Fprintf(w, "# HELP simd_jobs_pending Jobs waiting in the bounded queue.\n")

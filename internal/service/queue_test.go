@@ -195,3 +195,98 @@ func TestQueueCloseDrains(t *testing.T) {
 		t.Fatalf("submit after close err = %v", err)
 	}
 }
+
+// TestQueuePruneRetentionMixedStates pins the retention pruning
+// invariant: when the oldest retained entry is still running, pruning
+// stops (nothing newer is dropped either), and `order` and `jobs`
+// stay exactly consistent throughout — every id in jobs appears in
+// order and vice versa.
+func TestQueuePruneRetentionMixedStates(t *testing.T) {
+	q := NewQueue(1, 16, 3) // retain at most 3 finished jobs
+	defer q.Close(context.Background())
+
+	checkConsistent := func(when string) {
+		t.Helper()
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		if len(q.order) != len(q.jobs) {
+			t.Fatalf("%s: order has %d ids, jobs map %d", when, len(q.order), len(q.jobs))
+		}
+		seen := make(map[string]bool, len(q.order))
+		for _, id := range q.order {
+			if seen[id] {
+				t.Fatalf("%s: id %s appears twice in order", when, id)
+			}
+			seen[id] = true
+			if _, ok := q.jobs[id]; !ok {
+				t.Fatalf("%s: order holds %s but jobs map does not", when, id)
+			}
+		}
+	}
+
+	// Oldest job: runs until released (single worker, so everything
+	// submitted after it queues behind it and stays unfinished too).
+	release := make(chan struct{})
+	started := make(chan struct{})
+	blocker, err := q.Submit("campaign", func(context.Context, func(int, int)) error {
+		close(started)
+		<-release
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// Pile up submissions well past the retention cap. The oldest
+	// entry (the running blocker) must pin the whole history: nothing
+	// may be pruned while it lives.
+	var ids []string
+	for i := 0; i < 8; i++ {
+		info, err := q.Submit("run", func(context.Context, func(int, int)) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, info.ID)
+		checkConsistent("while blocked")
+	}
+	if _, ok := q.Get(blocker.ID); !ok {
+		t.Fatal("running blocker was pruned")
+	}
+	for _, id := range ids {
+		if _, ok := q.Get(id); !ok {
+			t.Fatalf("job %s pruned while the oldest entry was still running", id)
+		}
+	}
+
+	// Let everything finish, then trigger pruning with one more
+	// submission: retention must now drop the oldest finished jobs.
+	close(release)
+	for _, id := range append([]string{blocker.ID}, ids...) {
+		if _, err := q.Wait(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last, err := q.Submit("run", func(context.Context, func(int, int)) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Wait(context.Background(), last.ID); err != nil {
+		t.Fatal(err)
+	}
+	checkConsistent("after release")
+	q.mu.Lock()
+	retained := len(q.jobs)
+	q.mu.Unlock()
+	if retained > 3+1 { // cap, +1 for the submission that triggered pruning
+		t.Fatalf("retained %d jobs, want <= 4", retained)
+	}
+	// The oldest (blocker) must be gone, the newest present.
+	if _, ok := q.Get(blocker.ID); ok {
+		t.Fatal("finished blocker survived pruning past the cap")
+	}
+	if _, ok := q.Get(last.ID); !ok {
+		t.Fatal("newest job was pruned")
+	}
+	checkConsistent("final")
+}

@@ -1,0 +1,488 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/engine"
+	"repro/internal/tracesim"
+	"repro/internal/tracestore"
+	"repro/internal/units"
+)
+
+// This file is the stored-trace request path: POST /v1/traces ingests
+// a real memory trace into the durable content-addressed store
+// (internal/tracestore), GET/DELETE /v1/traces* manage it, and POST
+// /v1/replay feeds a stored trace through the scaled functional cache
+// hierarchy — the same hierarchy mapping as the synthetic trace
+// fidelity, behind its own content-addressed singleflight cache
+// (key = trace id + SKU + config + passes + prefetch).
+//
+// Replay defaults to the scalar simulator so responses are
+// byte-identical to an in-process tracesim.Simulator run; requests
+// may opt into sharded replay (shards > 1), whose aggregate counts
+// are exactly equal (the tracestore and tracesim equivalence tests
+// pin this) while the floating-point time estimate can differ only in
+// summation order. The shard count is an execution hint and is
+// excluded from the cache key.
+
+// errStorage marks server-side trace-storage faults (a corrupted
+// block, a vanished file); the HTTP layer maps it to 500, unlike
+// request-shaped problems (400) and unknown ids (404).
+var errStorage = errors.New("service: trace storage failure")
+
+// maxReplayPasses bounds the replay multi-pass knob.
+const maxReplayPasses = 8
+
+// TraceInfo is the wire form of one stored trace's metadata.
+type TraceInfo struct {
+	// ID is the content address: hex SHA-256 of the canonical access
+	// stream, independent of upload format and compression.
+	ID string `json:"id"`
+	// Accesses, Reads, Writes describe the reference mix.
+	Accesses int64 `json:"accesses"`
+	Reads    int64 `json:"reads"`
+	Writes   int64 `json:"writes"`
+	// Footprint is the unique bytes touched (64 B line granularity),
+	// in canonical size spelling; FootprintBytes is the raw count.
+	Footprint      string `json:"footprint"`
+	FootprintBytes int64  `json:"footprint_bytes"`
+	// MinAddr and MaxAddr bound the address range.
+	MinAddr uint64 `json:"min_addr"`
+	MaxAddr uint64 `json:"max_addr"`
+	// FileBytes is the encoded size on disk.
+	FileBytes int64 `json:"file_bytes"`
+}
+
+func traceInfo(m tracestore.Meta) TraceInfo {
+	return TraceInfo{
+		ID:             m.ID,
+		Accesses:       m.Accesses,
+		Reads:          m.Reads,
+		Writes:         m.Writes,
+		Footprint:      m.Footprint().String(),
+		FootprintBytes: m.FootprintBytes,
+		MinAddr:        m.MinAddr,
+		MaxAddr:        m.MaxAddr,
+		FileBytes:      m.FileBytes,
+	}
+}
+
+// TraceUploadResponse is the POST /v1/traces envelope: the stored
+// trace plus whether this upload deduplicated against an existing one
+// (same content address, no second copy written).
+type TraceUploadResponse struct {
+	TraceInfo
+	Existed   bool    `json:"existed"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// ReplayRequest asks to replay a stored trace through the scaled
+// cache hierarchy under one memory configuration.
+type ReplayRequest struct {
+	// Trace is the stored trace's content address (from upload or
+	// GET /v1/traces).
+	Trace string `json:"trace"`
+	// Config is the memory configuration ("dram", "cache", ...).
+	Config string `json:"config"`
+	// SKU selects the machine preset (default 7210).
+	SKU string `json:"sku,omitempty"`
+	// Passes replays the stream N times, measuring the last pass
+	// (warm caches); default 1 — a cold replay.
+	Passes int `json:"passes,omitempty"`
+	// Prefetch enables the stream prefetcher (default true).
+	Prefetch *bool `json:"prefetch,omitempty"`
+	// Shards is an execution hint: >1 replays through the sharded
+	// simulator (power of two). Results are exactly equivalent, so
+	// the shard count is not part of the cache key.
+	Shards int `json:"shards,omitempty"`
+}
+
+// replayQuery is the canonical resolved form of a ReplayRequest: the
+// unit of execution and caching.
+type replayQuery struct {
+	trace    string
+	config   engine.MemoryConfig
+	sku      string
+	passes   int
+	prefetch bool
+	shards   int // execution only; never part of the key
+}
+
+// Resolve canonicalizes the request. Validation errors map to 400.
+func (r ReplayRequest) Resolve() (replayQuery, error) {
+	q := replayQuery{trace: strings.TrimSpace(r.Trace), sku: r.SKU, passes: r.Passes, prefetch: true, shards: r.Shards}
+	if q.trace == "" {
+		return replayQuery{}, fmt.Errorf("service: replay request names no trace")
+	}
+	cfg, err := engine.ParseConfig(r.Config)
+	if err != nil {
+		return replayQuery{}, err
+	}
+	q.config = cfg
+	if q.sku == "" {
+		q.sku = campaign.DefaultSKU
+	}
+	if q.passes == 0 {
+		q.passes = 1
+	}
+	if q.passes < 1 || q.passes > maxReplayPasses {
+		return replayQuery{}, fmt.Errorf("service: passes %d out of range [1, %d]", r.Passes, maxReplayPasses)
+	}
+	if r.Prefetch != nil {
+		q.prefetch = *r.Prefetch
+	}
+	if q.shards < 0 || (q.shards > 1 && q.shards&(q.shards-1) != 0) {
+		return replayQuery{}, fmt.Errorf("service: shards %d must be a power of two", r.Shards)
+	}
+	if q.shards == 0 {
+		q.shards = 1
+	}
+	return q, nil
+}
+
+// Key is the content address of the replay result. Shards are
+// excluded: sharded and scalar replay of a stored trace are exactly
+// equivalent, so they must share a cache entry.
+func (q replayQuery) Key() string {
+	canon := fmt.Sprintf("replay|tr=%s|k=%d|f=%.6f|sku=%s|p=%d|pf=%t",
+		q.trace, int(q.config.Kind), q.config.HybridFlatFraction, q.sku, q.passes, q.prefetch)
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:])
+}
+
+// ReplayStats is the full counter set of a replay — every field the
+// functional simulator reports, so service results are byte-for-byte
+// comparable with in-process tracesim runs.
+type ReplayStats struct {
+	Accesses    int64   `json:"accesses"`
+	L1Hits      int64   `json:"l1_hits"`
+	L1Misses    int64   `json:"l1_misses"`
+	L2Hits      int64   `json:"l2_hits"`
+	L2Misses    int64   `json:"l2_misses"`
+	MCHits      int64   `json:"memcache_hits"`
+	MCMisses    int64   `json:"memcache_misses"`
+	MemReads    int64   `json:"mem_reads"`
+	MemWrites   int64   `json:"mem_writes"`
+	Prefetches  int64   `json:"prefetches"`
+	TotalTimeNS float64 `json:"total_time_ns"`
+}
+
+func replayStats(r tracesim.Result) ReplayStats {
+	return ReplayStats{
+		Accesses:    r.Accesses,
+		L1Hits:      r.L1.Hits,
+		L1Misses:    r.L1.Misses,
+		L2Hits:      r.L2.Hits,
+		L2Misses:    r.L2.Misses,
+		MCHits:      r.MemCache.Hits,
+		MCMisses:    r.MemCache.Misses,
+		MemReads:    r.MemReads,
+		MemWrites:   r.MemWrites,
+		Prefetches:  r.Prefetches,
+		TotalTimeNS: r.TotalTimeNS,
+	}
+}
+
+// ReplayResponse is one replay of a stored trace.
+type ReplayResponse struct {
+	Trace  TraceInfo `json:"trace"`
+	Config string    `json:"config"`
+	SKU    string    `json:"sku"`
+	Passes int       `json:"passes"`
+	// Prefetch and Shards echo how the result was computed (a cached
+	// response reports the shard count of the computing run).
+	Prefetch bool `json:"prefetch"`
+	Shards   int  `json:"shards"`
+	// Key is the content address the result is cached under.
+	Key string `json:"key"`
+	// Metric/Value is the headline number: mean ns per access.
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	// Stats is the full hierarchy behaviour.
+	Stats     ReplayStats `json:"stats"`
+	Cached    bool        `json:"cached"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+}
+
+// computeReplay opens the stored trace and drives it through the
+// functional hierarchy.
+func (s *Server) computeReplay(q replayQuery) (ReplayResponse, error) {
+	st, err := s.traceStore()
+	if err != nil {
+		return ReplayResponse{}, err
+	}
+	prov, err := st.Open(q.trace)
+	if err != nil {
+		return ReplayResponse{}, err
+	}
+	defer prov.Close()
+
+	cfg, err := s.exec.replayHierarchy(q.sku, q.config)
+	if err != nil {
+		return ReplayResponse{}, err
+	}
+	cfg.Prefetcher = q.prefetch
+
+	var res tracesim.Result
+	if q.shards > 1 {
+		sim, err := tracesim.NewSharded(cfg, q.shards)
+		if err != nil {
+			return ReplayResponse{}, err
+		}
+		if res, err = sim.RunPasses(prov, q.passes); err != nil {
+			return ReplayResponse{}, err
+		}
+	} else {
+		sim, err := tracesim.New(cfg)
+		if err != nil {
+			return ReplayResponse{}, err
+		}
+		if res, err = sim.RunPasses(prov, q.passes); err != nil {
+			return ReplayResponse{}, err
+		}
+	}
+	if perr := prov.Err(); perr != nil {
+		// The stream ended early: the result would silently describe a
+		// truncated trace, so fail loudly instead.
+		return ReplayResponse{}, fmt.Errorf("%w: %v", errStorage, perr)
+	}
+	return ReplayResponse{
+		Trace:    traceInfo(prov.Meta()),
+		Config:   q.config.String(),
+		SKU:      q.sku,
+		Passes:   q.passes,
+		Prefetch: q.prefetch,
+		Shards:   q.shards,
+		Key:      q.Key(),
+		Metric:   "ns/access",
+		Value:    res.AvgLatencyNS(),
+		Stats:    replayStats(res),
+	}, nil
+}
+
+// runReplayPoint executes one FidelityReplay campaign point through
+// the replay cache, so campaign sweeps and direct /v1/replay calls of
+// the same (trace, config, SKU) share one computation.
+func (s *Server) runReplayPoint(p campaign.Point) (campaign.Outcome, error) {
+	q := replayQuery{trace: p.TraceID, config: p.Config, sku: p.SKU, passes: 1, prefetch: true, shards: 1}
+	resp, cached, err := s.replays.GetOrCompute(q.Key(), func() (ReplayResponse, error) {
+		return s.computeReplay(q)
+	})
+	if err != nil {
+		return campaign.Outcome{}, fmt.Errorf("service: %s: %w", p, err)
+	}
+	return campaign.Outcome{
+		Point:  p,
+		Metric: resp.Metric,
+		Value:  resp.Value,
+		Cached: cached,
+		Trace: &campaign.TraceStats{
+			Accesses:     resp.Stats.Accesses,
+			L1HitRate:    hitRatio(resp.Stats.L1Hits, resp.Stats.L1Misses),
+			L2HitRate:    hitRatio(resp.Stats.L2Hits, resp.Stats.L2Misses),
+			MCHitRate:    hitRatio(resp.Stats.MCHits, resp.Stats.MCMisses),
+			MemReads:     resp.Stats.MemReads,
+			MemWrites:    resp.Stats.MemWrites,
+			AvgLatencyNS: resp.Value,
+		},
+	}, nil
+}
+
+func hitRatio(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// --- HTTP handlers ---------------------------------------------------
+
+// handleTraceUpload is POST /v1/traces: a streaming (chunked-friendly)
+// ingest of NDJSON, CSV, gzip of either, or the binary trace format.
+// 201 on a new trace, 200 when the content address deduplicated, 413
+// beyond the trace body cap, 400 for malformed streams.
+func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	st, err := s.traceStore()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	start := time.Now()
+	// The cap is enforced twice: MaxBytesReader bounds the wire bytes,
+	// and Ingest bounds the DECODED stream (so a gzip bomb cannot
+	// expand past -max-trace server-side).
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.maxTrace)}
+	meta, existed, err := st.Ingest(body, s.maxTrace)
+	if err != nil {
+		// A capped body can surface as the MaxBytesError, as
+		// ErrTooLarge from the decoded-stream bound, or as a parse
+		// error on the truncated tail; all mean the upload exceeded
+		// the cap.
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) || errors.Is(err, tracestore.ErrTooLarge) || body.n >= s.maxTrace {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("service: trace upload exceeds the %s body limit (decoded); raise -max-trace on the server", units.Bytes(s.maxTrace)))
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusCreated
+	if existed {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, TraceUploadResponse{
+		TraceInfo: traceInfo(meta),
+		Existed:   existed,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// countingReader tracks how many bytes the ingest consumed, so the
+// upload handler can tell "parse error because the cap truncated the
+// stream" from a genuinely malformed trace.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// handleTraceList is GET /v1/traces.
+func (s *Server) handleTraceList(w http.ResponseWriter, _ *http.Request) {
+	st, err := s.traceStore()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := []TraceInfo{}
+	for _, m := range st.List() {
+		out = append(out, traceInfo(m))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTraceGet is GET /v1/traces/{id}.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	st, err := s.traceStore()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	id := r.PathValue("id")
+	m, ok := st.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w %q", tracestore.ErrNotFound, id))
+		return
+	}
+	writeJSON(w, http.StatusOK, traceInfo(m))
+}
+
+// handleTraceDelete is DELETE /v1/traces/{id}.
+func (s *Server) handleTraceDelete(w http.ResponseWriter, r *http.Request) {
+	st, err := s.traceStore()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	id := r.PathValue("id")
+	if err := st.Delete(id); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, tracestore.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// handleReplay is POST /v1/replay: the synchronous stored-trace
+// replay path, behind the content-addressed replay cache.
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	var req ReplayRequest
+	if !s.decodeBody(w, r, "replay request", &req) {
+		return
+	}
+	q, err := req.Resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// A deleted trace must 404 even when earlier replays are still
+	// cached; content addressing makes those entries valid again the
+	// moment the identical trace is re-uploaded.
+	st, err := s.traceStore()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if _, ok := st.Get(q.trace); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w %q", tracestore.ErrNotFound, q.trace))
+		return
+	}
+	start := time.Now()
+	resp, cached, err := s.replays.GetOrCompute(q.Key(), func() (ReplayResponse, error) {
+		return s.computeReplay(q)
+	})
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, tracestore.ErrNotFound):
+			status = http.StatusNotFound
+		case errors.Is(err, errStorage):
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, err)
+		return
+	}
+	resp.Cached = cached
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RenderTraces renders the trace listing the way simctl prints it.
+func RenderTraces(traces []TraceInfo) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %12s %10s %10s %12s %10s\n", "id", "accesses", "reads", "writes", "footprint", "on disk")
+	for _, t := range traces {
+		fmt.Fprintf(&b, "%-16s %12d %10d %10d %12s %10s\n",
+			campaign.ShortTraceID(t.ID), t.Accesses, t.Reads, t.Writes, t.Footprint, units.Bytes(t.FileBytes))
+	}
+	return b.String()
+}
+
+// RenderReplay renders a replay result the way simctl prints it.
+func RenderReplay(r ReplayResponse) string {
+	var b strings.Builder
+	from := "computed"
+	if r.Cached {
+		from = "served from cache"
+	}
+	fmt.Fprintf(&b, "replay of trace %s under %s on %s (passes=%d prefetch=%t shards=%d), %s\n",
+		campaign.ShortTraceID(r.Trace.ID), r.Config, r.SKU, r.Passes, r.Prefetch, r.Shards, from)
+	fmt.Fprintf(&b, "accesses:      %d (%d reads, %d writes, footprint %s)\n",
+		r.Trace.Accesses, r.Trace.Reads, r.Trace.Writes, r.Trace.Footprint)
+	fmt.Fprintf(&b, "L1  hit ratio: %.3f (%d/%d)\n", hitRatio(r.Stats.L1Hits, r.Stats.L1Misses), r.Stats.L1Hits, r.Stats.L1Hits+r.Stats.L1Misses)
+	fmt.Fprintf(&b, "L2  hit ratio: %.3f (%d/%d)\n", hitRatio(r.Stats.L2Hits, r.Stats.L2Misses), r.Stats.L2Hits, r.Stats.L2Hits+r.Stats.L2Misses)
+	if r.Stats.MCHits+r.Stats.MCMisses > 0 {
+		fmt.Fprintf(&b, "MSC hit ratio: %.3f (%d/%d)\n", hitRatio(r.Stats.MCHits, r.Stats.MCMisses), r.Stats.MCHits, r.Stats.MCHits+r.Stats.MCMisses)
+	}
+	fmt.Fprintf(&b, "memory reads:  %d lines\n", r.Stats.MemReads)
+	fmt.Fprintf(&b, "memory writes: %d lines\n", r.Stats.MemWrites)
+	fmt.Fprintf(&b, "prefetches:    %d\n", r.Stats.Prefetches)
+	fmt.Fprintf(&b, "avg latency:   %.2f %s\n", r.Value, r.Metric)
+	return b.String()
+}

@@ -9,13 +9,18 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/harness"
+	"repro/internal/tracestore"
 )
 
 // Options configures a server.
@@ -29,6 +34,16 @@ type Options struct {
 	// CacheSize bounds each content-addressed cache (<=0: 64k
 	// entries).
 	CacheSize int
+	// TraceDir roots the durable trace store (empty: "simd-traces"
+	// under the OS temp directory). The directory is created lazily
+	// on the first trace operation.
+	TraceDir string
+	// MaxBodyBytes caps JSON request bodies; oversized requests get
+	// 413 (<=0: 1 MiB).
+	MaxBodyBytes int64
+	// MaxTraceBytes caps trace uploads, which stream and are far
+	// larger than control-plane bodies (<=0: 256 MiB).
+	MaxTraceBytes int64
 }
 
 // Server wires the executor, queue, caches and metrics behind an
@@ -41,8 +56,17 @@ type Server struct {
 	experiments *Cache[ExperimentResult]
 	advices     *Cache[AdviseResponse]
 	clusters    *Cache[ClusterResponse]
+	replays     *Cache[ReplayResponse]
 	metrics     *Metrics
 	mux         *http.ServeMux
+
+	maxBody  int64
+	maxTrace int64
+
+	traceDir string
+	storeMu  sync.Mutex
+	store    *tracestore.Store
+	storeErr error
 
 	mu      sync.Mutex
 	results map[string]*CampaignResult // finished campaign results by job ID
@@ -58,9 +82,22 @@ func NewServer(opt Options) *Server {
 		experiments: NewCache[ExperimentResult](opt.CacheSize),
 		advices:     NewCache[AdviseResponse](opt.CacheSize),
 		clusters:    NewCache[ClusterResponse](opt.CacheSize),
+		replays:     NewCache[ReplayResponse](opt.CacheSize),
 		metrics:     NewMetrics(),
 		mux:         http.NewServeMux(),
+		maxBody:     opt.MaxBodyBytes,
+		maxTrace:    opt.MaxTraceBytes,
+		traceDir:    opt.TraceDir,
 		results:     make(map[string]*CampaignResult),
+	}
+	if s.maxBody <= 0 {
+		s.maxBody = 1 << 20
+	}
+	if s.maxTrace <= 0 {
+		s.maxTrace = 256 << 20
+	}
+	if s.traceDir == "" {
+		s.traceDir = filepath.Join(os.TempDir(), "simd-traces")
 	}
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
@@ -69,11 +106,58 @@ func NewServer(opt Options) *Server {
 	s.route("POST /v1/run", s.handleRun)
 	s.route("POST /v1/advise", s.handleAdvise)
 	s.route("POST /v1/cluster", s.handleCluster)
+	s.route("POST /v1/replay", s.handleReplay)
+	s.route("POST /v1/traces", s.handleTraceUpload)
+	s.route("GET /v1/traces", s.handleTraceList)
+	s.route("GET /v1/traces/{id}", s.handleTraceGet)
+	s.route("DELETE /v1/traces/{id}", s.handleTraceDelete)
 	s.route("POST /v1/campaigns", s.handleSubmitCampaign)
 	s.route("GET /v1/jobs/{id}", s.handleJob)
 	s.route("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.route("GET /v1/jobs/{id}/stream", s.handleJobStream)
 	return s
+}
+
+// traceStore opens the durable trace store on first use. The open is
+// lazy so a server that never touches traces never creates the
+// directory, and an open failure (unwritable path) surfaces on the
+// trace endpoints instead of killing construction. A failed open is
+// retried on the next call (the operator may fix the path live).
+func (s *Server) traceStore() (*tracestore.Store, error) {
+	s.storeMu.Lock()
+	defer s.storeMu.Unlock()
+	if s.store == nil {
+		s.store, s.storeErr = tracestore.Open(s.traceDir)
+	}
+	return s.store, s.storeErr
+}
+
+// traceStoreIfOpen returns the store only if a trace request already
+// opened it — read-only paths (metrics scrapes) must not create the
+// directory as a side effect.
+func (s *Server) traceStoreIfOpen() *tracestore.Store {
+	s.storeMu.Lock()
+	defer s.storeMu.Unlock()
+	return s.store
+}
+
+// decodeBody decodes a JSON request body bounded by the service's
+// body cap. It writes the HTTP error itself — 413 when the cap is
+// exceeded, 400 for malformed JSON — and reports whether decoding
+// succeeded.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, what string, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("service: %s exceeds the %d-byte body limit", what, mbe.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad %s: %w", what, err))
+		return false
+	}
+	return true
 }
 
 // route registers a handler with request counting.
@@ -139,8 +223,13 @@ func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 }
 
 // runPoint executes one point through the content-addressed cache.
+// Replay-fidelity points run on the server (they need the trace
+// store); everything else delegates to the executor.
 func (s *Server) runPoint(p campaign.Point) (campaign.Outcome, bool, error) {
 	return s.points.GetOrCompute(p.Key(), func() (campaign.Outcome, error) {
+		if p.Fidelity == campaign.FidelityReplay {
+			return s.runReplayPoint(p)
+		}
 		return s.exec.RunPoint(p)
 	})
 }
@@ -148,8 +237,7 @@ func (s *Server) runPoint(p campaign.Point) (campaign.Outcome, bool, error) {
 // handleRun is the synchronous single-point fast path.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+	if !s.decodeBody(w, r, "run request", &req) {
 		return
 	}
 	p, err := req.Point()
@@ -171,8 +259,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // advice cache, compute through the placement engine on a miss.
 func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	var req AdviseRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad advise body: %w", err))
+	if !s.decodeBody(w, r, "advise request", &req) {
 		return
 	}
 	q, err := req.Resolve()
@@ -198,8 +285,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 // cluster cache, compute through the cluster model on a miss.
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	var req ClusterRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad cluster body: %w", err))
+	if !s.decodeBody(w, r, "cluster request", &req) {
 		return
 	}
 	q, err := req.Resolve()
@@ -269,6 +355,21 @@ func (s *Server) runCampaign(ctx context.Context, spec campaign.Spec, progress f
 	if err != nil {
 		return nil, false, err
 	}
+	// Replay campaigns check trace existence BEFORE the cache lookup,
+	// mirroring handleReplay: a deleted trace must fail even when the
+	// identical campaign is cached (re-uploading the same content
+	// revalidates the entry).
+	if spec.Fidelity == campaign.FidelityReplay {
+		st, err := s.traceStore()
+		if err != nil {
+			return nil, false, err
+		}
+		for _, id := range spec.Traces {
+			if _, ok := st.Get(strings.TrimSpace(id)); !ok {
+				return nil, false, fmt.Errorf("%w %q", tracestore.ErrNotFound, strings.TrimSpace(id))
+			}
+		}
+	}
 	res, cached, err := s.campaigns.GetOrCompute(key, func() (*CampaignResult, error) {
 		return s.computeCampaign(ctx, key, spec, progress)
 	})
@@ -299,13 +400,23 @@ func (s *Server) computeCampaign(ctx context.Context, key string, spec campaign.
 	if sku == "" {
 		sku = campaign.DefaultSKU
 	}
-	// Validate the SKU and workload names up front so a bad spec fails
-	// as one request error instead of N point errors.
+	// Validate the SKU, workload names and trace ids up front so a bad
+	// spec fails as one request error instead of N point errors.
 	sys, err := s.exec.System(sku)
 	if err != nil {
 		return nil, err
 	}
 	for _, p := range points {
+		if p.Fidelity == campaign.FidelityReplay {
+			st, err := s.traceStore()
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := st.Get(p.TraceID); !ok {
+				return nil, fmt.Errorf("%w %q", tracestore.ErrNotFound, p.TraceID)
+			}
+			continue
+		}
 		if _, err := sys.Workload(p.Workload); err != nil {
 			return nil, err
 		}
@@ -382,8 +493,7 @@ func (s *Server) computeCampaign(ctx context.Context, key string, spec campaign.
 // set or the campaign cache already has it.
 func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 	var spec campaign.Spec
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad campaign spec: %w", err))
+	if !s.decodeBody(w, r, "campaign spec", &spec) {
 		return
 	}
 	// Reject malformed specs before queueing so the client gets a 400,

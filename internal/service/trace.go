@@ -45,12 +45,21 @@ func traceSeed(p campaign.Point) int64 {
 	return int64(binary.LittleEndian.Uint64(buf[:]) >> 1)
 }
 
-// traceConfig maps a memory configuration onto a scaled-down
-// hierarchy: cache mode gets the scaled MCDRAM as memory-side cache,
-// the flat modes get the corresponding backing latency, hybrid gets
-// the non-flat MCDRAM fraction as cache.
+// traceConfig maps a point's memory configuration onto the scaled
+// hierarchy (see replayHierarchy).
 func (e *Executor) traceConfig(p campaign.Point) (tracesim.Config, error) {
-	sys, err := e.System(p.SKU)
+	return e.replayHierarchy(p.SKU, p.Config)
+}
+
+// replayHierarchy maps a memory configuration onto a scaled-down
+// functional hierarchy for the given SKU: cache mode gets the scaled
+// MCDRAM as memory-side cache, the flat modes get the corresponding
+// backing latency, hybrid gets the non-flat MCDRAM fraction as cache.
+// Both the trace fidelity (synthetic streams) and the replay path
+// (stored traces) run through this one mapping, so their results are
+// directly comparable.
+func (e *Executor) replayHierarchy(sku string, mc engine.MemoryConfig) (tracesim.Config, error) {
+	sys, err := e.System(sku)
 	if err != nil {
 		return tracesim.Config{}, err
 	}
@@ -67,7 +76,7 @@ func (e *Executor) traceConfig(p campaign.Point) (tracesim.Config, error) {
 
 	dram := float64(chip.DDR.IdleLatency)
 	hbm := float64(chip.MCDRAM.IdleLatency)
-	switch p.Config.Kind {
+	switch mc.Kind {
 	case engine.BindDRAM:
 		cfg.MemLat = dram
 	case engine.BindHBM:
@@ -80,10 +89,10 @@ func (e *Executor) traceConfig(p campaign.Point) (tracesim.Config, error) {
 		cfg.MemLat = dram
 	case engine.Hybrid:
 		// The non-flat fraction of MCDRAM stays a memory-side cache.
-		cfg.MemCache = units.Bytes(float64(scaledMC) * (1 - p.Config.HybridFlatFraction))
+		cfg.MemCache = units.Bytes(float64(scaledMC) * (1 - mc.HybridFlatFraction))
 		cfg.MemLat = dram
 	default:
-		return tracesim.Config{}, fmt.Errorf("service: no trace mapping for config %v", p.Config)
+		return tracesim.Config{}, fmt.Errorf("service: no trace mapping for config %v", mc)
 	}
 	return cfg, nil
 }

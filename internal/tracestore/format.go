@@ -1,0 +1,371 @@
+// Package tracestore is the durable trace subsystem: a
+// content-addressed, on-disk store for memory-access traces and the
+// streaming codec that moves traces in and out of it.
+//
+// The paper's methodology rests on traces collected from instrumented
+// applications; this package is what lets a real reference stream
+// enter the reproduction. Traces arrive as NDJSON, CSV (either
+// optionally gzipped) or the store's own binary format, are
+// re-encoded block by block — nothing buffers a whole trace in memory
+// — and land in a compact binary file: a versioned fixed-size header
+// carrying the stream summary, followed by CRC-checked blocks of
+// varint-delta-encoded addresses and run-length-encoded access kinds.
+//
+// Every trace is addressed by the SHA-256 of its canonical access
+// stream (8-byte little-endian address + 1 kind byte per access), so
+// the id is independent of upload format and compression: re-uploading
+// the same trace — or the same trace gzipped — dedupes to the same
+// content address without writing a second copy.
+//
+// Provider (provider.go) serves a stored trace back as a
+// tracesim.Generator/BatchGenerator, which is what keeps scalar and
+// sharded replay of stored traces exactly equivalent to the synthetic
+// generators' replay paths.
+package tracestore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+
+	"crypto/sha256"
+	"encoding/hex"
+
+	"repro/internal/tracesim"
+	"repro/internal/units"
+)
+
+const (
+	// magic identifies a tracestore file; the trailing digit is the
+	// major format generation.
+	magic = "TRCSTOR1"
+	// formatVersion is bumped on any incompatible layout change.
+	formatVersion = 1
+	// headerSize is the fixed on-disk header length in bytes.
+	headerSize = 64
+	// blockAccesses is the encoder's block granularity: large enough
+	// to amortise the per-block CRC and length prefix, small enough
+	// that decode buffers stay cache-resident.
+	blockAccesses = 8192
+	// maxBlockAccesses bounds what the decoder will allocate for one
+	// block, so a corrupted length field cannot demand gigabytes.
+	maxBlockAccesses = 1 << 20
+	// maxTrackedLines bounds the distinct-line (footprint) set the
+	// encoder keeps in memory: 2M lines = a 128 MiB footprint counted
+	// exactly, ~100 MB of transient map at worst. Past it the counter
+	// saturates — Summary.Lines becomes a floor — instead of letting
+	// one sparse upload grow the set without bound.
+	maxTrackedLines = 1 << 21
+)
+
+// Summary is the stream-level metadata the header carries: computed
+// during encoding, served as trace metadata without touching the
+// blocks.
+type Summary struct {
+	Accesses int64  // total references
+	Reads    int64  // references with kind Read
+	Writes   int64  // references with kind Write
+	MinAddr  uint64 // lowest byte address touched
+	MaxAddr  uint64 // highest byte address touched
+	// Lines counts distinct cache lines touched (the footprint):
+	// exact up to maxTrackedLines, a floor beyond (the counter
+	// saturates rather than growing without bound).
+	Lines int64
+}
+
+// Footprint is the unique bytes touched, at cache-line granularity.
+func (s Summary) Footprint() units.Bytes {
+	return units.Bytes(s.Lines) * units.CacheLine
+}
+
+// encodeHeader lays the summary out in the fixed header form. The
+// last four bytes are a CRC over the first 60, so a truncated or
+// scribbled header is detected before any block is trusted.
+func encodeHeader(sum Summary) [headerSize]byte {
+	var h [headerSize]byte
+	copy(h[0:8], magic)
+	binary.LittleEndian.PutUint16(h[8:10], formatVersion)
+	binary.LittleEndian.PutUint64(h[12:20], uint64(sum.Accesses))
+	binary.LittleEndian.PutUint64(h[20:28], uint64(sum.Reads))
+	binary.LittleEndian.PutUint64(h[28:36], uint64(sum.Writes))
+	binary.LittleEndian.PutUint64(h[36:44], sum.MinAddr)
+	binary.LittleEndian.PutUint64(h[44:52], sum.MaxAddr)
+	binary.LittleEndian.PutUint64(h[52:60], uint64(sum.Lines))
+	binary.LittleEndian.PutUint32(h[60:64], crc32.ChecksumIEEE(h[0:60]))
+	return h
+}
+
+// decodeHeader validates and parses a header.
+func decodeHeader(h []byte) (Summary, error) {
+	if len(h) < headerSize {
+		return Summary{}, fmt.Errorf("tracestore: short header (%d bytes)", len(h))
+	}
+	if string(h[0:8]) != magic {
+		return Summary{}, fmt.Errorf("tracestore: bad magic %q", h[0:8])
+	}
+	if v := binary.LittleEndian.Uint16(h[8:10]); v != formatVersion {
+		return Summary{}, fmt.Errorf("tracestore: unsupported format version %d (want %d)", v, formatVersion)
+	}
+	if got, want := crc32.ChecksumIEEE(h[0:60]), binary.LittleEndian.Uint32(h[60:64]); got != want {
+		return Summary{}, fmt.Errorf("tracestore: header checksum mismatch (%#x != %#x)", got, want)
+	}
+	return Summary{
+		Accesses: int64(binary.LittleEndian.Uint64(h[12:20])),
+		Reads:    int64(binary.LittleEndian.Uint64(h[20:28])),
+		Writes:   int64(binary.LittleEndian.Uint64(h[28:36])),
+		MinAddr:  binary.LittleEndian.Uint64(h[36:44]),
+		MaxAddr:  binary.LittleEndian.Uint64(h[44:52]),
+		Lines:    int64(binary.LittleEndian.Uint64(h[52:60])),
+	}, nil
+}
+
+// zigzag maps a signed delta to an unsigned varint-friendly form:
+// small magnitudes of either sign encode short.
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Encoder streams accesses into the block format, accumulating the
+// Summary and the content address as it goes. It writes only the
+// block stream; callers own the header (they know the final Summary
+// only after Finish).
+type Encoder struct {
+	w   *bufio.Writer
+	sum Summary
+
+	sha     hash.Hash
+	shaBuf  []byte
+	prev    uint64 // last encoded address, carried across blocks
+	block   []tracesim.Access
+	payload []byte
+	lines   map[uint64]struct{}
+	err     error
+}
+
+// NewEncoder builds an encoder over w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{
+		w:      bufio.NewWriterSize(w, 256<<10),
+		sha:    sha256.New(),
+		shaBuf: make([]byte, 0, 9*blockAccesses),
+		block:  make([]tracesim.Access, 0, blockAccesses),
+		lines:  make(map[uint64]struct{}),
+		sum:    Summary{MinAddr: ^uint64(0)},
+	}
+}
+
+// Append adds one access to the stream.
+func (e *Encoder) Append(a tracesim.Access) {
+	if e.err != nil {
+		return
+	}
+	e.sum.Accesses++
+	if a.Kind == writeKind {
+		e.sum.Writes++
+	} else {
+		e.sum.Reads++
+	}
+	if a.Addr < e.sum.MinAddr {
+		e.sum.MinAddr = a.Addr
+	}
+	if a.Addr > e.sum.MaxAddr {
+		e.sum.MaxAddr = a.Addr
+	}
+	if len(e.lines) < maxTrackedLines {
+		e.lines[a.Addr/uint64(units.CacheLine)] = struct{}{}
+	}
+	e.block = append(e.block, a)
+	if len(e.block) == blockAccesses {
+		e.flushBlock()
+	}
+}
+
+// flushBlock encodes and writes the pending block: varint count,
+// zigzag-varint address deltas, kind runs, then a CRC32 trailer over
+// the payload.
+func (e *Encoder) flushBlock() {
+	if e.err != nil || len(e.block) == 0 {
+		return
+	}
+	n := len(e.block)
+	e.payload = binary.AppendUvarint(e.payload[:0], uint64(n))
+	prev := e.prev
+	e.shaBuf = e.shaBuf[:0]
+	for _, a := range e.block {
+		e.payload = binary.AppendUvarint(e.payload, zigzag(int64(a.Addr-prev)))
+		prev = a.Addr
+		var rec [9]byte
+		binary.LittleEndian.PutUint64(rec[0:8], a.Addr)
+		rec[8] = kindByte(a.Kind)
+		e.shaBuf = append(e.shaBuf, rec[:]...)
+	}
+	e.prev = prev
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && e.block[j].Kind == e.block[i].Kind {
+			j++
+		}
+		e.payload = binary.AppendUvarint(e.payload, uint64(j-i))
+		e.payload = append(e.payload, kindByte(e.block[i].Kind))
+		i = j
+	}
+	e.sha.Write(e.shaBuf)
+	e.block = e.block[:0]
+
+	var lenBuf [binary.MaxVarintLen64]byte
+	if _, err := e.w.Write(lenBuf[:binary.PutUvarint(lenBuf[:], uint64(len(e.payload)))]); err != nil {
+		e.err = err
+		return
+	}
+	if _, err := e.w.Write(e.payload); err != nil {
+		e.err = err
+		return
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(e.payload))
+	if _, err := e.w.Write(crcBuf[:]); err != nil {
+		e.err = err
+	}
+}
+
+// Finish flushes the stream and returns the Summary plus the trace's
+// content address (hex SHA-256 of the canonical access stream). An
+// empty stream is an error: a trace with no accesses cannot be
+// replayed.
+func (e *Encoder) Finish() (Summary, string, error) {
+	e.flushBlock()
+	if e.err == nil {
+		e.err = e.w.Flush()
+	}
+	if e.err != nil {
+		return Summary{}, "", e.err
+	}
+	if e.sum.Accesses == 0 {
+		return Summary{}, "", fmt.Errorf("tracestore: empty trace (no accesses)")
+	}
+	e.sum.Lines = int64(len(e.lines))
+	return e.sum, hex.EncodeToString(e.sha.Sum(nil)), nil
+}
+
+// Decoder streams accesses back out of the block format.
+type Decoder struct {
+	br   *bufio.Reader
+	prev uint64
+	buf  []tracesim.Access
+	pos  int
+
+	payload []byte
+	done    bool
+	err     error
+}
+
+// NewDecoder builds a decoder positioned at the first block (callers
+// consume the header first).
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{br: bufio.NewReaderSize(r, 256<<10)}
+}
+
+// readBlock loads and validates the next block into d.buf. It returns
+// false at clean end of stream or on error (see Err).
+func (d *Decoder) readBlock() bool {
+	if d.done || d.err != nil {
+		return false
+	}
+	plen, err := binary.ReadUvarint(d.br)
+	if err == io.EOF {
+		d.done = true
+		return false
+	}
+	if err != nil {
+		d.err = fmt.Errorf("tracestore: block length: %w", err)
+		return false
+	}
+	if plen == 0 || plen > 32<<20 {
+		d.err = fmt.Errorf("tracestore: implausible block payload length %d", plen)
+		return false
+	}
+	if cap(d.payload) < int(plen) {
+		d.payload = make([]byte, plen)
+	}
+	d.payload = d.payload[:plen]
+	if _, err := io.ReadFull(d.br, d.payload); err != nil {
+		d.err = fmt.Errorf("tracestore: truncated block payload: %w", err)
+		return false
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(d.br, crcBuf[:]); err != nil {
+		d.err = fmt.Errorf("tracestore: truncated block checksum: %w", err)
+		return false
+	}
+	if got, want := crc32.ChecksumIEEE(d.payload), binary.LittleEndian.Uint32(crcBuf[:]); got != want {
+		d.err = fmt.Errorf("tracestore: block checksum mismatch (%#x != %#x)", got, want)
+		return false
+	}
+
+	p := d.payload
+	n, k := binary.Uvarint(p)
+	if k <= 0 || n == 0 || n > maxBlockAccesses {
+		d.err = fmt.Errorf("tracestore: bad block access count %d", n)
+		return false
+	}
+	p = p[k:]
+	if cap(d.buf) < int(n) {
+		d.buf = make([]tracesim.Access, n)
+	}
+	d.buf = d.buf[:n]
+	prev := d.prev
+	for i := range d.buf {
+		u, k := binary.Uvarint(p)
+		if k <= 0 {
+			d.err = fmt.Errorf("tracestore: truncated address delta at access %d", i)
+			return false
+		}
+		p = p[k:]
+		prev += uint64(unzigzag(u))
+		d.buf[i].Addr = prev
+	}
+	d.prev = prev
+	for covered := uint64(0); covered < n; {
+		run, k := binary.Uvarint(p)
+		if k <= 0 || run == 0 || covered+run > n || len(p) <= k {
+			d.err = fmt.Errorf("tracestore: bad kind run at access %d", covered)
+			return false
+		}
+		kind := kindFromByte(p[k])
+		p = p[k+1:]
+		for i := covered; i < covered+run; i++ {
+			d.buf[i].Kind = kind
+		}
+		covered += run
+	}
+	if len(p) != 0 {
+		d.err = fmt.Errorf("tracestore: %d trailing bytes in block payload", len(p))
+		return false
+	}
+	d.pos = 0
+	return true
+}
+
+// NextBatch fills buf with decoded accesses and returns the count (0
+// at end of stream or on error; check Err).
+func (d *Decoder) NextBatch(buf []tracesim.Access) int {
+	n := 0
+	for n < len(buf) {
+		if d.pos >= len(d.buf) {
+			if !d.readBlock() {
+				break
+			}
+		}
+		c := copy(buf[n:], d.buf[d.pos:])
+		d.pos += c
+		n += c
+	}
+	return n
+}
+
+// Err reports the first decode error, if any.
+func (d *Decoder) Err() error { return d.err }

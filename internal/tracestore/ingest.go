@@ -1,0 +1,239 @@
+package tracestore
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/tracesim"
+)
+
+// This file is the ingest half of the codec: format sniffing and the
+// streaming text parsers. All upload formats funnel into the same
+// emit callback (the Encoder), so a trace's content address never
+// depends on how it was spelled or compressed.
+
+// writeKind is the wire value for stores (reads are the zero kind).
+const writeKind = cache.Write
+
+// kindByte maps an access kind to its on-disk byte.
+func kindByte(k cache.AccessKind) byte {
+	if k == cache.Write {
+		return 1
+	}
+	return 0
+}
+
+// kindFromByte inverts kindByte. Unknown bytes decode as reads; the
+// encoder only ever emits 0 or 1, and the CRC catches corruption.
+func kindFromByte(b byte) cache.AccessKind {
+	if b == 1 {
+		return cache.Write
+	}
+	return cache.Read
+}
+
+// parseKind maps the text spellings to a kind: "R", "read" or "0" is
+// a load, "W", "write" or "1" a store; empty defaults to a load.
+func parseKind(s string) (cache.AccessKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "r", "read", "0", "load":
+		return cache.Read, nil
+	case "w", "write", "1", "store":
+		return cache.Write, nil
+	}
+	return cache.Read, fmt.Errorf("bad access kind %q (want R|W)", s)
+}
+
+// parseAddr accepts decimal or 0x-prefixed hex addresses.
+func parseAddr(s string) (uint64, error) {
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad address %q", s)
+	}
+	return v, nil
+}
+
+// maxLineBytes bounds one text line; real trace lines are tens of
+// bytes.
+const maxLineBytes = 1 << 20
+
+// ErrTooLarge reports a stream that exceeded the ingest byte limit.
+// It fires on the DECODED stream, so a small gzip upload cannot
+// expand past the limit ("gzip bomb"); the service maps it to 413.
+var ErrTooLarge = errors.New("tracestore: trace stream exceeds the size limit")
+
+// limitReader returns ErrTooLarge once more than its budget has been
+// read (unlike io.LimitReader, whose silent EOF would be
+// indistinguishable from a truncated upload). Callers hand it
+// limit+1 so a stream of exactly the limit passes.
+type limitReader struct {
+	r io.Reader
+	n int64 // remaining budget
+}
+
+func (l *limitReader) Read(p []byte) (int, error) {
+	if l.n <= 0 {
+		return 0, ErrTooLarge
+	}
+	if int64(len(p)) > l.n {
+		p = p[:l.n]
+	}
+	n, err := l.r.Read(p)
+	l.n -= int64(n)
+	return n, err
+}
+
+// decodeInto sniffs the stream format and feeds every access to emit:
+// gzip is unwrapped (and the inner stream re-sniffed), the binary
+// format is decoded block by block, and anything else is treated as
+// text (NDJSON when the first data line opens a JSON object, CSV
+// otherwise). maxBytes > 0 bounds the stream — measured after
+// decompression, so compression cannot smuggle an oversized trace
+// past the cap.
+func decodeInto(r io.Reader, maxBytes int64, emit func(tracesim.Access)) error {
+	if maxBytes > 0 {
+		r = &limitReader{r: r, n: maxBytes + 1}
+	}
+	br := bufio.NewReaderSize(r, 64<<10)
+	if head, err := br.Peek(2); err == nil && head[0] == 0x1f && head[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return fmt.Errorf("tracestore: bad gzip stream: %w", err)
+		}
+		defer zr.Close()
+		inner := io.Reader(zr)
+		if maxBytes > 0 {
+			inner = &limitReader{r: zr, n: maxBytes + 1}
+		}
+		br = bufio.NewReaderSize(inner, 64<<10)
+	}
+	if head, err := br.Peek(len(magic)); err == nil && bytes.Equal(head, []byte(magic)) {
+		return decodeBinaryInto(br, emit)
+	}
+	return decodeTextInto(br, emit)
+}
+
+// decodeBinaryInto re-decodes a binary-format upload. The header's
+// summary is ignored — the encoder recomputes it — so a tampered
+// header cannot desynchronize metadata from content.
+func decodeBinaryInto(br *bufio.Reader, emit func(tracesim.Access)) error {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("tracestore: truncated header: %w", err)
+	}
+	if _, err := decodeHeader(hdr[:]); err != nil {
+		return err
+	}
+	dec := NewDecoder(br)
+	buf := make([]tracesim.Access, blockAccesses)
+	for {
+		n := dec.NextBatch(buf)
+		if n == 0 {
+			break
+		}
+		for _, a := range buf[:n] {
+			emit(a)
+		}
+	}
+	return dec.Err()
+}
+
+// decodeTextInto parses NDJSON or CSV line streams. The dialect is
+// decided by the first data line and held for the whole stream.
+func decodeTextInto(br *bufio.Reader, emit func(tracesim.Access)) error {
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	lineNo := 0
+	ndjson := false
+	decided := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !decided {
+			ndjson = strings.HasPrefix(line, "{")
+			decided = true
+			if !ndjson && isCSVHeader(line) {
+				continue
+			}
+		}
+		var (
+			a   tracesim.Access
+			err error
+		)
+		if ndjson {
+			a, err = parseNDJSONLine(line)
+		} else {
+			a, err = parseCSVLine(line)
+		}
+		if err != nil {
+			return fmt.Errorf("tracestore: line %d: %w", lineNo, err)
+		}
+		emit(a)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("tracestore: line %d: %w", lineNo+1, err)
+	}
+	return nil
+}
+
+// isCSVHeader recognizes a leading "addr,kind"-style header row.
+func isCSVHeader(line string) bool {
+	first := line
+	if i := strings.IndexByte(line, ','); i >= 0 {
+		first = line[:i]
+	}
+	_, err := parseAddr(first)
+	return err != nil
+}
+
+// parseNDJSONLine parses {"addr": N|"0x..", "kind": "R"|"W"}.
+func parseNDJSONLine(line string) (tracesim.Access, error) {
+	var rec struct {
+		Addr json.RawMessage `json:"addr"`
+		Kind string          `json:"kind"`
+	}
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		return tracesim.Access{}, fmt.Errorf("bad JSON: %w", err)
+	}
+	if len(rec.Addr) == 0 {
+		return tracesim.Access{}, fmt.Errorf("missing addr field")
+	}
+	raw := strings.Trim(string(rec.Addr), `"`)
+	addr, err := parseAddr(raw)
+	if err != nil {
+		return tracesim.Access{}, err
+	}
+	kind, err := parseKind(rec.Kind)
+	if err != nil {
+		return tracesim.Access{}, err
+	}
+	return tracesim.Access{Addr: addr, Kind: kind}, nil
+}
+
+// parseCSVLine parses "addr[,kind]".
+func parseCSVLine(line string) (tracesim.Access, error) {
+	addrField, kindField := line, ""
+	if i := strings.IndexByte(line, ','); i >= 0 {
+		addrField, kindField = line[:i], line[i+1:]
+	}
+	addr, err := parseAddr(addrField)
+	if err != nil {
+		return tracesim.Access{}, err
+	}
+	kind, err := parseKind(kindField)
+	if err != nil {
+		return tracesim.Access{}, err
+	}
+	return tracesim.Access{Addr: addr, Kind: kind}, nil
+}

@@ -1,0 +1,114 @@
+package tracestore
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/tracesim"
+)
+
+// Provider replays a stored trace as a tracesim access stream. It
+// implements tracesim.Generator and tracesim.BatchGenerator, so the
+// scalar, batched and sharded replay gears all consume stored traces
+// through the exact same interface as the synthetic generators —
+// which is what keeps sharded and scalar replay of a stored trace
+// exactly equivalent.
+//
+// The Generator interface carries no error channel, so decode
+// failures (a truncated or corrupted block) end the stream early and
+// are reported by Err; replay drivers must check it after a run.
+type Provider struct {
+	meta Meta
+	f    *os.File
+	dec  *Decoder
+	err  error
+}
+
+// Meta returns the stored trace's metadata.
+func (p *Provider) Meta() Meta { return p.meta }
+
+// Next implements tracesim.Generator.
+func (p *Provider) Next() (tracesim.Access, bool) {
+	var one [1]tracesim.Access
+	if p.NextBatch(one[:]) == 0 {
+		return tracesim.Access{}, false
+	}
+	return one[0], true
+}
+
+// NextBatch implements tracesim.BatchGenerator.
+func (p *Provider) NextBatch(buf []tracesim.Access) int {
+	if p.err != nil {
+		return 0
+	}
+	n := p.dec.NextBatch(buf)
+	if err := p.dec.Err(); err != nil {
+		p.err = err
+	}
+	return n
+}
+
+// Reset implements tracesim.Generator: rewind to the first access for
+// another pass.
+func (p *Provider) Reset() {
+	if _, err := p.f.Seek(headerSize, io.SeekStart); err != nil {
+		p.err = fmt.Errorf("tracestore: rewind %s: %w", p.meta.ID, err)
+		return
+	}
+	p.dec = NewDecoder(p.f)
+	p.err = nil
+}
+
+// Err reports the first decode error hit during replay, if any. A
+// stream that ended because of an error is incomplete; replays must
+// treat it as failed.
+func (p *Provider) Err() error { return p.err }
+
+// Close releases the underlying file.
+func (p *Provider) Close() error { return p.f.Close() }
+
+// Export writes a generator's access stream to path in the store's
+// binary format and returns the stream summary plus the content
+// address the file would ingest under. It is how cmd/trace turns the
+// synthetic generators into seedable trace fixtures.
+func Export(path string, g tracesim.Generator) (Summary, string, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return Summary{}, "", fmt.Errorf("tracestore: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(make([]byte, headerSize)); err != nil {
+		return Summary{}, "", fmt.Errorf("tracestore: %w", err)
+	}
+	enc := NewEncoder(f)
+	if bg, ok := g.(tracesim.BatchGenerator); ok {
+		buf := make([]tracesim.Access, blockAccesses)
+		for {
+			n := bg.NextBatch(buf)
+			if n == 0 {
+				break
+			}
+			for _, a := range buf[:n] {
+				enc.Append(a)
+			}
+		}
+	} else {
+		for {
+			a, ok := g.Next()
+			if !ok {
+				break
+			}
+			enc.Append(a)
+		}
+	}
+	sum, id, err := enc.Finish()
+	if err != nil {
+		return Summary{}, "", err
+	}
+	hdr := encodeHeader(sum)
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		return Summary{}, "", fmt.Errorf("tracestore: %w", err)
+	}
+	return sum, id, nil
+}

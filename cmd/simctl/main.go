@@ -36,9 +36,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/service"
@@ -62,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("simctl", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", envOr("SIMD_ADDR", "http://127.0.0.1:8077"), "simd base URL")
+	retries := fs.Int("retries", 0, "retry attempts for a busy or unreachable server (0 = default, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +73,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("%s", usage)
 	}
 	client := service.NewClient(*addr)
+	client.MaxRetries = *retries
+	// Narrate every backoff so a throttled sweep doesn't look hung.
+	// The final failure still reaches main() and exits non-zero.
+	client.OnRetry = func(attempt int, wait time.Duration, err error) {
+		var apiErr *service.APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests {
+			fmt.Fprintf(stderr, "simctl: server busy, retrying in %s (attempt %d)\n",
+				wait.Round(time.Millisecond), attempt)
+			return
+		}
+		fmt.Fprintf(stderr, "simctl: request failed (%v), retrying in %s (attempt %d)\n",
+			err, wait.Round(time.Millisecond), attempt)
+	}
 	ctx := context.Background()
 	switch rest[0] {
 	case "workloads":

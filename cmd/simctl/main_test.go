@@ -4,10 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/campaign"
@@ -482,5 +485,68 @@ func TestTraceSubcommandErrors(t *testing.T) {
 	}
 	if _, _, err := runCLI(t, "-addr", url, "trace", "replay", "-id", "nope", "-config", "dram"); err == nil {
 		t.Fatal("unknown trace id accepted")
+	}
+}
+
+// TestRetryNarration: a 429 with Retry-After must produce the "server
+// busy" stderr line, then the retried request must succeed.
+func TestRetryNarration(t *testing.T) {
+	var calls atomic.Int64
+	backend := startServer(t)
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintf(w, `{"error":"service: job queue full"}`)
+			return
+		}
+		resp, err := http.Get(backend + r.URL.Path)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(proxy.Close)
+
+	out, errOut, err := runCLI(t, "-addr", proxy.URL, "workloads")
+	if err != nil {
+		t.Fatalf("retried request failed: %v", err)
+	}
+	if !strings.Contains(errOut, "server busy, retrying in 1s (attempt 1)") {
+		t.Fatalf("stderr %q missing the busy narration", errOut)
+	}
+	if !strings.Contains(out, "STREAM") {
+		t.Fatalf("workloads output after retry:\n%s", out)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("proxy saw %d calls, want 2", got)
+	}
+}
+
+// TestFinalFailureSurfacesServerMessage: when retries are disabled and
+// the server rejects, the command fails with the server's JSON error
+// message intact — that error string is what main() prints before
+// exiting non-zero.
+func TestFinalFailureSurfacesServerMessage(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprintf(w, `{"error":"service: unknown workload \"NOPE\""}`)
+	}))
+	t.Cleanup(srv.Close)
+
+	_, errOut, err := runCLI(t, "-addr", srv.URL, "-retries", "-1", "run", "-workload", "NOPE")
+	if err == nil {
+		t.Fatal("rejected run reported success")
+	}
+	if !strings.Contains(err.Error(), `unknown workload "NOPE"`) || !strings.Contains(err.Error(), "HTTP 400") {
+		t.Fatalf("error %q lost the server's message", err)
+	}
+	if strings.Contains(errOut, "retrying") {
+		t.Fatalf("stderr %q shows retries despite -retries=-1", errOut)
 	}
 }

@@ -25,6 +25,13 @@
 // The trace store is durable: -traces names its directory, and a
 // restarted server re-serves every previously ingested trace.
 //
+// With -data the whole service is crash-safe: accepted jobs are
+// journaled before the 202 and finished results persisted, so a
+// restart over the same directory re-enqueues interrupted work, keeps
+// answering for finished job IDs, and serves repeated queries from a
+// warm cache. -job-timeout bounds every job (clients can override per
+// request with the X-Simd-Timeout header).
+//
 // Use cmd/simctl to talk to it from the shell.
 package main
 
@@ -64,7 +71,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	workers := fs.Int("workers", 0, "job workers and per-campaign fan-out (0: GOMAXPROCS)")
 	depth := fs.Int("queue", 256, "pending job queue depth")
 	cacheSize := fs.Int("cache", 0, "result cache bound in entries (0: default 64k)")
-	traceDir := fs.String("traces", "traces", "durable trace store directory")
+	dataDir := fs.String("data", "", "crash-safe data directory: job journal, result store and traces (empty: in-memory only)")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job deadline (0: none; X-Simd-Timeout overrides per request)")
+	traceDir := fs.String("traces", "traces", "durable trace store directory (default <data>/traces when -data is set)")
 	maxBody := fs.String("max-body", "1MB", "JSON request body cap (413 beyond it)")
 	maxTrace := fs.String("max-trace", "256MB", "trace upload body cap (413 beyond it)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
@@ -80,14 +89,46 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("bad -max-trace: %w", err)
 	}
 
-	srv := service.NewServer(service.Options{
+	opt := service.Options{
 		Workers:       *workers,
 		QueueDepth:    *depth,
 		CacheSize:     *cacheSize,
 		TraceDir:      *traceDir,
+		DataDir:       *dataDir,
+		JobTimeout:    *jobTimeout,
 		MaxBodyBytes:  int64(maxBodyBytes),
 		MaxTraceBytes: int64(maxTraceBytes),
-	})
+	}
+	var srv *service.Server
+	if *dataDir == "" {
+		srv = service.NewServer(opt)
+	} else {
+		// An explicit -traces wins; otherwise the trace store moves
+		// under the data directory so one path carries all state.
+		explicitTraces := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "traces" {
+				explicitTraces = true
+			}
+		})
+		if !explicitTraces {
+			opt.TraceDir = ""
+		}
+		var rec service.RecoveryStats
+		srv, rec, err = service.NewDurableServer(opt)
+		if err != nil {
+			return fmt.Errorf("open data directory %s: %w", *dataDir, err)
+		}
+		fmt.Fprintf(stdout, "simd: recovered %s: %d results warmed, %d jobs restored, %d re-enqueued\n",
+			*dataDir, rec.Results, rec.Restored, rec.Requeued)
+		if rec.RequeueFailed > 0 {
+			fmt.Fprintf(stderr, "simd: %d recovered jobs exceed the queue; they stay journaled for the next start\n", rec.RequeueFailed)
+		}
+		if rec.TornBytes > 0 || rec.ResultsQuarantined > 0 {
+			fmt.Fprintf(stderr, "simd: quarantined %d torn journal bytes and %d corrupt result files\n",
+				rec.TornBytes, rec.ResultsQuarantined)
+		}
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -112,8 +153,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("drain connections: %w", err)
 	}
-	if err := srv.Close(shutdownCtx); err != nil {
-		return fmt.Errorf("drain job queue: %w", err)
+	// Snapshot what is still in flight, drain, then report how each of
+	// those jobs actually ended: the drain budget lets running work
+	// finish, so many of them complete normally. The ones cut short
+	// are journaled with -data (they re-run on the next start) and
+	// simply lost without it.
+	abandoned := srv.Unfinished()
+	closeErr := srv.Close(shutdownCtx)
+	for _, was := range abandoned {
+		info, ok := srv.JobInfo(was.ID)
+		if ok && info.State == service.JobDone {
+			fmt.Fprintf(stdout, "simd: job %s (%s) finished during the drain\n", info.ID, info.Kind)
+			continue
+		}
+		fate := "lost (no -data directory)"
+		if *dataDir != "" {
+			fate = "journaled; it re-runs on the next start"
+		}
+		fmt.Fprintf(stderr, "simd: job %s (%s) interrupted by shutdown: %s\n", was.ID, was.Kind, fate)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("drain job queue: %w", closeErr)
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -125,9 +125,19 @@
 //     trace campaigns — BENCH_SERVE.json).
 //   - Bounded job queue. POST /v1/campaigns enqueues onto a fixed
 //     worker pool (the PR-1 harness pool pattern made long-lived);
-//     the pending queue is bounded and overflow returns 503. Jobs
-//     expose polling (GET /v1/jobs/{id}), blocking result fetch
-//     (/result) and an NDJSON progress stream (/stream).
+//     the pending queue is bounded and overflow returns 429 with a
+//     Retry-After computed from observed job service times (the Go
+//     client and simctl retry it with capped jittered backoff). Jobs
+//     carry deadlines (-job-timeout, or X-Simd-Timeout per request),
+//     are cancelled when a waiting client disconnects, and expose
+//     polling (GET /v1/jobs/{id}), blocking result fetch (/result)
+//     and an NDJSON progress stream (/stream).
+//   - Crash safety. With simd -data, accepted jobs are journaled
+//     (CRC-framed, fsynced) before the 202 and results persisted
+//     content-addressed; a restart quarantines torn tails, warms the
+//     caches from disk, restores finished job IDs and re-enqueues
+//     interrupted jobs idempotently (internal/journal, proven with
+//     the internal/faultfs fault-injection filesystem).
 //   - Declarative campaigns. internal/campaign expands workload x
 //     config x size-grid x thread grids into deduplicated point sets
 //     and aggregates outcomes into per-workload tables; the paper's

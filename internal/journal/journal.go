@@ -1,0 +1,284 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/faultfs"
+)
+
+// Entry states: the job lifecycle as the journal records it.
+const (
+	// StateAccepted is appended before the HTTP 202: the job is
+	// durably owed an execution.
+	StateAccepted = "accepted"
+	// StateDone and StateFailed are terminal.
+	StateDone   = "done"
+	StateFailed = "failed"
+	// StateInterrupted marks jobs a shutdown abandoned mid-run; a
+	// reopened journal re-enqueues them exactly like accepted entries
+	// with no terminal record.
+	StateInterrupted = "interrupted"
+)
+
+// Entry is one journal record. Accepted entries carry the job's spec
+// (so a restart can re-enqueue it) and its content-addressed key (so
+// the result store can answer it); terminal entries carry the final
+// counters.
+type Entry struct {
+	// State is one of the State* constants.
+	State string `json:"state"`
+	// Job is the queue job ID ("j000042").
+	Job string `json:"job"`
+	// Kind is the job kind ("campaign").
+	Kind string `json:"kind,omitempty"`
+	// Key is the job's content address (campaign key).
+	Key string `json:"key,omitempty"`
+	// Spec is the raw JSON request body that created the job.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Error carries the failure reason on StateFailed.
+	Error string `json:"error,omitempty"`
+	// Done/Total are the final progress counters on terminal entries.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+	// Time stamps the transition.
+	Time time.Time `json:"time"`
+}
+
+// Journal is the append-only job journal over one file,
+// <dir>/journal.log. All appends are CRC-framed, single-write,
+// fsync-before-return. Append, Compact, Stats and Close are safe for
+// concurrent use (jobs finishing on worker goroutines all append).
+type Journal struct {
+	fs  faultfs.FS
+	dir string
+
+	mu          sync.Mutex
+	f           faultfs.File
+	entries     int64
+	quarantined int64 // torn/corrupt tail bytes moved aside at Open
+}
+
+// journalName and the quarantine naming scheme.
+const journalName = "journal.log"
+
+// Open opens (creating if needed) the journal under dir with the real
+// OS filesystem and replays its entries.
+func Open(dir string) (*Journal, []Entry, error) {
+	return OpenFS(faultfs.OS{}, dir)
+}
+
+// OpenFS is Open over an injected filesystem (fault-injection tests
+// substitute a faultfs.Fault). The returned entries are every intact
+// record in append order; a torn or corrupt tail is copied to a
+// quarantine file and truncated away, never served.
+func OpenFS(fsys faultfs.FS, dir string) (*Journal, []Entry, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	path := filepath.Join(dir, journalName)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{fs: fsys, dir: dir, f: f}
+
+	entries, goodBytes, readErr := j.replay()
+	if readErr != nil {
+		// The tail past goodBytes is torn or corrupt: quarantine the
+		// bytes for post-mortem, truncate the journal back to the last
+		// intact frame, and keep serving everything before it.
+		if qerr := j.quarantineTail(goodBytes, readErr); qerr != nil {
+			f.Close()
+			return nil, nil, qerr
+		}
+	}
+	if _, err := f.Seek(goodBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	j.entries = int64(len(entries))
+	return j, entries, nil
+}
+
+// replay scans the journal, returning the intact entries, the byte
+// offset of the last intact frame's end, and the error that stopped
+// the scan (nil at clean EOF).
+func (j *Journal) replay() ([]Entry, int64, error) {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	var (
+		entries []Entry
+		good    int64
+	)
+	cr := &countingReader{r: bufio.NewReaderSize(j.f, 256<<10)}
+	for {
+		payload, err := readFrame(cr)
+		if err == io.EOF {
+			return entries, good, nil
+		}
+		if err != nil {
+			return entries, good, err
+		}
+		var e Entry
+		if jerr := json.Unmarshal(payload, &e); jerr != nil {
+			// The frame passed its CRC but is not a journal entry —
+			// foreign or corrupted-at-write data. Stop here and
+			// quarantine the rest like a torn tail.
+			return entries, good, fmt.Errorf("journal: undecodable entry: %w", jerr)
+		}
+		entries = append(entries, e)
+		good = cr.n
+	}
+}
+
+// quarantineTail copies every byte past good into a quarantine file
+// and truncates the journal. The quarantine file name carries the
+// offset so repeated crashes never overwrite earlier evidence.
+func (j *Journal) quarantineTail(good int64, cause error) error {
+	st, err := j.f.Stat()
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	torn := st.Size() - good
+	if torn > 0 {
+		if err := j.fs.MkdirAll(filepath.Join(j.dir, "quarantine"), 0o755); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		qpath := filepath.Join(j.dir, "quarantine", fmt.Sprintf("journal-tail-%d.bin", good))
+		q, err := j.fs.Create(qpath)
+		if err != nil {
+			return fmt.Errorf("journal: quarantine: %w", err)
+		}
+		if _, err := j.f.Seek(good, io.SeekStart); err != nil {
+			q.Close()
+			return fmt.Errorf("journal: %w", err)
+		}
+		if _, err := io.Copy(q, io.LimitReader(j.f, torn)); err != nil {
+			q.Close()
+			return fmt.Errorf("journal: quarantine: %w", err)
+		}
+		if err := q.Close(); err != nil {
+			return fmt.Errorf("journal: quarantine: %w", err)
+		}
+		j.quarantined = torn
+	}
+	if err := j.f.Truncate(good); err != nil {
+		return fmt.Errorf("journal: truncate torn tail (%v): %w", cause, err)
+	}
+	return nil
+}
+
+// countingReader tracks consumed bytes so replay knows the exact
+// offset of the last intact frame.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Append durably records one entry: marshal, frame, one write, fsync.
+// It returns only after the entry is on disk — the "journaled before
+// 202" half of the service contract.
+func (j *Journal) Append(e Entry) error {
+	if e.Time.IsZero() {
+		e.Time = time.Now().UTC()
+	}
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	frame := appendFrame(payload)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	j.entries++
+	return nil
+}
+
+// Compact atomically rewrites the journal to exactly the given
+// entries (temp file + fsync + rename), bounding growth across
+// restarts: boot replays, prunes dead history, compacts, then appends
+// fresh records to the compacted file.
+func (j *Journal) Compact(entries []Entry) error {
+	tmp, err := j.fs.CreateTemp(j.dir, ".journal-*")
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	tmpPath := tmp.Name()
+	discard := func() {
+		tmp.Close()
+		j.fs.Remove(tmpPath)
+	}
+	for _, e := range entries {
+		payload, err := json.Marshal(e)
+		if err != nil {
+			discard()
+			return fmt.Errorf("journal: compact: %w", err)
+		}
+		if _, err := tmp.Write(appendFrame(payload)); err != nil {
+			discard()
+			return fmt.Errorf("journal: compact: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		discard()
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		j.fs.Remove(tmpPath)
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	path := filepath.Join(j.dir, journalName)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.fs.Rename(tmpPath, path); err != nil {
+		j.fs.Remove(tmpPath)
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	// Swap the append handle onto the compacted file.
+	j.f.Close()
+	f, err := j.fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	j.f = f
+	j.entries = int64(len(entries))
+	return nil
+}
+
+// Stats returns the live entry count and the torn bytes quarantined
+// at Open (the /metrics rows).
+func (j *Journal) Stats() (entries, quarantinedBytes int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.entries, j.quarantined
+}
+
+// Close releases the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

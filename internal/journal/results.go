@@ -1,0 +1,175 @@
+package journal
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/faultfs"
+)
+
+// Results is the durable result store: one CRC-framed file per
+// terminal result, named by the SHA-256 of (kind, key) so every cache
+// family (point, campaign, advice, cluster, replay, experiment)
+// shares one directory without filename collisions. Writes follow the
+// tracestore discipline — temp file, fsync, atomic rename — so a
+// crash mid-persist leaves either the old file or nothing, never a
+// half-written result.
+type Results struct {
+	fs  faultfs.FS
+	dir string
+
+	count       atomic.Int64
+	quarantined atomic.Int64
+}
+
+// resultRecord is the on-disk envelope inside each frame. Kind and
+// key are stored (not only hashed into the name) so Load can verify a
+// file answers the query its name claims.
+type resultRecord struct {
+	Kind  string          `json:"kind"`
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// OpenResults opens (creating if needed) the result store under dir.
+func OpenResults(dir string) (*Results, error) {
+	return OpenResultsFS(faultfs.OS{}, dir)
+}
+
+// OpenResultsFS is OpenResults over an injected filesystem.
+func OpenResultsFS(fsys faultfs.FS, dir string) (*Results, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: results: %w", err)
+	}
+	r := &Results{fs: fsys, dir: dir}
+	// Sweep temp files a crash left behind; they were never visible.
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: results: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), ".res-") {
+			fsys.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	return r, nil
+}
+
+// path returns the on-disk location of a (kind, key) result.
+func (r *Results) path(kind, key string) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%d|%s|%s", len(kind), kind, key)))
+	return filepath.Join(r.dir, hex.EncodeToString(sum[:])+".res")
+}
+
+// Put durably persists one result. Concurrent Puts of the same
+// (kind, key) race benignly: both rename identical content onto the
+// same name.
+func (r *Results) Put(kind, key string, v any) error {
+	value, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("journal: results: %w", err)
+	}
+	payload, err := json.Marshal(resultRecord{Kind: kind, Key: key, Value: value})
+	if err != nil {
+		return fmt.Errorf("journal: results: %w", err)
+	}
+	tmp, err := r.fs.CreateTemp(r.dir, ".res-*")
+	if err != nil {
+		return fmt.Errorf("journal: results: %w", err)
+	}
+	tmpPath := tmp.Name()
+	discard := func() {
+		tmp.Close()
+		r.fs.Remove(tmpPath)
+	}
+	if _, err := tmp.Write(appendFrame(payload)); err != nil {
+		discard()
+		return fmt.Errorf("journal: results: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		discard()
+		return fmt.Errorf("journal: results: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		r.fs.Remove(tmpPath)
+		return fmt.Errorf("journal: results: %w", err)
+	}
+	if err := r.fs.Rename(tmpPath, r.path(kind, key)); err != nil {
+		r.fs.Remove(tmpPath)
+		return fmt.Errorf("journal: results: %w", err)
+	}
+	r.count.Add(1)
+	return nil
+}
+
+// Load walks the store and hands every intact result to fn. Corrupt
+// files — torn frame, CRC mismatch, undecodable envelope, name not
+// matching the stored (kind, key) — are moved to a quarantine
+// directory, never served. It returns the number of intact results.
+func (r *Results) Load(fn func(kind, key string, value json.RawMessage)) (int, error) {
+	entries, err := r.fs.ReadDir(r.dir)
+	if err != nil {
+		return 0, fmt.Errorf("journal: results: %w", err)
+	}
+	loaded := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".res") {
+			continue
+		}
+		path := filepath.Join(r.dir, name)
+		rec, err := r.readRecord(path)
+		if err != nil || r.path(rec.Kind, rec.Key) != path {
+			if qerr := r.quarantine(name); qerr != nil {
+				return loaded, qerr
+			}
+			continue
+		}
+		fn(rec.Kind, rec.Key, rec.Value)
+		loaded++
+	}
+	r.count.Store(int64(loaded))
+	return loaded, nil
+}
+
+// readRecord reads and validates one result file.
+func (r *Results) readRecord(path string) (resultRecord, error) {
+	f, err := r.fs.Open(path)
+	if err != nil {
+		return resultRecord{}, err
+	}
+	defer f.Close()
+	payload, err := readFrame(f)
+	if err != nil {
+		return resultRecord{}, err
+	}
+	var rec resultRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return resultRecord{}, err
+	}
+	return rec, nil
+}
+
+// quarantine moves one corrupt result file aside.
+func (r *Results) quarantine(name string) error {
+	qdir := filepath.Join(r.dir, "quarantine")
+	if err := r.fs.MkdirAll(qdir, 0o755); err != nil {
+		return fmt.Errorf("journal: results quarantine: %w", err)
+	}
+	if err := r.fs.Rename(filepath.Join(r.dir, name), filepath.Join(qdir, name)); err != nil {
+		return fmt.Errorf("journal: results quarantine: %w", err)
+	}
+	r.quarantined.Add(1)
+	return nil
+}
+
+// Stats returns the resident result count and how many corrupt files
+// Load quarantined (the /metrics rows).
+func (r *Results) Stats() (count, quarantined int64) {
+	return r.count.Load(), r.quarantined.Load()
+}

@@ -84,6 +84,44 @@ func (c *Cache[V]) GetOrCompute(key string, fn func() (V, error)) (V, bool, erro
 	return e.val, false, nil
 }
 
+// Peek returns the cached value for key if a finished computation
+// holds one, without computing anything or counting a hit.
+func (c *Cache[V]) Peek(key string) (V, bool) {
+	var zero V
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return zero, false
+	}
+	select {
+	case <-e.done:
+		if e.err != nil {
+			return zero, false
+		}
+		return e.val, true
+	default:
+		return zero, false
+	}
+}
+
+// Seed inserts an already-computed value — journal recovery warming
+// the caches at boot. It counts as neither hit nor miss and never
+// replaces an existing entry (a live computation wins over a stale
+// disk copy).
+func (c *Cache[V]) Seed(key string, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	e := &cacheEntry[V]{done: make(chan struct{}), val: v}
+	close(e.done)
+	c.entries[key] = e
+	c.fifo = append(c.fifo, key)
+	c.evictLocked()
+}
+
 // dropFIFOLocked removes one occurrence of key from the eviction
 // queue. Keys appear at most once (inserts are guarded by the entries
 // map). The scan runs back-to-front because the only caller is the

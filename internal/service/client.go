@@ -5,23 +5,71 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/campaign"
 )
 
+// APIError is a non-2xx response from the service: the status, the
+// server's error message, and — on 429/503 — the server's Retry-After
+// hint. Its Error string keeps the historical "service: METHOD PATH:
+// message (HTTP status)" shape.
+type APIError struct {
+	Method     string
+	Path       string
+	Status     int
+	Message    string
+	RetryAfter time.Duration // zero when the server sent no hint
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("service: %s %s: %s (HTTP %d)", e.Method, e.Path, e.Message, e.Status)
+	}
+	return fmt.Sprintf("service: %s %s: HTTP %d", e.Method, e.Path, e.Status)
+}
+
+// Temporary reports whether the failure is worth retrying: the server
+// said "busy, come back" (429) or "unavailable" (503).
+func (e *APIError) Temporary() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
 // Client is the Go client of the simulation service, used by
 // cmd/simctl and the examples. The zero HTTP client is fine for
 // in-process (httptest) servers and for localhost.
+//
+// JSON requests retry automatically on transport errors and on
+// 429/503 responses with capped exponential backoff plus jitter,
+// honoring the server's Retry-After. Every request the client retries
+// is idempotent by construction — results are content-addressed, so a
+// duplicate submission lands on the same cache entry. Streaming paths
+// (trace upload, job streams) never retry: their bodies are not
+// replayable.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8077".
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts after the first try (<0
+	// disables retrying; 0 means the default of 4).
+	MaxRetries int
+	// RetryBase is the first backoff step, doubled each retry up to
+	// RetryMax (defaults 250ms and 15s). The server's Retry-After
+	// overrides the computed backoff when it is longer.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// OnRetry, when set, observes every backoff decision (simctl
+	// prints "server busy, retrying in Ns").
+	OnRetry func(attempt int, wait time.Duration, err error)
 }
 
 // NewClient builds a client for a server base URL.
@@ -36,16 +84,91 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+func (c *Client) retryBudget() (tries int, base, max time.Duration) {
+	tries = c.MaxRetries
+	switch {
+	case tries < 0:
+		tries = 0
+	case tries == 0:
+		tries = 4
+	}
+	if base = c.RetryBase; base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	if max = c.RetryMax; max <= 0 {
+		max = 15 * time.Second
+	}
+	return tries, base, max
+}
+
 // do issues a request and decodes the JSON response into out,
-// unwrapping the service's error envelope on non-2xx statuses.
+// unwrapping the service's error envelope on non-2xx statuses and
+// retrying temporary failures. The marshaled body is replayed from
+// memory on every attempt.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if buf, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(buf)
+	}
+	tries, base, maxDelay := c.retryBudget()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err := c.once(ctx, method, path, buf, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if attempt >= tries || !retryable(err) || ctx.Err() != nil {
+			return lastErr
+		}
+		// Exponential backoff with jitter in [wait/2, wait); a server
+		// Retry-After longer than that wins — it knows its backlog.
+		wait := base << attempt
+		if wait > maxDelay {
+			wait = maxDelay
+		}
+		wait = wait/2 + time.Duration(rand.Int63n(int64(wait/2)+1))
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.RetryAfter > wait {
+			wait = apiErr.RetryAfter
+			if wait > maxDelay {
+				wait = maxDelay
+			}
+		}
+		if c.OnRetry != nil {
+			c.OnRetry(attempt+1, wait, err)
+		}
+		select {
+		case <-ctx.Done():
+			return lastErr
+		case <-time.After(wait):
+		}
+	}
+}
+
+// retryable reports whether one attempt's failure is worth another:
+// transport errors (connection refused, reset — the server may be
+// restarting) and explicit server backpressure. Context cancellation
+// and request-shaped errors (4xx other than 429) are final.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Temporary()
+	}
+	return true // transport-level failure
+}
+
+// once is a single request attempt.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
@@ -60,11 +183,15 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		var apiErr apiError
-		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("service: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+		apiErr := &APIError{Method: method, Path: path, Status: resp.StatusCode}
+		var envelope apiError
+		if json.NewDecoder(resp.Body).Decode(&envelope) == nil {
+			apiErr.Message = envelope.Error
 		}
-		return fmt.Errorf("service: %s %s: HTTP %d", method, path, resp.StatusCode)
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return apiErr
 	}
 	if out == nil {
 		return nil

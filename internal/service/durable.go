@@ -1,0 +1,232 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/campaign"
+	"repro/internal/faultfs"
+	"repro/internal/journal"
+)
+
+// This file is the crash-safety boot path. A durable server keeps two
+// stores under its data directory:
+//
+//	<data>/journal.log   — CRC-framed job journal (accepted/terminal)
+//	<data>/results/      — one content-addressed file per result
+//
+// NewDurableServer replays both: persisted results warm the caches
+// (so a restarted service answers repeat queries without recomputing)
+// and journal entries with no terminal record are re-enqueued under
+// their original job IDs. Re-execution is idempotent — every job is
+// content-addressed, so a re-run of work that actually finished just
+// hits the warmed cache.
+
+// RecoveryStats summarizes what boot replay restored; cmd/simd logs
+// it and /metrics exposes the counts.
+type RecoveryStats struct {
+	// Results is how many persisted results warmed the caches;
+	// ResultsQuarantined how many corrupt result files were moved
+	// aside, never served.
+	Results            int
+	ResultsQuarantined int64
+	// JournalEntries is the live entry count after compaction;
+	// TornBytes how many torn-tail bytes Open quarantined.
+	JournalEntries int64
+	TornBytes      int64
+	// Restored counts finished jobs answerable again via
+	// /v1/jobs/{id}; Requeued counts interrupted jobs re-enqueued;
+	// RequeueFailed counts jobs that did not fit the queue (they stay
+	// journaled and are retried next boot).
+	Restored      int
+	Requeued      int
+	RequeueFailed int
+}
+
+// NewDurableServer builds a server whose job journal and result store
+// live under opt.DataDir, replaying both before it serves traffic.
+// TraceDir defaults to <DataDir>/traces so one directory carries the
+// full service state.
+func NewDurableServer(opt Options) (*Server, RecoveryStats, error) {
+	var rec RecoveryStats
+	if opt.DataDir == "" {
+		return nil, rec, errors.New("service: durable server needs a data directory")
+	}
+	if opt.TraceDir == "" {
+		opt.TraceDir = filepath.Join(opt.DataDir, "traces")
+	}
+	fsys := opt.DataFS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	s := NewServer(opt)
+
+	results, err := journal.OpenResultsFS(fsys, filepath.Join(opt.DataDir, "results"))
+	if err != nil {
+		return nil, rec, err
+	}
+	jnl, entries, err := journal.OpenFS(fsys, opt.DataDir)
+	if err != nil {
+		return nil, rec, err
+	}
+
+	rec.Results, err = results.Load(func(kind, key string, value json.RawMessage) {
+		s.seedResult(kind, key, value)
+	})
+	if err != nil {
+		jnl.Close()
+		return nil, rec, err
+	}
+
+	// Fold the journal into one final state per job. Entries are
+	// mostly in append order, but a terminal record CAN precede its
+	// accepted record (the job raced to completion while the handler
+	// was still journaling), so terminal always wins regardless of
+	// position.
+	type jobRecord struct {
+		accepted *journal.Entry
+		terminal *journal.Entry
+	}
+	byJob := make(map[string]*jobRecord)
+	var order []string
+	for i := range entries {
+		e := &entries[i]
+		jr, ok := byJob[e.Job]
+		if !ok {
+			jr = &jobRecord{}
+			byJob[e.Job] = jr
+			order = append(order, e.Job)
+		}
+		switch e.State {
+		case journal.StateAccepted:
+			if jr.accepted == nil {
+				jr.accepted = e
+			}
+		case journal.StateDone, journal.StateFailed:
+			jr.terminal = e
+		case journal.StateInterrupted:
+			// Informational: the accepted record carries the spec the
+			// re-enqueue needs.
+		}
+	}
+
+	// Compact before re-enqueueing anything: the journal shrinks to
+	// one terminal record per finished job plus the accepted records
+	// still owed an execution, bounding growth across restarts.
+	var keep []journal.Entry
+	for _, id := range order {
+		jr := byJob[id]
+		switch {
+		case jr.terminal != nil:
+			keep = append(keep, *jr.terminal)
+		case jr.accepted != nil:
+			keep = append(keep, *jr.accepted)
+		}
+	}
+	if err := jnl.Compact(keep); err != nil {
+		jnl.Close()
+		return nil, rec, err
+	}
+	s.journal = jnl
+	s.resultsStore = results
+
+	for _, id := range order {
+		jr := byJob[id]
+		if jr.terminal != nil {
+			s.restoreFinished(jr.terminal)
+			rec.Restored++
+			continue
+		}
+		if jr.accepted == nil {
+			continue // interrupted-only record; nothing replayable
+		}
+		var spec campaign.Spec
+		if err := json.Unmarshal(jr.accepted.Spec, &spec); err != nil {
+			// A spec that no longer decodes cannot be re-run; close it
+			// out so it stops haunting every boot.
+			s.journalAppend(journal.Entry{
+				State: journal.StateFailed, Job: id, Kind: jr.accepted.Kind, Key: jr.accepted.Key,
+				Error: fmt.Sprintf("unreplayable journaled spec: %v", err),
+			})
+			continue
+		}
+		_, err := s.queue.SubmitJob(jr.accepted.Kind,
+			JobOptions{ID: id, Timeout: s.jobTimeout},
+			s.campaignJob(id, jr.accepted.Key, spec))
+		if err != nil {
+			// A backlog wider than the queue: leave the accepted record
+			// in place — the next boot retries the remainder.
+			rec.RequeueFailed++
+			continue
+		}
+		rec.Requeued++
+	}
+	s.recRequeued.Store(int64(rec.Requeued))
+	s.recRestored.Store(int64(rec.Restored))
+	rec.JournalEntries, rec.TornBytes = jnl.Stats()
+	_, rec.ResultsQuarantined = results.Stats()
+	return s, rec, nil
+}
+
+// restoreFinished registers one terminal journal record with the
+// queue so GET /v1/jobs/{id} keeps answering across restarts, and
+// reattaches the campaign result when the warmed cache holds it.
+func (s *Server) restoreFinished(e *journal.Entry) {
+	info := JobInfo{ID: e.Job, Kind: e.Kind, Done: e.Done, Total: e.Total, Submitted: e.Time}
+	t := e.Time
+	info.Started, info.Finished = &t, &t
+	if e.State == journal.StateDone {
+		info.State = JobDone
+	} else {
+		info.State = JobFailed
+		info.Error = e.Error
+	}
+	s.queue.RestoreFinished(info)
+	if e.State == journal.StateDone && e.Kind == "campaign" && e.Key != "" {
+		if res, ok := s.campaigns.Peek(e.Key); ok {
+			s.mu.Lock()
+			s.results[e.Job] = res
+			s.mu.Unlock()
+		}
+	}
+}
+
+// seedResult warms one cache from a persisted result. A value that no
+// longer unmarshals (a schema drifted across versions) is skipped —
+// the cache recomputes on demand, which is always safe.
+func (s *Server) seedResult(kind, key string, value json.RawMessage) {
+	switch kind {
+	case "point":
+		var v campaign.Outcome
+		if json.Unmarshal(value, &v) == nil {
+			s.points.Seed(key, v)
+		}
+	case "campaign":
+		var v CampaignResult
+		if json.Unmarshal(value, &v) == nil {
+			s.campaigns.Seed(key, &v)
+		}
+	case "experiment":
+		var v ExperimentResult
+		if json.Unmarshal(value, &v) == nil {
+			s.experiments.Seed(key, v)
+		}
+	case "advise":
+		var v AdviseResponse
+		if json.Unmarshal(value, &v) == nil {
+			s.advices.Seed(key, v)
+		}
+	case "cluster":
+		var v ClusterResponse
+		if json.Unmarshal(value, &v) == nil {
+			s.clusters.Seed(key, v)
+		}
+	case "replay":
+		var v ReplayResponse
+		if json.Unmarshal(value, &v) == nil {
+			s.replays.Seed(key, v)
+		}
+	}
+}

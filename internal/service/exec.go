@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -60,8 +61,13 @@ func (e *Executor) System(sku string) (*core.System, error) {
 // configuration cannot run (does not fit, not measured) is a valid
 // outcome — the paper prints no bar — and is cacheable; only
 // request-shaped problems (unknown workload, unknown SKU, unknown
-// fidelity) are errors.
-func (e *Executor) RunPoint(p campaign.Point) (campaign.Outcome, error) {
+// fidelity) are errors. Cancellation is checked before the simulation
+// starts: points are the unit of work, so a cancelled campaign stops
+// at the next point boundary rather than mid-model.
+func (e *Executor) RunPoint(ctx context.Context, p campaign.Point) (campaign.Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return campaign.Outcome{}, err
+	}
 	switch p.Fidelity {
 	case "", campaign.FidelityModel:
 	case campaign.FidelityTrace:

@@ -101,4 +101,38 @@ func (m *Metrics) WriteTo(w io.Writer, s *Server) {
 	fmt.Fprintf(w, "# TYPE simd_jobs_finished_total counter\n")
 	fmt.Fprintf(w, "simd_jobs_finished_total{state=\"done\"} %d\n", completed)
 	fmt.Fprintf(w, "simd_jobs_finished_total{state=\"failed\"} %d\n", failed)
+
+	fmt.Fprintf(w, "# HELP simd_panics_total Handler panics recovered by the middleware.\n")
+	fmt.Fprintf(w, "# TYPE simd_panics_total counter\n")
+	fmt.Fprintf(w, "simd_panics_total %d\n", s.panics.Load())
+
+	// Crash-safety rows appear only on a durable server.
+	if s.journal != nil {
+		entries, torn := s.journal.Stats()
+		fmt.Fprintf(w, "# HELP simd_journal_entries Live entries in the job journal.\n")
+		fmt.Fprintf(w, "# TYPE simd_journal_entries gauge\n")
+		fmt.Fprintf(w, "simd_journal_entries %d\n", entries)
+		fmt.Fprintf(w, "# HELP simd_journal_quarantined_bytes Torn-tail bytes quarantined at boot.\n")
+		fmt.Fprintf(w, "# TYPE simd_journal_quarantined_bytes gauge\n")
+		fmt.Fprintf(w, "simd_journal_quarantined_bytes %d\n", torn)
+		fmt.Fprintf(w, "# HELP simd_journal_errors_total Journal appends that failed (non-fatal).\n")
+		fmt.Fprintf(w, "# TYPE simd_journal_errors_total counter\n")
+		fmt.Fprintf(w, "simd_journal_errors_total %d\n", s.journalErrs.Load())
+		fmt.Fprintf(w, "# HELP simd_jobs_recovered_total Jobs recovered by boot replay.\n")
+		fmt.Fprintf(w, "# TYPE simd_jobs_recovered_total counter\n")
+		fmt.Fprintf(w, "simd_jobs_recovered_total{state=\"requeued\"} %d\n", s.recRequeued.Load())
+		fmt.Fprintf(w, "simd_jobs_recovered_total{state=\"restored\"} %d\n", s.recRestored.Load())
+	}
+	if s.resultsStore != nil {
+		count, quarantined := s.resultsStore.Stats()
+		fmt.Fprintf(w, "# HELP simd_results_stored Durable results resident on disk.\n")
+		fmt.Fprintf(w, "# TYPE simd_results_stored gauge\n")
+		fmt.Fprintf(w, "simd_results_stored %d\n", count)
+		fmt.Fprintf(w, "# HELP simd_results_quarantined Corrupt result files moved aside at boot.\n")
+		fmt.Fprintf(w, "# TYPE simd_results_quarantined gauge\n")
+		fmt.Fprintf(w, "simd_results_quarantined %d\n", quarantined)
+		fmt.Fprintf(w, "# HELP simd_result_persist_errors_total Result persists that failed (non-fatal).\n")
+		fmt.Fprintf(w, "# TYPE simd_result_persist_errors_total counter\n")
+		fmt.Fprintf(w, "simd_result_persist_errors_total %d\n", s.persistErrs.Load())
+	}
 }

@@ -22,7 +22,8 @@ const (
 )
 
 // ErrQueueFull is returned by Submit when the bounded queue cannot
-// accept more work; HTTP maps it to 503 so clients back off.
+// accept more work; HTTP maps it to 429 with a Retry-After computed
+// from EstimateWait so clients back off by the right amount.
 var ErrQueueFull = errors.New("service: job queue full")
 
 // ErrShutdown is returned by Submit after Close.
@@ -54,11 +55,28 @@ type JobInfo struct {
 	Finished  *time.Time `json:"finished,omitempty"`
 }
 
+// JobOptions tunes one submission beyond the defaults.
+type JobOptions struct {
+	// Base, when non-nil, cancels the job when it is cancelled — the
+	// submitting request's context for wait=1 requests, so a client
+	// disconnect stops the simulation instead of leaking the worker.
+	Base context.Context
+	// Timeout bounds the job's run time once a worker picks it up.
+	// <= 0 means no per-job deadline.
+	Timeout time.Duration
+	// ID forces the job ID (journal replay re-enqueues interrupted
+	// jobs under their original IDs). Empty allocates the next
+	// sequence number.
+	ID string
+}
+
 // job is the internal record: a snapshot guarded by mu plus the work.
 type job struct {
 	mu       sync.Mutex
 	info     JobInfo
 	fn       JobFunc
+	base     context.Context // optional extra cancel signal
+	timeout  time.Duration
 	finished chan struct{} // closed on done/failed
 }
 
@@ -85,6 +103,11 @@ type Queue struct {
 	running   atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
+
+	// serviceEWMA tracks an exponentially weighted moving average of
+	// job service time (seconds), feeding Retry-After estimates.
+	ewmaMu      sync.Mutex
+	serviceEWMA float64
 
 	wg     sync.WaitGroup
 	cancel context.CancelFunc
@@ -127,15 +150,31 @@ func (q *Queue) Workers() int { return q.workers }
 // only registered once the (non-blocking) enqueue succeeds, so
 // rejected submissions leave no trace behind.
 func (q *Queue) Submit(kind string, fn JobFunc) (JobInfo, error) {
+	return q.SubmitJob(kind, JobOptions{}, fn)
+}
+
+// SubmitJob is Submit with per-job options (cancellation base,
+// deadline, forced ID).
+func (q *Queue) SubmitJob(kind string, opt JobOptions, fn JobFunc) (JobInfo, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return JobInfo{}, ErrShutdown
 	}
-	id := fmt.Sprintf("j%06d", q.seq.Add(1))
+	id := opt.ID
+	if id == "" {
+		id = fmt.Sprintf("j%06d", q.seq.Add(1))
+	} else {
+		q.bumpSeq(id)
+		if _, dup := q.jobs[id]; dup {
+			return JobInfo{}, fmt.Errorf("service: duplicate job id %q", id)
+		}
+	}
 	j := &job{
 		info:     JobInfo{ID: id, Kind: kind, State: JobQueued, Submitted: time.Now()},
 		fn:       fn,
+		base:     opt.Base,
+		timeout:  opt.Timeout,
 		finished: make(chan struct{}),
 	}
 	select {
@@ -147,6 +186,47 @@ func (q *Queue) Submit(kind string, fn JobFunc) (JobInfo, error) {
 	q.order = append(q.order, id)
 	q.pruneLocked()
 	return j.snapshot(), nil
+}
+
+// NextID reserves the next job ID without enqueuing anything — the
+// journal records a job before the queue learns of it, so a crash
+// between the two leaves an ID that never collides.
+func (q *Queue) NextID() string { return fmt.Sprintf("j%06d", q.seq.Add(1)) }
+
+// bumpSeq advances the ID sequence past a restored job's number so
+// fresh submissions never collide with replayed IDs.
+func (q *Queue) bumpSeq(id string) {
+	var n int64
+	if _, err := fmt.Sscanf(id, "j%d", &n); err != nil {
+		return
+	}
+	for {
+		cur := q.seq.Load()
+		if cur >= n || q.seq.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// RestoreFinished registers a terminal job snapshot replayed from the
+// journal, so GET /v1/jobs/{id} keeps answering for jobs that
+// finished before a restart. The sequence is advanced past the
+// restored ID.
+func (q *Queue) RestoreFinished(info JobInfo) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	if _, dup := q.jobs[info.ID]; dup {
+		return
+	}
+	q.bumpSeq(info.ID)
+	j := &job{info: info, finished: make(chan struct{})}
+	close(j.finished)
+	q.jobs[info.ID] = j
+	q.order = append(q.order, info.ID)
+	q.pruneLocked()
 }
 
 // pruneLocked drops the oldest finished jobs beyond the retention cap.
@@ -223,10 +303,27 @@ func (q *Queue) runJob(ctx context.Context, j *job) {
 		j.info.Done, j.info.Total = done, total
 		j.mu.Unlock()
 	}
-	err := j.fn(ctx, progress)
+
+	// The job runs under the worker context (shutdown), narrowed by
+	// the per-job deadline and, for wait=1 submissions, tied to the
+	// requesting client's context so a disconnect cancels the work.
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if j.timeout > 0 {
+		runCtx, cancel = context.WithTimeout(runCtx, j.timeout)
+	} else {
+		runCtx, cancel = context.WithCancel(runCtx)
+	}
+	if j.base != nil {
+		stop := context.AfterFunc(j.base, cancel)
+		defer stop()
+	}
+	err := j.fn(runCtx, progress)
+	cancel()
 
 	q.running.Add(-1)
 	finished := time.Now()
+	q.observeService(finished.Sub(started))
 	j.mu.Lock()
 	j.info.Finished = &finished
 	if err != nil {
@@ -242,6 +339,61 @@ func (q *Queue) runJob(ctx context.Context, j *job) {
 	}
 	j.mu.Unlock()
 	close(j.finished)
+}
+
+// observeService folds one job's service time into the EWMA.
+func (q *Queue) observeService(d time.Duration) {
+	const alpha = 0.3
+	q.ewmaMu.Lock()
+	if q.serviceEWMA == 0 {
+		q.serviceEWMA = d.Seconds()
+	} else {
+		q.serviceEWMA = alpha*d.Seconds() + (1-alpha)*q.serviceEWMA
+	}
+	q.ewmaMu.Unlock()
+}
+
+// EstimateWait predicts how long a rejected submission should wait
+// before retrying: the queued backlog divided across the worker pool,
+// paced by the observed mean service time. With no samples yet it
+// falls back to one second per backlog slot. The estimate is clamped
+// to [1s, 5m] so Retry-After is always sane.
+func (q *Queue) EstimateWait() time.Duration {
+	q.ewmaMu.Lock()
+	avg := q.serviceEWMA
+	q.ewmaMu.Unlock()
+	if avg <= 0 {
+		avg = 1
+	}
+	backlog := float64(len(q.pending)+1) + float64(q.running.Load())
+	est := time.Duration(avg * backlog / float64(q.workers) * float64(time.Second))
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 5*time.Minute {
+		est = 5 * time.Minute
+	}
+	return est
+}
+
+// Unfinished snapshots every job that is still queued or running —
+// what a shutdown must journal as interrupted.
+func (q *Queue) Unfinished() []JobInfo {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []JobInfo
+	for _, id := range q.order {
+		j, ok := q.jobs[id]
+		if !ok {
+			continue
+		}
+		select {
+		case <-j.finished:
+		default:
+			out = append(out, j.snapshot())
+		}
+	}
+	return out
 }
 
 // Counts returns (queued, running, completed, failed) for /metrics.

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -213,8 +214,13 @@ type ReplayResponse struct {
 }
 
 // computeReplay opens the stored trace and drives it through the
-// functional hierarchy.
-func (s *Server) computeReplay(q replayQuery) (ReplayResponse, error) {
+// functional hierarchy. Cancellation is checked before the replay
+// starts; a begun replay runs to completion so a cancelled result is
+// never cached half-done.
+func (s *Server) computeReplay(ctx context.Context, q replayQuery) (ReplayResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return ReplayResponse{}, err
+	}
 	st, err := s.traceStore()
 	if err != nil {
 		return ReplayResponse{}, err
@@ -254,7 +260,7 @@ func (s *Server) computeReplay(q replayQuery) (ReplayResponse, error) {
 		// truncated trace, so fail loudly instead.
 		return ReplayResponse{}, fmt.Errorf("%w: %v", errStorage, perr)
 	}
-	return ReplayResponse{
+	out := ReplayResponse{
 		Trace:    traceInfo(prov.Meta()),
 		Config:   q.config.String(),
 		SKU:      q.sku,
@@ -265,16 +271,18 @@ func (s *Server) computeReplay(q replayQuery) (ReplayResponse, error) {
 		Metric:   "ns/access",
 		Value:    res.AvgLatencyNS(),
 		Stats:    replayStats(res),
-	}, nil
+	}
+	s.persistResult("replay", q.Key(), out)
+	return out, nil
 }
 
 // runReplayPoint executes one FidelityReplay campaign point through
 // the replay cache, so campaign sweeps and direct /v1/replay calls of
 // the same (trace, config, SKU) share one computation.
-func (s *Server) runReplayPoint(p campaign.Point) (campaign.Outcome, error) {
+func (s *Server) runReplayPoint(ctx context.Context, p campaign.Point) (campaign.Outcome, error) {
 	q := replayQuery{trace: p.TraceID, config: p.Config, sku: p.SKU, passes: 1, prefetch: true, shards: 1}
 	resp, cached, err := s.replays.GetOrCompute(q.Key(), func() (ReplayResponse, error) {
-		return s.computeReplay(q)
+		return s.computeReplay(ctx, q)
 	})
 	if err != nil {
 		return campaign.Outcome{}, fmt.Errorf("service: %s: %w", p, err)
@@ -435,7 +443,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	resp, cached, err := s.replays.GetOrCompute(q.Key(), func() (ReplayResponse, error) {
-		return s.computeReplay(q)
+		return s.computeReplay(r.Context(), q)
 	})
 	if err != nil {
 		status := http.StatusBadRequest

@@ -11,15 +11,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/faultfs"
 	"repro/internal/harness"
+	"repro/internal/journal"
 	"repro/internal/tracestore"
 )
 
@@ -29,7 +34,7 @@ type Options struct {
 	// (<=0: GOMAXPROCS).
 	Workers int
 	// QueueDepth bounds pending jobs (<=0: 256). Submissions beyond
-	// it get 503.
+	// it get 429 with a Retry-After estimate.
 	QueueDepth int
 	// CacheSize bounds each content-addressed cache (<=0: 64k
 	// entries).
@@ -44,7 +49,22 @@ type Options struct {
 	// MaxTraceBytes caps trace uploads, which stream and are far
 	// larger than control-plane bodies (<=0: 256 MiB).
 	MaxTraceBytes int64
+	// DataDir roots the crash-safety state (job journal + durable
+	// result store). It is only used by NewDurableServer; a plain
+	// NewServer is ephemeral.
+	DataDir string
+	// JobTimeout bounds each job's run time once a worker picks it
+	// up; requests may override it per-job with the X-Simd-Timeout
+	// header. <= 0 means no default deadline.
+	JobTimeout time.Duration
+	// DataFS overrides the filesystem under DataDir (fault-injection
+	// tests substitute a faultfs.Fault). Nil means the real OS.
+	DataFS faultfs.FS
 }
+
+// timeoutHeader carries a per-request job deadline override, as a Go
+// duration ("90s", "5m").
+const timeoutHeader = "X-Simd-Timeout"
 
 // Server wires the executor, queue, caches and metrics behind an
 // http.Handler.
@@ -60,13 +80,27 @@ type Server struct {
 	metrics     *Metrics
 	mux         *http.ServeMux
 
-	maxBody  int64
-	maxTrace int64
+	maxBody    int64
+	maxTrace   int64
+	jobTimeout time.Duration
 
 	traceDir string
 	storeMu  sync.Mutex
 	store    *tracestore.Store
 	storeErr error
+
+	// Crash-safety state, nil on an ephemeral server (NewServer):
+	// every accepted job is journaled before its 202, every terminal
+	// result is persisted, and NewDurableServer replays both at boot.
+	journal      *journal.Journal
+	resultsStore *journal.Results
+
+	panics      atomic.Int64 // recovered handler panics
+	persistErrs atomic.Int64 // failed result persists (non-fatal)
+	journalErrs atomic.Int64 // failed terminal-state appends (non-fatal)
+	recRequeued atomic.Int64 // boot replay: jobs re-enqueued
+	recRestored atomic.Int64 // boot replay: finished jobs restored
+	closing     atomic.Bool  // shutdown in progress (cancel = interrupted, not failed)
 
 	mu      sync.Mutex
 	results map[string]*CampaignResult // finished campaign results by job ID
@@ -87,6 +121,7 @@ func NewServer(opt Options) *Server {
 		mux:         http.NewServeMux(),
 		maxBody:     opt.MaxBodyBytes,
 		maxTrace:    opt.MaxTraceBytes,
+		jobTimeout:  opt.JobTimeout,
 		traceDir:    opt.TraceDir,
 		results:     make(map[string]*CampaignResult),
 	}
@@ -168,12 +203,54 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 	})
 }
 
-// Handler returns the HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler: the mux wrapped in panic
+// recovery, so one bad request becomes a 500 plus a metric instead of
+// a dead connection. net/http's own abort sentinel is re-raised — it
+// is the protocol for hijacked/aborted responses, not a crash.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			s.panics.Add(1)
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("service: internal error: %v", v))
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
-// Close drains the job queue; call it after http.Server.Shutdown so
-// in-flight campaigns finish before the process exits.
-func (s *Server) Close(ctx context.Context) error { return s.queue.Close(ctx) }
+// Close drains the job queue (bounded by ctx); call it after
+// http.Server.Shutdown so in-flight campaigns finish before the
+// process exits. Jobs the deadline forces it to abandon stay recorded
+// in the journal with no terminal state (their running goroutines
+// additionally journal StateInterrupted as they observe the cancel),
+// so the next boot re-enqueues exactly what was lost; Unfinished
+// reports them for shutdown logging.
+func (s *Server) Close(ctx context.Context) error {
+	s.closing.Store(true)
+	err := s.queue.Close(ctx)
+	if s.journal != nil {
+		for _, info := range s.queue.Unfinished() {
+			s.journalAppend(journal.Entry{State: journal.StateInterrupted, Job: info.ID, Kind: info.Kind})
+		}
+		s.journal.Close()
+	}
+	return err
+}
+
+// Unfinished lists jobs still queued or running — what a forced
+// shutdown abandons. cmd/simd logs them on exit.
+func (s *Server) Unfinished() []JobInfo { return s.queue.Unfinished() }
+
+// JobInfo returns the current snapshot of one job. cmd/simd uses it
+// after the drain to report which jobs finished and which were cut
+// short.
+func (s *Server) JobInfo(id string) (JobInfo, bool) { return s.queue.Get(id) }
 
 // writeJSON writes a compact JSON response (campaign results run to
 // hundreds of points; clients pretty-print if they want to).
@@ -224,14 +301,51 @@ func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 
 // runPoint executes one point through the content-addressed cache.
 // Replay-fidelity points run on the server (they need the trace
-// store); everything else delegates to the executor.
-func (s *Server) runPoint(p campaign.Point) (campaign.Outcome, bool, error) {
+// store); everything else delegates to the executor. Fresh outcomes
+// are persisted to the durable result store so a restart serves them
+// from a warm cache instead of recomputing.
+func (s *Server) runPoint(ctx context.Context, p campaign.Point) (campaign.Outcome, bool, error) {
 	return s.points.GetOrCompute(p.Key(), func() (campaign.Outcome, error) {
+		var (
+			out campaign.Outcome
+			err error
+		)
 		if p.Fidelity == campaign.FidelityReplay {
-			return s.runReplayPoint(p)
+			out, err = s.runReplayPoint(ctx, p)
+		} else {
+			out, err = s.exec.RunPoint(ctx, p)
 		}
-		return s.exec.RunPoint(p)
+		if err == nil {
+			s.persistResult("point", p.Key(), out)
+		}
+		return out, err
 	})
+}
+
+// persistResult durably stores one computed result. Persistence
+// faults must not fail the computation — the service still holds the
+// value — so they are counted for /metrics instead of propagated.
+func (s *Server) persistResult(kind, key string, v any) {
+	if s.resultsStore == nil {
+		return
+	}
+	if err := s.resultsStore.Put(kind, key, v); err != nil {
+		s.persistErrs.Add(1)
+	}
+}
+
+// journalAppend records a job-state transition when durability is on.
+// Append failures on terminal transitions are counted, not fatal: the
+// in-memory state is already correct, and the worst outcome of a lost
+// terminal record is a redundant (content-addressed, cached) re-run
+// after a restart.
+func (s *Server) journalAppend(e journal.Entry) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(e); err != nil {
+		s.journalErrs.Add(1)
+	}
 }
 
 // handleRun is the synchronous single-point fast path.
@@ -246,7 +360,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	out, cached, err := s.runPoint(p)
+	out, cached, err := s.runPoint(r.Context(), p)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -269,7 +383,11 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	resp, cached, err := s.advices.GetOrCompute(q.Key(), func() (AdviseResponse, error) {
-		return s.exec.Advise(q)
+		resp, err := s.exec.Advise(q)
+		if err == nil {
+			s.persistResult("advise", q.Key(), resp)
+		}
+		return resp, err
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -295,7 +413,11 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	resp, cached, err := s.clusters.GetOrCompute(q.Key(), func() (ClusterResponse, error) {
-		return s.exec.ClusterSweep(q)
+		resp, err := s.exec.ClusterSweep(q)
+		if err == nil {
+			s.persistResult("cluster", q.Key(), resp)
+		}
+		return resp, err
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -322,7 +444,9 @@ func (s *Server) runExperiment(id, sku string) ExperimentResult {
 		if err != nil {
 			return ExperimentResult{}, fmt.Errorf("service: experiment %s: %w", id, err)
 		}
-		return ExperimentResult{ID: exp.ID, Title: exp.Title, Rendered: tbl.Render(), CSV: tbl.RenderCSV()}, nil
+		res := ExperimentResult{ID: exp.ID, Title: exp.Title, Rendered: tbl.Render(), CSV: tbl.RenderCSV()}
+		s.persistResult("experiment", key, res)
+		return res, nil
 	})
 	if err != nil {
 		return ExperimentResult{ID: id, Error: err.Error()}
@@ -457,7 +581,7 @@ func (s *Server) computeCampaign(ctx context.Context, key string, spec campaign.
 				if i >= len(points) {
 					return
 				}
-				outcomes[i], cachedFlags[i], errs[i] = s.runPoint(points[i])
+				outcomes[i], cachedFlags[i], errs[i] = s.runPoint(ctx, points[i])
 				bump()
 			}
 		}()
@@ -485,12 +609,42 @@ func (s *Server) computeCampaign(ctx context.Context, key string, spec campaign.
 		bump()
 	}
 	res.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	s.persistResult("campaign", key, res)
 	return res, nil
+}
+
+// campaignJob is the queue work for one accepted campaign: run it,
+// file the result under the job ID, journal the terminal state. A
+// cancellation observed while the server is shutting down journals
+// StateInterrupted (re-run next boot) instead of StateFailed.
+func (s *Server) campaignJob(id, key string, spec campaign.Spec) JobFunc {
+	return func(ctx context.Context, progress func(done, total int)) error {
+		res, _, err := s.runCampaign(ctx, spec, progress)
+		if err != nil {
+			state := journal.StateFailed
+			if errors.Is(err, context.Canceled) && s.closing.Load() {
+				state = journal.StateInterrupted
+			}
+			s.journalAppend(journal.Entry{State: state, Job: id, Kind: "campaign", Key: key, Error: err.Error()})
+			return err
+		}
+		s.mu.Lock()
+		s.results[id] = res
+		s.mu.Unlock()
+		total := res.Points + len(res.Experiments)
+		s.journalAppend(journal.Entry{State: journal.StateDone, Job: id, Kind: "campaign", Key: key, Done: total, Total: total})
+		return nil
+	}
 }
 
 // handleSubmitCampaign accepts a campaign spec, runs it as a queued
 // job, and returns the job record — plus the result when ?wait=1 is
-// set or the campaign cache already has it.
+// set or the campaign cache already has it. On a durable server the
+// accepted record hits the journal BEFORE anything is enqueued or
+// acknowledged: a crash after the append owes the client an
+// execution; a crash before it owes nothing, because no 202 was
+// written. A full queue answers 429 with a Retry-After computed from
+// observed job service times.
 func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 	var spec campaign.Spec
 	if !s.decodeBody(w, r, "campaign spec", &spec) {
@@ -498,33 +652,55 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	// Reject malformed specs before queueing so the client gets a 400,
 	// not a failed job.
-	if _, err := spec.CampaignKey(); err != nil {
+	key, err := spec.CampaignKey()
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-
-	// The job needs its own ID to file the result; Submit only mints
-	// it on return, so hand it over through a buffered channel the
-	// closure blocks on (for at most the submit round trip).
-	ready := make(chan string, 1)
-	info, err := s.queue.Submit("campaign", func(ctx context.Context, progress func(done, total int)) error {
-		id := <-ready
-		res, _, err := s.runCampaign(ctx, spec, progress)
-		if err != nil {
-			return err
+	timeout := s.jobTimeout
+	if h := r.Header.Get(timeoutHeader); h != "" {
+		d, err := time.ParseDuration(h)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("service: bad %s %q: want a positive Go duration like \"90s\"", timeoutHeader, h))
+			return
 		}
-		s.mu.Lock()
-		s.results[id] = res
-		s.mu.Unlock()
-		return nil
-	})
+		timeout = d
+	}
+	wait := r.URL.Query().Get("wait") == "1"
+	var base context.Context
+	if wait {
+		// Tie the job to the request: a client that disconnects while
+		// waiting cancels the simulation instead of leaking the worker.
+		base = r.Context()
+	}
+
+	id := s.queue.NextID()
+	if s.journal != nil {
+		raw, _ := json.Marshal(spec)
+		if err := s.journal.Append(journal.Entry{State: journal.StateAccepted, Job: id, Kind: "campaign", Key: key, Spec: raw}); err != nil {
+			// Refuse work the journal cannot record: accepting it would
+			// break the "202 implies durable" contract.
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("service: journal write failed, not accepting work: %w", err))
+			return
+		}
+	}
+	info, err := s.queue.SubmitJob("campaign", JobOptions{ID: id, Base: base, Timeout: timeout}, s.campaignJob(id, key, spec))
 	if err != nil {
+		// The accepted record is already durable; close it out so a
+		// restart does not resurrect a job the client was told to retry.
+		s.journalAppend(journal.Entry{State: journal.StateFailed, Job: id, Kind: "campaign", Key: key, Error: err.Error()})
+		if errors.Is(err, ErrQueueFull) {
+			retry := s.queue.EstimateWait()
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
+			writeError(w, http.StatusTooManyRequests, fmt.Errorf("%w; retry in %s", err, retry.Round(time.Second)))
+			return
+		}
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	ready <- info.ID
 
-	if r.URL.Query().Get("wait") == "1" {
+	if wait {
 		final, err := s.queue.Wait(r.Context(), info.ID)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)

@@ -19,11 +19,11 @@ func tracePoint(cfg engine.MemoryConfig, wl string, size units.Bytes) campaign.P
 func TestTracePointDeterministic(t *testing.T) {
 	// Two independent executors must produce bit-identical trace
 	// outcomes — the property that makes trace results cacheable.
-	a, err := NewExecutor().RunPoint(tracePoint(engine.Cache, "GUPS", units.GB(8)))
+	a, err := NewExecutor().RunPoint(context.Background(), tracePoint(engine.Cache, "GUPS", units.GB(8)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NewExecutor().RunPoint(tracePoint(engine.Cache, "GUPS", units.GB(8)))
+	b, err := NewExecutor().RunPoint(context.Background(), tracePoint(engine.Cache, "GUPS", units.GB(8)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,11 +46,11 @@ func TestTraceLatencyOrdering(t *testing.T) {
 	// inserts the MCDRAM cache and, once the footprint fits it, most
 	// accesses stop at MCDRAM latency.
 	exec := NewExecutor()
-	dram, err := exec.RunPoint(tracePoint(engine.DRAM, "GUPS", units.GB(8)))
+	dram, err := exec.RunPoint(context.Background(), tracePoint(engine.DRAM, "GUPS", units.GB(8)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	hbm, err := exec.RunPoint(tracePoint(engine.HBM, "GUPS", units.GB(8)))
+	hbm, err := exec.RunPoint(context.Background(), tracePoint(engine.HBM, "GUPS", units.GB(8)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,11 +62,11 @@ func TestTraceLatencyOrdering(t *testing.T) {
 
 func TestTraceSequentialBeatsRandom(t *testing.T) {
 	exec := NewExecutor()
-	seq, err := exec.RunPoint(tracePoint(engine.DRAM, "STREAM", units.GB(8)))
+	seq, err := exec.RunPoint(context.Background(), tracePoint(engine.DRAM, "STREAM", units.GB(8)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rnd, err := exec.RunPoint(tracePoint(engine.DRAM, "GUPS", units.GB(8)))
+	rnd, err := exec.RunPoint(context.Background(), tracePoint(engine.DRAM, "GUPS", units.GB(8)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestTraceHybridAndInterleave(t *testing.T) {
 		{Kind: engine.InterleaveFlat},
 		{Kind: engine.Hybrid, HybridFlatFraction: 0.5},
 	} {
-		out, err := exec.RunPoint(tracePoint(cfg, "GUPS", units.GB(4)))
+		out, err := exec.RunPoint(context.Background(), tracePoint(cfg, "GUPS", units.GB(4)))
 		if err != nil {
 			t.Fatalf("%v: %v", cfg, err)
 		}

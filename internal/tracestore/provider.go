@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/faultfs"
 	"repro/internal/tracesim"
 )
 
@@ -20,7 +21,7 @@ import (
 // are reported by Err; replay drivers must check it after a run.
 type Provider struct {
 	meta Meta
-	f    *os.File
+	f    faultfs.File
 	dec  *Decoder
 	err  error
 }

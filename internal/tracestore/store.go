@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/faultfs"
 	"repro/internal/units"
 )
 
@@ -45,42 +46,85 @@ func (m Meta) Footprint() units.Bytes { return units.Bytes(m.FootprintBytes) }
 // in-memory index (rebuilt from the headers at Open) answers metadata
 // queries without touching disk.
 type Store struct {
+	fs  faultfs.FS
 	dir string
 
-	mu    sync.Mutex
-	metas map[string]Meta
+	mu          sync.Mutex
+	metas       map[string]Meta
+	quarantined int64
 }
 
 // Open opens (creating if needed) a store rooted at dir and indexes
 // the traces already present — the durability half of the contract:
 // a restarted service re-serves every previously ingested trace.
 func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenFS(faultfs.OS{}, dir)
+}
+
+// OpenFS is Open over an injected filesystem (fault-injection tests
+// substitute a faultfs.Fault to kill ingest mid-write).
+//
+// Recovery semantics: stale ingest temp files (a crash mid-ingest)
+// are swept — they were never visible; a .trc file with a corrupt or
+// truncated header, or whose name does not match its content address,
+// is moved to a quarantine subdirectory rather than silently skipped,
+// so it is never served and never mistaken for a live trace by a later
+// ingest of the same content.
+func OpenFS(fsys faultfs.FS, dir string) (*Store, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("tracestore: %w", err)
 	}
-	s := &Store{dir: dir, metas: make(map[string]Meta)}
-	entries, err := os.ReadDir(dir)
+	s := &Store{fs: fsys, dir: dir, metas: make(map[string]Meta)}
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("tracestore: %w", err)
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".trc") {
+		if e.IsDir() {
 			continue
 		}
-		meta, err := readMeta(filepath.Join(dir, name))
-		if err != nil {
-			// A half-written or foreign file must not poison the index;
-			// skip it (ingest writes via temp + rename, so this is not
-			// a normally reachable state).
+		if strings.HasPrefix(name, ".ingest-") {
+			// A crash mid-ingest left this temp file; it was never
+			// indexed, so removing it loses nothing.
+			fsys.Remove(filepath.Join(dir, name))
 			continue
 		}
-		if meta.ID != strings.TrimSuffix(name, ".trc") {
-			continue // name does not match content address; ignore
+		if !strings.HasSuffix(name, ".trc") {
+			continue
+		}
+		meta, err := s.readMeta(filepath.Join(dir, name))
+		if err != nil || meta.ID != strings.TrimSuffix(name, ".trc") {
+			// Corrupt header or a name that lies about its content
+			// address: quarantine the file so it can never be served.
+			if qerr := s.quarantine(name); qerr != nil {
+				return nil, qerr
+			}
+			continue
 		}
 		s.metas[meta.ID] = meta
 	}
 	return s, nil
+}
+
+// quarantine moves one damaged trace file into <dir>/quarantine.
+func (s *Store) quarantine(name string) error {
+	qdir := filepath.Join(s.dir, "quarantine")
+	if err := s.fs.MkdirAll(qdir, 0o755); err != nil {
+		return fmt.Errorf("tracestore: quarantine: %w", err)
+	}
+	if err := s.fs.Rename(filepath.Join(s.dir, name), filepath.Join(qdir, name)); err != nil {
+		return fmt.Errorf("tracestore: quarantine: %w", err)
+	}
+	s.quarantined++
+	return nil
+}
+
+// Quarantined returns how many damaged files Open moved aside.
+func (s *Store) Quarantined() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined
 }
 
 // Dir returns the store's root directory.
@@ -88,8 +132,8 @@ func (s *Store) Dir() string { return s.dir }
 
 // readMeta loads one trace file's header. The ID is taken from the
 // file name and verified against it by the caller.
-func readMeta(path string) (Meta, error) {
-	f, err := os.Open(path)
+func (s *Store) readMeta(path string) (Meta, error) {
+	f, err := s.fs.Open(path)
 	if err != nil {
 		return Meta{}, err
 	}
@@ -135,7 +179,7 @@ func (s *Store) path(id string) string { return filepath.Join(s.dir, id+".trc") 
 // deduplication: true means the store already held this exact access
 // stream and no new file was written.
 func (s *Store) Ingest(r io.Reader, maxBytes int64) (Meta, bool, error) {
-	tmp, err := os.CreateTemp(s.dir, ".ingest-*")
+	tmp, err := s.fs.CreateTemp(s.dir, ".ingest-*")
 	if err != nil {
 		return Meta{}, false, fmt.Errorf("tracestore: %w", err)
 	}
@@ -143,7 +187,7 @@ func (s *Store) Ingest(r io.Reader, maxBytes int64) (Meta, bool, error) {
 	// The temp file is removed on every path except the final rename.
 	discard := func() {
 		tmp.Close()
-		os.Remove(tmpPath)
+		s.fs.Remove(tmpPath)
 	}
 
 	if _, err := tmp.Write(make([]byte, headerSize)); err != nil {
@@ -175,7 +219,7 @@ func (s *Store) Ingest(r io.Reader, maxBytes int64) (Meta, bool, error) {
 		return Meta{}, false, fmt.Errorf("tracestore: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpPath)
+		s.fs.Remove(tmpPath)
 		return Meta{}, false, fmt.Errorf("tracestore: %w", err)
 	}
 
@@ -183,11 +227,11 @@ func (s *Store) Ingest(r io.Reader, maxBytes int64) (Meta, bool, error) {
 	defer s.mu.Unlock()
 	if m, ok := s.metas[id]; ok {
 		// Same content address: the store already holds this stream.
-		os.Remove(tmpPath)
+		s.fs.Remove(tmpPath)
 		return m, true, nil
 	}
-	if err := os.Rename(tmpPath, s.path(id)); err != nil {
-		os.Remove(tmpPath)
+	if err := s.fs.Rename(tmpPath, s.path(id)); err != nil {
+		s.fs.Remove(tmpPath)
 		return Meta{}, false, fmt.Errorf("tracestore: %w", err)
 	}
 	m := metaFrom(id, sum, st.Size())
@@ -234,7 +278,7 @@ func (s *Store) Delete(id string) error {
 	if _, ok := s.metas[id]; !ok {
 		return fmt.Errorf("%w %q", ErrNotFound, id)
 	}
-	if err := os.Remove(s.path(id)); err != nil && !os.IsNotExist(err) {
+	if err := s.fs.Remove(s.path(id)); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("tracestore: %w", err)
 	}
 	delete(s.metas, id)
@@ -251,7 +295,7 @@ func (s *Store) Open(id string) (*Provider, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrNotFound, id)
 	}
-	f, err := os.Open(s.path(id))
+	f, err := s.fs.Open(s.path(id))
 	if err != nil {
 		return nil, fmt.Errorf("tracestore: %w", err)
 	}

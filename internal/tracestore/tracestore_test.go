@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/faultfs"
 	"repro/internal/tracesim"
 	"repro/internal/units"
 )
@@ -494,5 +495,147 @@ func TestIngestDecodedByteLimit(t *testing.T) {
 	}
 	if stray, _ := filepath.Glob(filepath.Join(st.Dir(), ".ingest-*")); len(stray) != 0 {
 		t.Fatalf("limited ingests left temp files: %v", stray)
+	}
+}
+
+// TestReopenQuarantinesTruncatedTail simulates a crash mid-ingest
+// that somehow left a visible but truncated .trc file (e.g. a torn
+// rename on a non-atomic filesystem): reopening must quarantine the
+// damaged file and keep serving every intact trace.
+func TestReopenQuarantinesTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, _, err := st.Ingest(bytes.NewReader(renderCSV(testAccesses(3000))), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge a second trace file whose header is cut mid-way — the
+	// shape a torn write leaves.
+	buf, err := os.ReadFile(filepath.Join(dir, good.ID+".trc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fakeID := strings.Repeat("ab", 32)
+	if err := os.WriteFile(filepath.Join(dir, fakeID+".trc"), buf[:headerSize/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// And a third with a valid-length but scribbled header (CRC fails).
+	rot := append([]byte(nil), buf...)
+	rot[10] ^= 0xff
+	rotID := strings.Repeat("cd", 32)
+	if err := os.WriteFile(filepath.Join(dir, rotID+".trc"), rot, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.Get(good.ID); !ok {
+		t.Fatal("intact trace lost while quarantining a damaged neighbour")
+	}
+	if _, ok := st2.Get(fakeID); ok {
+		t.Fatal("truncated trace served")
+	}
+	if _, ok := st2.Get(rotID); ok {
+		t.Fatal("corrupt-header trace served")
+	}
+	if q := st2.Quarantined(); q != 2 {
+		t.Fatalf("quarantined %d files, want 2", q)
+	}
+	for _, id := range []string{fakeID, rotID} {
+		if _, err := os.Stat(filepath.Join(dir, "quarantine", id+".trc")); err != nil {
+			t.Fatalf("quarantined file %s missing: %v", id, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, id+".trc")); !os.IsNotExist(err) {
+			t.Fatalf("damaged file %s still in the live directory", id)
+		}
+	}
+	// A re-upload of content whose file was quarantined under a fake
+	// name is a fresh ingest, not a dedupe against damaged data.
+	if l := st2.List(); len(l) != 1 || l[0].ID != good.ID {
+		t.Fatalf("List after quarantine: %+v", l)
+	}
+}
+
+// TestReopenSweepsStaleIngestTemp: a crash mid-ingest leaves only a
+// temp file; reopening must remove it and index nothing.
+func TestReopenSweepsStaleIngestTemp(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ".ingest-stale1"), []byte("half a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := st.Totals(); n != 0 {
+		t.Fatalf("stale temp indexed as a trace (%d)", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".ingest-stale1")); !os.IsNotExist(err) {
+		t.Fatalf("stale ingest temp survived reopen: %v", err)
+	}
+}
+
+// TestIngestKilledMidWrite drives the faultfs kill-points through a
+// live ingest — die on the Nth data write, die with ENOSPC, die on
+// the commit rename — and proves the store invariant each time: the
+// failed ingest surfaces an error, nothing damaged becomes visible,
+// and a reopened store serves exactly the traces that were
+// acknowledged.
+func TestIngestKilledMidWrite(t *testing.T) {
+	cases := map[string]func(*faultfs.Fault){
+		"torn-data-write": func(f *faultfs.Fault) { f.FailAfterWrites(2, true) },
+		"enospc":          func(f *faultfs.Fault) { f.SetErr(faultfs.ENOSPC); f.FailAfterWrites(1, false) },
+		"rename-fault":    func(f *faultfs.Fault) { f.FailAfterRenames(0) },
+		"sync-fault":      func(f *faultfs.Fault) { f.FailAfterSyncs(0) },
+	}
+	for name, arm := range cases {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			fault := faultfs.New(nil)
+			st, err := OpenFS(fault, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			good, _, err := st.Ingest(bytes.NewReader(renderCSV(testAccesses(1500))), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			arm(fault)
+			if _, _, err := st.Ingest(bytes.NewReader(renderCSV(testAccesses(9000))), 0); err == nil {
+				t.Fatal("ingest through tripped failpoint reported success")
+			}
+			fault.Reset()
+
+			// The live store must still serve the acknowledged trace
+			// and nothing else.
+			if _, ok := st.Get(good.ID); !ok {
+				t.Fatal("acknowledged trace lost after failed ingest")
+			}
+			if n, _ := st.Totals(); n != 1 {
+				t.Fatalf("store indexes %d traces after failed ingest, want 1", n)
+			}
+
+			// So must a cold reopen of the directory.
+			st2, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := st2.Get(good.ID); !ok {
+				t.Fatal("acknowledged trace lost across reopen")
+			}
+			if n, _ := st2.Totals(); n != 1 {
+				t.Fatalf("reopened store indexes %d traces, want 1", n)
+			}
+			// Whatever the fault left behind must not be a servable
+			// .trc in the live directory.
+			if files, _ := filepath.Glob(filepath.Join(dir, "*.trc")); len(files) != 1 {
+				t.Fatalf("live directory holds %d .trc files, want 1: %v", len(files), files)
+			}
+		})
 	}
 }

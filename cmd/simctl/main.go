@@ -12,6 +12,8 @@
 //	simctl campaign -spec sweep.json -async
 //	simctl campaign -experiments all
 //	simctl job j000001
+//	simctl job -timings j000001
+//	simctl -request-id deploy-42 run -workload STREAM -config hbm -size 8GB
 //
 // Stored traces (the durable trace store behind /v1/traces):
 //
@@ -65,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", envOr("SIMD_ADDR", "http://127.0.0.1:8077"), "simd base URL")
 	retries := fs.Int("retries", 0, "retry attempts for a busy or unreachable server (0 = default, negative disables)")
+	requestID := fs.String("request-id", "", "X-Request-Id to send (correlates server logs, job records and journal; default: server-generated)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,6 +77,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	client := service.NewClient(*addr)
 	client.MaxRetries = *retries
+	client.RequestID = *requestID
 	// Narrate every backoff so a throttled sweep doesn't look hung.
 	// The final failure still reaches main() and exits non-zero.
 	client.OnRetry = func(attempt int, wait time.Duration, err error) {
@@ -103,7 +107,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	case "campaign":
 		return cmdCampaign(ctx, client, rest[1:], stdout, stderr)
 	case "job":
-		return cmdJob(ctx, client, rest[1:], stdout)
+		return cmdJob(ctx, client, rest[1:], stdout, stderr)
 	}
 	return fmt.Errorf("unknown subcommand %q\n%s", rest[0], usage)
 }
@@ -514,13 +518,23 @@ func shortKey(k string) string {
 	return k
 }
 
-func cmdJob(ctx context.Context, c *service.Client, args []string, stdout io.Writer) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: simctl job <id>")
+func cmdJob(ctx context.Context, c *service.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("simctl job", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	timings := fs.Bool("timings", false, "render the job's stage timeline instead of raw JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	resp, err := c.Job(ctx, args[0])
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: simctl job [-timings] <id>")
+	}
+	resp, err := c.Job(ctx, fs.Arg(0))
 	if err != nil {
 		return err
+	}
+	if *timings {
+		fmt.Fprint(stdout, service.RenderTimings(resp.Job))
+		return nil
 	}
 	return printJSON(stdout, resp)
 }

@@ -21,6 +21,12 @@
 //	GET    /v1/jobs/{id}            poll a job
 //	GET    /v1/jobs/{id}/result     block for a job's result
 //	GET    /v1/jobs/{id}/stream     NDJSON progress feed
+//	GET    /debug/pprof/*           runtime profiling
+//
+// Every request carries an X-Request-Id (generated when the client
+// sends none) that appears in the structured access log (-log-level,
+// -log-format, -slow-request), in error envelopes, on job records and
+// in the journal — one key correlates a request across every layer.
 //
 // The trace store is durable: -traces names its directory, and a
 // restarted server re-serves every previously ingested trace.
@@ -48,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/units"
 )
@@ -77,6 +84,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	maxBody := fs.String("max-body", "1MB", "JSON request body cap (413 beyond it)")
 	maxTrace := fs.String("max-trace", "256MB", "trace upload body cap (413 beyond it)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	logFormat := fs.String("log-format", "text", "log encoding: text or json")
+	slowReq := fs.Duration("slow-request", time.Second, "promote slower requests to WARN in the access log")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,6 +98,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("bad -max-trace: %w", err)
 	}
+	logger, err := obs.NewLogger(stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
 
 	opt := service.Options{
 		Workers:       *workers,
@@ -98,6 +112,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		JobTimeout:    *jobTimeout,
 		MaxBodyBytes:  int64(maxBodyBytes),
 		MaxTraceBytes: int64(maxTraceBytes),
+		Logger:        logger,
+		SlowRequest:   *slowReq,
 	}
 	var srv *service.Server
 	if *dataDir == "" {
@@ -119,14 +135,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("open data directory %s: %w", *dataDir, err)
 		}
-		fmt.Fprintf(stdout, "simd: recovered %s: %d results warmed, %d jobs restored, %d re-enqueued\n",
-			*dataDir, rec.Results, rec.Restored, rec.Requeued)
+		logger.Info("recovered state",
+			"dir", *dataDir, "results_warmed", rec.Results,
+			"restored", rec.Restored, "requeued", rec.Requeued)
 		if rec.RequeueFailed > 0 {
-			fmt.Fprintf(stderr, "simd: %d recovered jobs exceed the queue; they stay journaled for the next start\n", rec.RequeueFailed)
+			logger.Warn("recovered jobs exceed the queue; they stay journaled for the next start",
+				"requeue_failed", rec.RequeueFailed)
 		}
 		if rec.TornBytes > 0 || rec.ResultsQuarantined > 0 {
-			fmt.Fprintf(stderr, "simd: quarantined %d torn journal bytes and %d corrupt result files\n",
-				rec.TornBytes, rec.ResultsQuarantined)
+			logger.Warn("quarantined corrupt state at boot",
+				"torn_journal_bytes", rec.TornBytes, "corrupt_result_files", rec.ResultsQuarantined)
 		}
 	}
 	ln, err := net.Listen("tcp", *addr)
@@ -140,14 +158,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(stdout, "simd: serving on http://%s\n", ln.Addr())
+	logger.Info("serving", "url", fmt.Sprintf("http://%s", ln.Addr()))
 
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(stdout, "simd: shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -163,14 +181,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	for _, was := range abandoned {
 		info, ok := srv.JobInfo(was.ID)
 		if ok && info.State == service.JobDone {
-			fmt.Fprintf(stdout, "simd: job %s (%s) finished during the drain\n", info.ID, info.Kind)
+			logger.Info("job finished during the drain", "job", info.ID, "kind", info.Kind)
 			continue
 		}
 		fate := "lost (no -data directory)"
 		if *dataDir != "" {
 			fate = "journaled; it re-runs on the next start"
 		}
-		fmt.Fprintf(stderr, "simd: job %s (%s) interrupted by shutdown: %s\n", was.ID, was.Kind, fate)
+		logger.Warn("job interrupted by shutdown", "job", was.ID, "kind", was.Kind, "fate", fate)
 	}
 	if closeErr != nil {
 		return fmt.Errorf("drain job queue: %w", closeErr)
@@ -178,6 +196,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	fmt.Fprintln(stdout, "simd: bye")
+	logger.Info("bye")
 	return nil
 }

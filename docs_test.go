@@ -11,7 +11,7 @@ import (
 // TestDocsExist pins the documentation surface: the architecture map
 // and the API reference must exist and be linked from doc.go.
 func TestDocsExist(t *testing.T) {
-	for _, f := range []string{"ARCHITECTURE.md", "docs/api.md", "CHANGES.md", "ROADMAP.md"} {
+	for _, f := range []string{"ARCHITECTURE.md", "docs/api.md", "docs/observability.md", "CHANGES.md", "ROADMAP.md"} {
 		if _, err := os.Stat(f); err != nil {
 			t.Errorf("missing documentation file %s: %v", f, err)
 		}

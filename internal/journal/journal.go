@@ -40,6 +40,10 @@ type Entry struct {
 	Kind string `json:"kind,omitempty"`
 	// Key is the job's content address (campaign key).
 	Key string `json:"key,omitempty"`
+	// Req is the X-Request-Id of the HTTP request that created the
+	// job, so a journal record links back to the access log line and
+	// job timeline of its originating request.
+	Req string `json:"req,omitempty"`
 	// Spec is the raw JSON request body that created the job.
 	Spec json.RawMessage `json:"spec,omitempty"`
 	// Error carries the failure reason on StateFailed.

@@ -1,0 +1,191 @@
+// Package obs is the service's observability substrate: fixed-bucket
+// latency histograms rendered in Prometheus text exposition format,
+// request-ID generation and propagation through context.Context, a
+// structured-logging constructor on log/slog, and a composable
+// http.Handler middleware stack (request IDs, access logging, latency
+// metrics, panic recovery) that internal/service assembles into its
+// request path. The package is dependency-free by design — the repo
+// rule is no new modules, and the Prometheus text format is simple
+// enough to emit (and parse, in tests) by hand.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// DefBuckets are the default latency bucket upper bounds in seconds:
+// 100µs to 10s, roughly logarithmic — wide enough for a cached hit
+// (tens of microseconds land in the first bucket) and a multi-second
+// campaign alike. +Inf is implicit.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is one fixed-bucket histogram: cumulative-on-render bucket
+// counts, a running sum, and a total count. A mutex (not atomics)
+// keeps Observe and Snapshot exactly consistent — the render must
+// satisfy count == +Inf bucket even under concurrent observation, and
+// at service request rates the lock is invisible.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, ascending, +Inf implicit
+	counts []uint64  // len(bounds)+1; last is the +Inf overflow
+	sum    float64
+	total  uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds (nil means DefBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one value (seconds, for latency histograms).
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v; sort.SearchFloat64s
+	// finds the insertion point for v, which is exactly that bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is one consistent read of a histogram: cumulative
+// bucket counts aligned with Bounds (the final entry is the +Inf
+// bucket and equals Count).
+type HistogramSnapshot struct {
+	Bounds     []float64 // upper bounds; +Inf implicit as the last bucket
+	Cumulative []uint64  // len(Bounds)+1, nondecreasing
+	Sum        float64
+	Count      uint64
+}
+
+// Snapshot returns a consistent cumulative view.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := make([]uint64, len(h.counts))
+	var run uint64
+	for i, c := range h.counts {
+		run += c
+		cum[i] = run
+	}
+	return HistogramSnapshot{Bounds: h.bounds, Cumulative: cum, Sum: h.sum, Count: h.total}
+}
+
+// HistogramVec is a family of histograms keyed by label values —
+// simd_http_request_seconds{route,code} and friends. Label sets are
+// created on first observation and rendered in sorted order so
+// scrapes are deterministic.
+type HistogramVec struct {
+	name   string
+	help   string
+	labels []string
+	bounds []float64
+
+	mu   sync.Mutex
+	kids map[string]*Histogram
+}
+
+// NewHistogramVec builds a histogram family. name is the metric
+// family name (without _bucket/_sum/_count suffixes), labels the
+// label names every observation must supply values for, bounds the
+// shared bucket upper bounds (nil: DefBuckets).
+func NewHistogramVec(name, help string, labels []string, bounds []float64) *HistogramVec {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	return &HistogramVec{name: name, help: help, labels: labels, bounds: bounds, kids: make(map[string]*Histogram)}
+}
+
+// labelSep joins label values into map keys; label values containing
+// it would collide, but ours are routes, status codes and stage names.
+const labelSep = "\x1f"
+
+// Observe records v against the histogram for the given label values.
+// The value count must match the label names; a mismatch is a
+// programming error and panics loudly rather than mislabeling data.
+func (v *HistogramVec) Observe(val float64, labelValues ...string) {
+	if len(labelValues) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s observed with %d label values, want %d", v.name, len(labelValues), len(v.labels)))
+	}
+	key := strings.Join(labelValues, labelSep)
+	v.mu.Lock()
+	h, ok := v.kids[key]
+	if !ok {
+		h = NewHistogram(v.bounds)
+		v.kids[key] = h
+	}
+	v.mu.Unlock()
+	h.Observe(val)
+}
+
+// Count returns the observation count for one label set (0 when the
+// set has never been observed) — a cheap test and assertion hook.
+func (v *HistogramVec) Count(labelValues ...string) uint64 {
+	v.mu.Lock()
+	h, ok := v.kids[strings.Join(labelValues, labelSep)]
+	v.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return h.Snapshot().Count
+}
+
+// formatBound renders a bucket upper bound the way Prometheus spells
+// le values ("0.005", "1", "10").
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// Render writes the family in Prometheus text exposition format:
+// HELP and TYPE first, then for each label set (sorted) the
+// cumulative _bucket rows ending in le="+Inf", then _sum and _count.
+func (v *HistogramVec) Render(w io.Writer) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.kids))
+	for k := range v.kids {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	hists := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		hists[i] = v.kids[k]
+	}
+	v.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP %s %s\n", v.name, v.help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", v.name)
+	for i, key := range keys {
+		snap := hists[i].Snapshot()
+		var base strings.Builder
+		if len(v.labels) > 0 {
+			for j, val := range strings.Split(key, labelSep) {
+				fmt.Fprintf(&base, "%s=%q,", v.labels[j], val)
+			}
+		}
+		for j, b := range snap.Bounds {
+			fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", v.name, base.String(), formatBound(b), snap.Cumulative[j])
+		}
+		fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", v.name, base.String(), snap.Cumulative[len(snap.Cumulative)-1])
+		sumBase := strings.TrimSuffix(base.String(), ",")
+		if sumBase == "" {
+			fmt.Fprintf(w, "%s_sum %s\n", v.name, strconv.FormatFloat(snap.Sum, 'g', -1, 64))
+			fmt.Fprintf(w, "%s_count %d\n", v.name, snap.Count)
+			continue
+		}
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", v.name, sumBase, strconv.FormatFloat(snap.Sum, 'g', -1, 64))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", v.name, sumBase, snap.Count)
+	}
+}

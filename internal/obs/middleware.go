@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// Middleware is one composable layer of the HTTP request path.
+type Middleware func(http.Handler) http.Handler
+
+// Chain wraps h in the given middlewares so that mw[0] is the
+// OUTERMOST layer — requests traverse the list in order. The service
+// assembles its stack once at construction:
+//
+//	obs.Chain(mux,
+//	    obs.RequestIDs(),    // id in ctx + echoed header
+//	    obs.Logging(l, 1*time.Second),
+//	    obs.Timing(observe), // latency histogram + route counter
+//	    obs.Recover(on500),  // panics become 500 envelopes
+//	)
+func Chain(h http.Handler, mw ...Middleware) http.Handler {
+	for i := len(mw) - 1; i >= 0; i-- {
+		h = mw[i](h)
+	}
+	return h
+}
+
+// Recorder captures the status code and body byte count a handler
+// writes, so post-serve middleware (access log, latency metrics) can
+// label by outcome. Wrap reuses an existing Recorder, so stacked
+// middlewares share one instead of nesting wrappers.
+type Recorder struct {
+	http.ResponseWriter
+	Status int
+	Bytes  int64
+}
+
+// Wrap returns w as a Recorder, reusing one that an outer middleware
+// already installed.
+func Wrap(w http.ResponseWriter) *Recorder {
+	if rec, ok := w.(*Recorder); ok {
+		return rec
+	}
+	return &Recorder{ResponseWriter: w}
+}
+
+// WriteHeader records the first status code written.
+func (r *Recorder) WriteHeader(status int) {
+	if r.Status == 0 {
+		r.Status = status
+	}
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// Write counts body bytes, defaulting the status to 200 exactly like
+// net/http does for handlers that never call WriteHeader.
+func (r *Recorder) Write(p []byte) (int, error) {
+	if r.Status == 0 {
+		r.Status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.Bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer so streaming handlers (the
+// NDJSON job progress feed) keep working behind the stack.
+func (r *Recorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (r *Recorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// StatusOrDefault is the recorded status, 200 when the handler wrote
+// neither header nor body (net/http sends 200 on return).
+func (r *Recorder) StatusOrDefault() int {
+	if r.Status == 0 {
+		return http.StatusOK
+	}
+	return r.Status
+}
+
+// RequestIDs is the identity layer: honor a well-formed inbound
+// X-Request-Id (so a client or upstream proxy can pin its own
+// correlation key), generate one otherwise, attach it to the request
+// context, echo it in the response header, and install the route-tag
+// holder the metrics and logging layers read. It sits outermost so
+// every later layer — and the error envelope — sees the ID.
+func RequestIDs() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := SanitizeRequestID(r.Header.Get(RequestIDHeader))
+			if id == "" {
+				id = NewRequestID()
+			}
+			ctx := WithRouteTag(WithRequestID(r.Context(), id))
+			w.Header().Set(RequestIDHeader, id)
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}
+
+// Logging is the structured access log: one line per request with
+// method, path, matched route, status, response bytes, duration and
+// request ID. Requests slower than slow (or answered 5xx) are
+// promoted to WARN so an operator tailing at INFO sees trouble
+// without grepping. slow <= 0 disables promotion by latency.
+func Logging(logger *slog.Logger, slow time.Duration) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rec := Wrap(w)
+			start := time.Now()
+			next.ServeHTTP(rec, r)
+			elapsed := time.Since(start)
+
+			route := Route(r.Context())
+			if route == "" {
+				route = "unmatched"
+			}
+			level := slog.LevelInfo
+			msg := "request"
+			if rec.StatusOrDefault() >= 500 {
+				level, msg = slog.LevelWarn, "request failed"
+			} else if slow > 0 && elapsed >= slow {
+				level, msg = slog.LevelWarn, "slow request"
+			}
+			logger.LogAttrs(r.Context(), level, msg,
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", rec.StatusOrDefault()),
+				slog.Int64("bytes", rec.Bytes),
+				slog.Float64("dur_ms", float64(elapsed.Microseconds())/1000),
+				slog.String("request_id", RequestID(r.Context())),
+			)
+		})
+	}
+}
+
+// Timing feeds the latency observer: matched route (or "unmatched"),
+// final status code, response bytes and elapsed time. The service
+// points it at the simd_http_request_seconds histogram and the
+// per-route request counter.
+func Timing(observe func(r *http.Request, route string, status int, bytes int64, elapsed time.Duration)) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rec := Wrap(w)
+			start := time.Now()
+			next.ServeHTTP(rec, r)
+			route := Route(r.Context())
+			if route == "" {
+				route = "unmatched"
+			}
+			observe(r, route, rec.StatusOrDefault(), rec.Bytes, time.Since(start))
+		})
+	}
+}
+
+// Recover converts handler panics into a response written by handle
+// (the service writes its JSON error envelope and counts the panic).
+// net/http's abort sentinel is re-raised — it is the protocol for
+// deliberately torn-down responses, not a crash.
+func Recover(handle func(w http.ResponseWriter, r *http.Request, v any)) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				v := recover()
+				if v == nil {
+					return
+				}
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				handle(w, r, v)
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}

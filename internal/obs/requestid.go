@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+)
+
+// ctxKey namespaces this package's context values.
+type ctxKey int
+
+const (
+	requestIDKey ctxKey = iota
+	routeKey
+)
+
+// RequestIDHeader is the header the service reads an inbound request
+// ID from and echoes the effective ID back on.
+const RequestIDHeader = "X-Request-Id"
+
+// maxRequestIDLen caps accepted inbound IDs so a hostile client
+// cannot inflate every log line and journal record.
+const maxRequestIDLen = 64
+
+// NewRequestID generates a fresh request ID: 16 hex characters from
+// math/rand/v2 (uniqueness is what matters here, not secrecy — IDs
+// exist to correlate logs, metrics and journal records, and the
+// cheap generator keeps the middleware overhead measurable in
+// nanoseconds).
+func NewRequestID() string {
+	return fmt.Sprintf("%016x", rand.Uint64())
+}
+
+// SanitizeRequestID validates an inbound request ID: printable ASCII
+// from a safe alphabet, bounded length. Anything else returns ""
+// (caller generates a fresh one) so client-supplied IDs can never
+// inject log fields or control characters.
+func SanitizeRequestID(id string) string {
+	if id == "" || len(id) > maxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// WithRequestID attaches a request ID to the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the context's request ID, or "" when none was
+// attached (work not started by an HTTP request).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// routeLabel is a mutable holder the outer middleware installs and
+// the matched route handler fills in — by the time the middleware
+// regains control after ServeMux dispatch, it can read which pattern
+// (if any) matched. A pointer is required because context values are
+// immutable and the mux match happens below the middleware.
+type routeLabel struct{ pattern string }
+
+// WithRouteTag installs an empty route holder; SetRoute fills it.
+func WithRouteTag(ctx context.Context) context.Context {
+	return context.WithValue(ctx, routeKey, &routeLabel{})
+}
+
+// SetRoute records the matched route pattern for the request, when a
+// holder is installed. Handlers registered through the service's
+// route helper call this; unmatched requests (404/405) never do.
+func SetRoute(ctx context.Context, pattern string) {
+	if l, ok := ctx.Value(routeKey).(*routeLabel); ok {
+		l.pattern = pattern
+	}
+}
+
+// Route returns the matched route pattern, or "" when no registered
+// handler ran (a 404/405 straight from the mux).
+func Route(ctx context.Context) string {
+	if l, ok := ctx.Value(routeKey).(*routeLabel); ok {
+		return l.pattern
+	}
+	return ""
+}

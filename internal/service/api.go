@@ -2,6 +2,8 @@ package service
 
 import (
 	"fmt"
+	"strings"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/engine"
@@ -177,7 +179,35 @@ type ExperimentInfo struct {
 	Title string `json:"title"`
 }
 
-// apiError is the uniform error envelope.
+// apiError is the uniform error envelope. RequestID carries the
+// request's correlation key so a client can quote it when reporting a
+// failure; it is empty only when the handler ran outside the
+// middleware stack (direct unit-test invocation).
 type apiError struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// RenderTimings renders a job's stage timeline the way simctl prints
+// it with -timings: one row per completed span plus the derived
+// queue/run split.
+func RenderTimings(info JobInfo) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "job %s (%s) state=%s", info.ID, info.Kind, info.State)
+	if info.RequestID != "" {
+		fmt.Fprintf(&b, " request_id=%s", info.RequestID)
+	}
+	b.WriteString("\n")
+	if len(info.Timeline) == 0 {
+		b.WriteString("no completed stages yet\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-12s %-27s %12s\n", "stage", "start", "ms")
+	for _, span := range info.Timeline {
+		fmt.Fprintf(&b, "%-12s %-27s %12.3f\n", span.Stage, span.Start.Format(time.RFC3339Nano), span.MS)
+	}
+	if info.QueueMS > 0 || info.RunMS > 0 {
+		fmt.Fprintf(&b, "queued %.3f ms, ran %.3f ms\n", info.QueueMS, info.RunMS)
+	}
+	return b.String()
 }

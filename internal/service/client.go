@@ -70,6 +70,17 @@ type Client struct {
 	// OnRetry, when set, observes every backoff decision (simctl
 	// prints "server busy, retrying in Ns").
 	OnRetry func(attempt int, wait time.Duration, err error)
+	// RequestID, when set, is sent as X-Request-Id on every request so
+	// client-chosen correlation keys appear in the server's access log,
+	// job records and journal (simctl -request-id).
+	RequestID string
+}
+
+// setRequestID stamps the client's correlation key on one request.
+func (c *Client) setRequestID(req *http.Request) {
+	if c.RequestID != "" {
+		req.Header.Set("X-Request-Id", c.RequestID)
+	}
 }
 
 // NewClient builds a client for a server base URL.
@@ -177,6 +188,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.setRequestID(req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
@@ -251,6 +263,7 @@ func (c *Client) UploadTrace(ctx context.Context, body io.Reader) (TraceUploadRe
 		return TraceUploadResponse{}, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	c.setRequestID(req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return TraceUploadResponse{}, err
@@ -333,6 +346,7 @@ func (c *Client) StreamJob(ctx context.Context, id string, onUpdate func(JobInfo
 	if err != nil {
 		return err
 	}
+	c.setRequestID(req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err

@@ -153,8 +153,8 @@ func NewDurableServer(opt Options) (*Server, RecoveryStats, error) {
 			continue
 		}
 		_, err := s.queue.SubmitJob(jr.accepted.Kind,
-			JobOptions{ID: id, Timeout: s.jobTimeout},
-			s.campaignJob(id, jr.accepted.Key, spec))
+			JobOptions{ID: id, Timeout: s.jobTimeout, RequestID: jr.accepted.Req},
+			s.campaignJob(id, jr.accepted.Key, jr.accepted.Req, spec))
 		if err != nil {
 			// A backlog wider than the queue: leave the accepted record
 			// in place — the next boot retries the remainder.
@@ -174,7 +174,7 @@ func NewDurableServer(opt Options) (*Server, RecoveryStats, error) {
 // queue so GET /v1/jobs/{id} keeps answering across restarts, and
 // reattaches the campaign result when the warmed cache holds it.
 func (s *Server) restoreFinished(e *journal.Entry) {
-	info := JobInfo{ID: e.Job, Kind: e.Kind, Done: e.Done, Total: e.Total, Submitted: e.Time}
+	info := JobInfo{ID: e.Job, Kind: e.Kind, Done: e.Done, Total: e.Total, Submitted: e.Time, RequestID: e.Req}
 	t := e.Time
 	info.Started, info.Finished = &t, &t
 	if e.State == journal.StateDone {

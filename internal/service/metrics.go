@@ -3,25 +3,70 @@ package service
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// Metrics collects service counters and renders them in Prometheus
-// text exposition format at /metrics. Only counters the service owns
-// live here; cache and queue figures are read from their sources at
-// scrape time so they can never drift.
+// Metrics collects service counters and latency histograms and renders
+// them in Prometheus text exposition format at /metrics. Only state
+// the service owns lives here; cache and queue figures are read from
+// their sources at scrape time so they can never drift.
 type Metrics struct {
-	start time.Time
+	start    time.Time
+	revision string
 
 	mu       sync.Mutex
-	requests map[string]int64 // by route pattern
+	requests map[string]int64 // by route pattern (or "unmatched")
+
+	// httpSeconds is end-to-end request latency by route and status.
+	httpSeconds *obs.HistogramVec
+	// stageSeconds is per-job stage latency: queue_wait, execute,
+	// persist.
+	stageSeconds *obs.HistogramVec
+	// pointSeconds is single-point compute latency by fidelity, timed
+	// around the actual computation (cache misses only).
+	pointSeconds *obs.HistogramVec
+	// lookupSeconds is content-addressed cache hit latency by cache.
+	lookupSeconds *obs.HistogramVec
 }
 
 // NewMetrics builds an empty metrics registry.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), requests: make(map[string]int64)}
+	return &Metrics{
+		start:    time.Now(),
+		revision: buildRevision(),
+		requests: make(map[string]int64),
+		httpSeconds: obs.NewHistogramVec("simd_http_request_seconds",
+			"HTTP request latency by route and status code.",
+			[]string{"route", "code"}, nil),
+		stageSeconds: obs.NewHistogramVec("simd_job_stage_seconds",
+			"Job stage latency: queue_wait, execute, persist.",
+			[]string{"stage"}, nil),
+		pointSeconds: obs.NewHistogramVec("simd_point_compute_seconds",
+			"Single-point compute latency by fidelity (cache misses only).",
+			[]string{"fidelity"}, nil),
+		lookupSeconds: obs.NewHistogramVec("simd_cache_lookup_seconds",
+			"Content-addressed cache hit latency by cache.",
+			[]string{"cache"}, nil),
+	}
+}
+
+// buildRevision digs the VCS revision out of the build info, so one
+// scrape identifies the running binary.
+func buildRevision() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
 }
 
 // CountRequest records one HTTP request for a route.
@@ -31,9 +76,33 @@ func (m *Metrics) CountRequest(route string) {
 	m.mu.Unlock()
 }
 
+// ObserveHTTP records one request's end-to-end latency.
+func (m *Metrics) ObserveHTTP(route, code string, seconds float64) {
+	m.httpSeconds.Observe(seconds, route, code)
+}
+
+// ObserveStage records one completed job stage.
+func (m *Metrics) ObserveStage(stage string, seconds float64) {
+	m.stageSeconds.Observe(seconds, stage)
+}
+
+// ObservePoint records one freshly computed point by fidelity.
+func (m *Metrics) ObservePoint(fidelity string, seconds float64) {
+	m.pointSeconds.Observe(seconds, fidelity)
+}
+
+// ObserveLookup records one cache hit's lookup latency.
+func (m *Metrics) ObserveLookup(cache string, seconds float64) {
+	m.lookupSeconds.Observe(seconds, cache)
+}
+
 // WriteTo renders the exposition text. The server passes its live
 // cache and queue so gauges are sampled at scrape time.
 func (m *Metrics) WriteTo(w io.Writer, s *Server) {
+	fmt.Fprintf(w, "# HELP simd_build_info Build metadata; the value is always 1.\n")
+	fmt.Fprintf(w, "# TYPE simd_build_info gauge\n")
+	fmt.Fprintf(w, "simd_build_info{go_version=%q,revision=%q} 1\n", runtime.Version(), m.revision)
+
 	fmt.Fprintf(w, "# HELP simd_uptime_seconds Time since the service started.\n")
 	fmt.Fprintf(w, "# TYPE simd_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "simd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
@@ -50,6 +119,11 @@ func (m *Metrics) WriteTo(w io.Writer, s *Server) {
 		fmt.Fprintf(w, "simd_http_requests_total{route=%q} %d\n", r, m.requests[r])
 	}
 	m.mu.Unlock()
+
+	m.httpSeconds.Render(w)
+	m.stageSeconds.Render(w)
+	m.pointSeconds.Render(w)
+	m.lookupSeconds.Render(w)
 
 	ph, pm := s.points.Stats()
 	ch, cm := s.campaigns.Stats()

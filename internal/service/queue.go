@@ -53,6 +53,26 @@ type JobInfo struct {
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
 	Finished  *time.Time `json:"finished,omitempty"`
+	// RequestID is the X-Request-Id of the HTTP request that submitted
+	// the job, so one correlation key links the access log, the job
+	// record, the journal and the metrics a request produced.
+	RequestID string `json:"request_id,omitempty"`
+	// QueueMS and RunMS are derived stage durations: time spent waiting
+	// for a worker and time spent executing. They appear once the
+	// corresponding stage completes.
+	QueueMS float64 `json:"queue_ms,omitempty"`
+	RunMS   float64 `json:"run_ms,omitempty"`
+	// Timeline is the job's span record: one entry per completed stage
+	// (queue_wait, persist, execute), each with its start time and
+	// duration. Spans are appended as they complete.
+	Timeline []StageSpan `json:"timeline,omitempty"`
+}
+
+// StageSpan is one completed stage of a job's lifecycle.
+type StageSpan struct {
+	Stage string    `json:"stage"`
+	Start time.Time `json:"start"`
+	MS    float64   `json:"ms"`
 }
 
 // JobOptions tunes one submission beyond the defaults.
@@ -68,6 +88,9 @@ type JobOptions struct {
 	// jobs under their original IDs). Empty allocates the next
 	// sequence number.
 	ID string
+	// RequestID is the correlation key of the submitting HTTP request,
+	// carried on every snapshot of the job.
+	RequestID string
 }
 
 // job is the internal record: a snapshot guarded by mu plus the work.
@@ -83,7 +106,20 @@ type job struct {
 func (j *job) snapshot() JobInfo {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.info
+	info := j.info
+	// The timeline keeps growing while the job runs; copy it so a
+	// handed-out snapshot never aliases the live slice.
+	if len(j.info.Timeline) > 0 {
+		info.Timeline = append([]StageSpan(nil), j.info.Timeline...)
+	}
+	return info
+}
+
+// addStageLocked appends a completed stage span. Callers hold j.mu.
+func (j *job) addStageLocked(stage string, start time.Time, d time.Duration) {
+	j.info.Timeline = append(j.info.Timeline, StageSpan{
+		Stage: stage, Start: start, MS: float64(d.Microseconds()) / 1000,
+	})
 }
 
 // Queue is a bounded job queue drained by a fixed worker pool — the
@@ -108,6 +144,11 @@ type Queue struct {
 	// job service time (seconds), feeding Retry-After estimates.
 	ewmaMu      sync.Mutex
 	serviceEWMA float64
+
+	// onStage, when set (before traffic, by the server), observes every
+	// completed stage span — the feed of the per-stage latency
+	// histogram.
+	onStage func(stage string, d time.Duration)
 
 	wg     sync.WaitGroup
 	cancel context.CancelFunc
@@ -145,6 +186,33 @@ func NewQueue(workers, depth, retain int) *Queue {
 // internal fan-out).
 func (q *Queue) Workers() int { return q.workers }
 
+// OnStage installs the stage-span observer. Call it once, before any
+// submissions — it is not synchronized against running jobs.
+func (q *Queue) OnStage(fn func(stage string, d time.Duration)) { q.onStage = fn }
+
+// observeStage reports one completed span to the observer.
+func (q *Queue) observeStage(stage string, d time.Duration) {
+	if q.onStage != nil {
+		q.onStage(stage, d)
+	}
+}
+
+// AddStage records a completed stage span on a job's timeline — job
+// bodies use it for stages the queue cannot see (the terminal persist
+// of a campaign result, say).
+func (q *Queue) AddStage(id, stage string, start time.Time, d time.Duration) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	q.mu.Unlock()
+	if !ok {
+		return
+	}
+	j.mu.Lock()
+	j.addStageLocked(stage, start, d)
+	j.mu.Unlock()
+	q.observeStage(stage, d)
+}
+
 // Submit enqueues work and returns its job snapshot. It fails fast
 // with ErrQueueFull instead of blocking the HTTP handler. The job is
 // only registered once the (non-blocking) enqueue succeeds, so
@@ -171,7 +239,7 @@ func (q *Queue) SubmitJob(kind string, opt JobOptions, fn JobFunc) (JobInfo, err
 		}
 	}
 	j := &job{
-		info:     JobInfo{ID: id, Kind: kind, State: JobQueued, Submitted: time.Now()},
+		info:     JobInfo{ID: id, Kind: kind, State: JobQueued, Submitted: time.Now(), RequestID: opt.RequestID},
 		fn:       fn,
 		base:     opt.Base,
 		timeout:  opt.Timeout,
@@ -295,7 +363,11 @@ func (q *Queue) runJob(ctx context.Context, j *job) {
 	j.mu.Lock()
 	j.info.State = JobRunning
 	j.info.Started = &started
+	queueWait := started.Sub(j.info.Submitted)
+	j.info.QueueMS = float64(queueWait.Microseconds()) / 1000
+	j.addStageLocked("queue_wait", j.info.Submitted, queueWait)
 	j.mu.Unlock()
+	q.observeStage("queue_wait", queueWait)
 	q.running.Add(1)
 
 	progress := func(done, total int) {
@@ -324,8 +396,12 @@ func (q *Queue) runJob(ctx context.Context, j *job) {
 	q.running.Add(-1)
 	finished := time.Now()
 	q.observeService(finished.Sub(started))
+	runDur := finished.Sub(started)
+	q.observeStage("execute", runDur)
 	j.mu.Lock()
 	j.info.Finished = &finished
+	j.info.RunMS = float64(runDur.Microseconds()) / 1000
+	j.addStageLocked("execute", started, runDur)
 	if err != nil {
 		j.info.State = JobFailed
 		j.info.Error = err.Error()

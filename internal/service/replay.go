@@ -456,6 +456,9 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
+	if cached {
+		s.metrics.ObserveLookup("replay", time.Since(start).Seconds())
+	}
 	resp.Cached = cached
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	writeJSON(w, http.StatusOK, resp)

@@ -11,8 +11,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/faultfs"
 	"repro/internal/harness"
 	"repro/internal/journal"
+	"repro/internal/obs"
 	"repro/internal/tracestore"
 )
 
@@ -60,6 +63,12 @@ type Options struct {
 	// DataFS overrides the filesystem under DataDir (fault-injection
 	// tests substitute a faultfs.Fault). Nil means the real OS.
 	DataFS faultfs.FS
+	// Logger receives the structured access log and server events.
+	// Nil means no logging (library embedders and tests pay nothing).
+	Logger *slog.Logger
+	// SlowRequest promotes requests slower than this to WARN in the
+	// access log (<=0: 1s).
+	SlowRequest time.Duration
 }
 
 // timeoutHeader carries a per-request job deadline override, as a Go
@@ -79,6 +88,8 @@ type Server struct {
 	replays     *Cache[ReplayResponse]
 	metrics     *Metrics
 	mux         *http.ServeMux
+	logger      *slog.Logger
+	slowReq     time.Duration
 
 	maxBody    int64
 	maxTrace   int64
@@ -119,11 +130,19 @@ func NewServer(opt Options) *Server {
 		replays:     NewCache[ReplayResponse](opt.CacheSize),
 		metrics:     NewMetrics(),
 		mux:         http.NewServeMux(),
+		logger:      opt.Logger,
+		slowReq:     opt.SlowRequest,
 		maxBody:     opt.MaxBodyBytes,
 		maxTrace:    opt.MaxTraceBytes,
 		jobTimeout:  opt.JobTimeout,
 		traceDir:    opt.TraceDir,
 		results:     make(map[string]*CampaignResult),
+	}
+	if s.logger == nil {
+		s.logger = obs.NopLogger()
+	}
+	if s.slowReq <= 0 {
+		s.slowReq = time.Second
 	}
 	if s.maxBody <= 0 {
 		s.maxBody = 1 << 20
@@ -134,6 +153,11 @@ func NewServer(opt Options) *Server {
 	if s.traceDir == "" {
 		s.traceDir = filepath.Join(os.TempDir(), "simd-traces")
 	}
+	// Completed job stages (queue_wait, execute, persist) feed the
+	// stage-latency histogram; installed before any route can submit.
+	s.queue.OnStage(func(stage string, d time.Duration) {
+		s.metrics.ObserveStage(stage, d.Seconds())
+	})
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
 	s.route("GET /v1/workloads", s.handleWorkloads)
@@ -150,6 +174,13 @@ func NewServer(opt Options) *Server {
 	s.route("GET /v1/jobs/{id}", s.handleJob)
 	s.route("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.route("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	// Runtime profiling, served through the same stack so profile
+	// scrapes appear in the access log and latency histogram.
+	s.route("GET /debug/pprof/", pprof.Index)
+	s.route("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.route("GET /debug/pprof/profile", pprof.Profile)
+	s.route("GET /debug/pprof/symbol", pprof.Symbol)
+	s.route("GET /debug/pprof/trace", pprof.Trace)
 	return s
 }
 
@@ -195,33 +226,40 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, what string,
 	return true
 }
 
-// route registers a handler with request counting.
+// route registers a handler that tags the request context with its
+// matched pattern — the label the access log, request counter and
+// latency histogram all key on. Requests no pattern matches (404/405)
+// never reach a tag and land under the single "unmatched" label, so a
+// URL scanner cannot mint unbounded label values.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		s.metrics.CountRequest(pattern)
+		obs.SetRoute(r.Context(), pattern)
 		h(w, r)
 	})
 }
 
-// Handler returns the HTTP handler: the mux wrapped in panic
-// recovery, so one bad request becomes a 500 plus a metric instead of
-// a dead connection. net/http's own abort sentinel is re-raised — it
-// is the protocol for hijacked/aborted responses, not a crash.
+// Handler returns the HTTP handler: the mux behind the composable
+// middleware stack. Outermost first: request-ID assignment (so every
+// later layer and the error envelope see the ID), the structured
+// access log, request latency/counting, and panic recovery (one bad
+// request becomes a 500 plus a metric instead of a dead connection).
 func (s *Server) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		defer func() {
-			v := recover()
-			if v == nil {
-				return
-			}
-			if v == http.ErrAbortHandler {
-				panic(v)
-			}
+	return obs.Chain(s.mux,
+		obs.RequestIDs(),
+		obs.Logging(s.logger, s.slowReq),
+		obs.Timing(func(_ *http.Request, route string, status int, _ int64, elapsed time.Duration) {
+			s.metrics.CountRequest(route)
+			s.metrics.ObserveHTTP(route, strconv.Itoa(status), elapsed.Seconds())
+		}),
+		obs.Recover(func(w http.ResponseWriter, r *http.Request, v any) {
 			s.panics.Add(1)
+			s.logger.LogAttrs(r.Context(), slog.LevelError, "handler panic",
+				slog.Any("panic", v),
+				slog.String("path", r.URL.Path),
+				slog.String("request_id", obs.RequestID(r.Context())))
 			writeError(w, http.StatusInternalServerError, fmt.Errorf("service: internal error: %v", v))
-		}()
-		s.mux.ServeHTTP(w, r)
-	})
+		}),
+	)
 }
 
 // Close drains the job queue (bounded by ctx); call it after
@@ -260,9 +298,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps service errors to HTTP statuses.
+// writeError maps service errors to HTTP statuses. The request ID the
+// middleware already stamped on the response headers rides along in
+// the envelope, so a client error report carries its correlation key.
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, apiError{Error: err.Error()})
+	writeJSON(w, status, apiError{Error: err.Error(), RequestID: w.Header().Get(obs.RequestIDHeader)})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -305,21 +345,32 @@ func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 // are persisted to the durable result store so a restart serves them
 // from a warm cache instead of recomputing.
 func (s *Server) runPoint(ctx context.Context, p campaign.Point) (campaign.Outcome, bool, error) {
-	return s.points.GetOrCompute(p.Key(), func() (campaign.Outcome, error) {
+	lookup := time.Now()
+	out, cached, err := s.points.GetOrCompute(p.Key(), func() (campaign.Outcome, error) {
 		var (
 			out campaign.Outcome
 			err error
 		)
+		compute := time.Now()
 		if p.Fidelity == campaign.FidelityReplay {
 			out, err = s.runReplayPoint(ctx, p)
 		} else {
 			out, err = s.exec.RunPoint(ctx, p)
 		}
 		if err == nil {
+			fidelity := p.Fidelity
+			if fidelity == "" {
+				fidelity = campaign.FidelityModel
+			}
+			s.metrics.ObservePoint(fidelity, time.Since(compute).Seconds())
 			s.persistResult("point", p.Key(), out)
 		}
 		return out, err
 	})
+	if err == nil && cached {
+		s.metrics.ObserveLookup("point", time.Since(lookup).Seconds())
+	}
+	return out, cached, err
 }
 
 // persistResult durably stores one computed result. Persistence
@@ -393,6 +444,9 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if cached {
+		s.metrics.ObserveLookup("advice", time.Since(start).Seconds())
+	}
 	resp.Cached = cached
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	writeJSON(w, http.StatusOK, resp)
@@ -422,6 +476,9 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	if cached {
+		s.metrics.ObserveLookup("cluster", time.Since(start).Seconds())
 	}
 	resp.Cached = cached
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
@@ -494,6 +551,7 @@ func (s *Server) runCampaign(ctx context.Context, spec campaign.Spec, progress f
 			}
 		}
 	}
+	lookup := time.Now()
 	res, cached, err := s.campaigns.GetOrCompute(key, func() (*CampaignResult, error) {
 		return s.computeCampaign(ctx, key, spec, progress)
 	})
@@ -501,6 +559,7 @@ func (s *Server) runCampaign(ctx context.Context, spec campaign.Spec, progress f
 		return nil, false, err
 	}
 	if cached {
+		s.metrics.ObserveLookup("campaign", time.Since(lookup).Seconds())
 		// Serve a copy so the Cached flag never mutates the stored
 		// result.
 		cp := *res
@@ -617,7 +676,7 @@ func (s *Server) computeCampaign(ctx context.Context, key string, spec campaign.
 // file the result under the job ID, journal the terminal state. A
 // cancellation observed while the server is shutting down journals
 // StateInterrupted (re-run next boot) instead of StateFailed.
-func (s *Server) campaignJob(id, key string, spec campaign.Spec) JobFunc {
+func (s *Server) campaignJob(id, key, rid string, spec campaign.Spec) JobFunc {
 	return func(ctx context.Context, progress func(done, total int)) error {
 		res, _, err := s.runCampaign(ctx, spec, progress)
 		if err != nil {
@@ -625,14 +684,20 @@ func (s *Server) campaignJob(id, key string, spec campaign.Spec) JobFunc {
 			if errors.Is(err, context.Canceled) && s.closing.Load() {
 				state = journal.StateInterrupted
 			}
-			s.journalAppend(journal.Entry{State: state, Job: id, Kind: "campaign", Key: key, Error: err.Error()})
+			persist := time.Now()
+			s.journalAppend(journal.Entry{State: state, Job: id, Kind: "campaign", Key: key, Req: rid, Error: err.Error()})
+			s.queue.AddStage(id, "persist", persist, time.Since(persist))
 			return err
 		}
 		s.mu.Lock()
 		s.results[id] = res
 		s.mu.Unlock()
 		total := res.Points + len(res.Experiments)
-		s.journalAppend(journal.Entry{State: journal.StateDone, Job: id, Kind: "campaign", Key: key, Done: total, Total: total})
+		// The terminal journal append is the job's durability cost;
+		// surface it as the persist span on the timeline.
+		persist := time.Now()
+		s.journalAppend(journal.Entry{State: journal.StateDone, Job: id, Kind: "campaign", Key: key, Req: rid, Done: total, Total: total})
+		s.queue.AddStage(id, "persist", persist, time.Since(persist))
 		return nil
 	}
 }
@@ -676,20 +741,21 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 
 	id := s.queue.NextID()
+	rid := obs.RequestID(r.Context())
 	if s.journal != nil {
 		raw, _ := json.Marshal(spec)
-		if err := s.journal.Append(journal.Entry{State: journal.StateAccepted, Job: id, Kind: "campaign", Key: key, Spec: raw}); err != nil {
+		if err := s.journal.Append(journal.Entry{State: journal.StateAccepted, Job: id, Kind: "campaign", Key: key, Req: rid, Spec: raw}); err != nil {
 			// Refuse work the journal cannot record: accepting it would
 			// break the "202 implies durable" contract.
 			writeError(w, http.StatusInternalServerError, fmt.Errorf("service: journal write failed, not accepting work: %w", err))
 			return
 		}
 	}
-	info, err := s.queue.SubmitJob("campaign", JobOptions{ID: id, Base: base, Timeout: timeout}, s.campaignJob(id, key, spec))
+	info, err := s.queue.SubmitJob("campaign", JobOptions{ID: id, Base: base, Timeout: timeout, RequestID: rid}, s.campaignJob(id, key, rid, spec))
 	if err != nil {
 		// The accepted record is already durable; close it out so a
 		// restart does not resurrect a job the client was told to retry.
-		s.journalAppend(journal.Entry{State: journal.StateFailed, Job: id, Kind: "campaign", Key: key, Error: err.Error()})
+		s.journalAppend(journal.Entry{State: journal.StateFailed, Job: id, Kind: "campaign", Key: key, Req: rid, Error: err.Error()})
 		if errors.Is(err, ErrQueueFull) {
 			retry := s.queue.EstimateWait()
 			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))

@@ -66,7 +66,7 @@
 // The hot path of the repository is trace replay: driving synthetic
 // access streams through the functional cache hierarchy to validate
 // the analytic models (internal/tracesim, internal/cache). It is
-// organised in three gears:
+// organised in four gears:
 //
 //   - Batched replay. Generators implement tracesim.BatchGenerator
 //     and deliver accesses in ~4k chunks, so the per-access cost is a
@@ -86,6 +86,17 @@
 //     this. Sharding pays a queueing overhead, so it wins on
 //     multi-core hosts for miss-heavy streams and loses on a single
 //     core.
+//   - Block-fed replay. Stored traces skip the staging copy entirely:
+//     tracestore.Decoder exposes each decoded varint-delta block as a
+//     view of its reusable buffer (Provider.Blocks, a
+//     tracesim.BlockSource) and the simulators walk the block in
+//     place, pre-touching upcoming L2/MCDRAM tag sets so the host's
+//     cache misses on the tag arrays overlap. Ingest feeding the
+//     store is two-tier (allocation-free byte-slice scanners, with a
+//     reference-parser fallback pinned equal by differential fuzzing)
+//     and encodes blocks on parallel workers behind an in-order
+//     writer, keeping the content address byte-identical to serial
+//     encoding. BENCH_REPLAY.json records the service-level numbers.
 //   - Concurrent experiments. harness.RunAll and harness.VerifyAll
 //     fan the independent paper experiments out over a bounded worker
 //     pool (cmd/figures -j) with deterministic, paper-ordered output.

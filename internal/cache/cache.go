@@ -16,11 +16,21 @@
 // The functional layer is the hot path of trace replay, so SetAssoc is
 // organised for speed: geometry is restricted to power-of-two line and
 // set counts so set/tag extraction is shift/mask (no div or mod), tags
-// are stored line-granular in a contiguous slice separate from LRU and
-// dirty state (a tag probe touches one or two cache lines of host
-// memory), the tag scan is unrolled for the common 4/8/16-way
+// are stored line-granular in a contiguous slice separate from
+// replacement state (a tag probe touches one or two cache lines of
+// host memory), the tag scan is unrolled for the common 4/8/16-way
 // geometries, and an MRU memo short-circuits repeated references to
 // the line touched by the immediately preceding operation.
+//
+// For associativities up to 16 the LRU order of a whole set is packed
+// into one uint64 — a stack of 4-bit way indices, most-recent in the
+// low nibble — so picking a victim is a single shift instead of a
+// per-way recency scan, a hit's recency update is a handful of
+// branch-free bit operations, and the replacement state of a 16-way
+// 1024-set L2 is 8 KB of host memory instead of 128 KB of per-way
+// ticks. Dirty state is one bitmask per set for the same reason.
+// Wider geometries (the fully-associative TLB arrays) fall back to a
+// per-way tick scan.
 package cache
 
 import (
@@ -64,13 +74,22 @@ func (s *Stats) Add(other Stats) {
 	s.DirtyWritebacks += other.DirtyWritebacks
 }
 
+// packedMaxWays is the widest associativity whose LRU order fits the
+// packed nibble-stack representation (16 four-bit way indices).
+const packedMaxWays = 16
+
+// nibLo has the low bit of every nibble set; multiplying by it
+// broadcasts a way index into all 16 nibble lanes.
+const nibLo = 0x1111111111111111
+
 // SetAssoc is a set-associative write-back, write-allocate cache with
 // LRU replacement.
 //
 // State is kept struct-of-arrays: tags (stored as tag+1 with 0 marking
 // an invalid way) in one slice so the hit scan is a contiguous
-// eight-byte compare loop, last-touch ticks and dirty flags in
-// parallel slices touched only on hits and evictions.
+// eight-byte compare loop. Replacement state is the packed per-set
+// LRU stack and dirty mask for ways <= 16, or parallel per-way
+// tick/dirty slices beyond that.
 type SetAssoc struct {
 	name     string
 	lineSize units.Bytes
@@ -81,18 +100,32 @@ type SetAssoc struct {
 	setMask   uint64 // sets-1
 	setShift  uint   // log2(sets)
 
-	tags  []uint64 // sets*ways; stored tag+1, 0 = invalid
+	tags []uint64 // sets*ways; stored tag+1, 0 = invalid
+	vcnt []int32  // per set: number of valid ways
+
+	// Packed replacement state (ways <= packedMaxWays). stack holds
+	// the set's way indices in recency order, MRU in the low nibble;
+	// dmask holds one dirty bit per way. Valid ways always occupy the
+	// low way indices [0, vcnt) — installs fill way vcnt first — so
+	// the stack's high nibbles stay zero until the set is full.
+	packed    bool
+	stack     []uint64
+	dmask     []uint16
+	lruShift  uint   // 4*(ways-1): shift that exposes the LRU nibble
+	stackMask uint64 // low 4*ways bits
+
+	// Generic replacement state (ways > packedMaxWays).
 	lru   []uint64 // sets*ways; last-touch tick
 	dirty []bool   // sets*ways
-	vcnt  []int32  // per set: number of valid ways (skips the invalid-way scan once full)
+	tick  uint64
 
-	// MRU memo: index of the line touched by the immediately
-	// preceding hit/install, or -1. Lets consecutive references to
-	// one line skip the set scan entirely.
-	mru     int
+	// MRU memo: the set/way of the line touched by the immediately
+	// preceding hit/install, or mruSet < 0. Lets consecutive
+	// references to one line skip the set scan entirely.
+	mruSet  int
+	mruWay  int
 	mruLine uint64
 
-	tick  uint64
 	stats Stats
 }
 
@@ -114,7 +147,7 @@ func NewSetAssoc(name string, capacity units.Bytes, ways int, lineSize units.Byt
 	if sets&(sets-1) != 0 {
 		return nil, fmt.Errorf("cache: set count %d must be a power of two", sets)
 	}
-	return &SetAssoc{
+	c := &SetAssoc{
 		name:      name,
 		lineSize:  lineSize,
 		sets:      sets,
@@ -123,11 +156,20 @@ func NewSetAssoc(name string, capacity units.Bytes, ways int, lineSize units.Byt
 		setMask:   uint64(sets - 1),
 		setShift:  uint(bits.TrailingZeros64(uint64(sets))),
 		tags:      make([]uint64, int(lines)),
-		lru:       make([]uint64, int(lines)),
-		dirty:     make([]bool, int(lines)),
 		vcnt:      make([]int32, sets),
-		mru:       -1,
-	}, nil
+		mruSet:    -1,
+	}
+	if ways <= packedMaxWays {
+		c.packed = true
+		c.stack = make([]uint64, sets)
+		c.dmask = make([]uint16, sets)
+		c.lruShift = uint(4 * (ways - 1))
+		c.stackMask = ^uint64(0) >> (64 - 4*uint(ways))
+	} else {
+		c.lru = make([]uint64, int(lines))
+		c.dirty = make([]bool, int(lines))
+	}
+	return c, nil
 }
 
 // Name returns the cache's label.
@@ -224,11 +266,68 @@ func (c *SetAssoc) findWay(base int, stag uint64) int {
 	return -1
 }
 
-// victimWay picks the replacement way: an invalid way while the set
-// is not yet full (every invalid way is observationally equivalent, so
-// the choice among them is free), else the least-recently-used way
-// (earliest index on ties). The per-set valid count makes the common
-// steady-state case a single LRU scan with no invalid-way probe.
+// TouchTagSet pre-reads the tag words of lineAddr's set without
+// changing any state. Batch replay calls it a few accesses ahead of
+// the demand pointer so the host's own cache misses on the tag array
+// overlap instead of serializing: 8 ways of tags share one host line,
+// so one load per 8 ways covers the whole set. Callers must consume
+// the returned word (xor into a sink) so the loads cannot be elided.
+func (c *SetAssoc) TouchTagSet(lineAddr uint64) uint64 {
+	base := int(lineAddr&c.setMask) * c.ways
+	t := c.tags[base]
+	if c.ways > 8 {
+		t ^= c.tags[base+8]
+	}
+	return t
+}
+
+// findWayMRU is findWay with a one-compare fast path: it probes the
+// set's MRU way (the bottom nibble of the packed LRU stack) before
+// scanning. Prefetch installs and repeat touches leave the interesting
+// way at MRU, so sequential replay resolves most hits in one compare
+// instead of a scan across the whole set. Tags are unique within a
+// set, so the probe and the scan can never disagree. Packed sets only.
+func (c *SetAssoc) findWayMRU(set, base int, stag uint64) int {
+	if w := int(c.stack[set] & 15); c.tags[base+w] == stag {
+		return w
+	}
+	return c.findWay(base, stag)
+}
+
+// stackTouch moves resident way w to the top (MRU nibble) of set's
+// packed LRU stack, branch-free. The xor broadcast makes w's nibble
+// the lowest zero nibble of x, the borrow trick flags it, and the
+// shifted recombination closes the gap.
+func (c *SetAssoc) stackTouch(set, w int) {
+	s := c.stack[set]
+	x := s ^ (uint64(w) * nibLo)
+	y := (x - nibLo) &^ x & 0x8888888888888888
+	p := uint(bits.TrailingZeros64(y)) &^ 3 // bit offset of w's nibble
+	below := s & (uint64(1)<<p - 1)
+	above := s &^ (uint64(1)<<(p+4) - 1)
+	c.stack[set] = above | below<<4 | uint64(w)
+}
+
+// victimInstall picks the replacement way of a packed set and pushes
+// it to the top of the stack: the next unused way index while the set
+// is filling (valid ways always occupy [0, vcnt)), else the LRU
+// nibble. O(1) either way — no per-way scan.
+func (c *SetAssoc) victimInstall(set int) int {
+	if n := c.vcnt[set]; int(n) < c.ways {
+		c.vcnt[set] = n + 1
+		c.stack[set] = c.stack[set]<<4 | uint64(n)
+		return int(n)
+	}
+	s := c.stack[set]
+	w := int(s >> c.lruShift & 15)
+	c.stack[set] = (s<<4 | uint64(w)) & c.stackMask
+	return w
+}
+
+// victimWay picks the replacement way on the generic (tick) path: an
+// invalid way while the set is not yet full (every invalid way is
+// observationally equivalent, so the choice among them is free), else
+// the least-recently-used way (earliest index on ties).
 func (c *SetAssoc) victimWay(set int, base int) int {
 	if int(c.vcnt[set]) < c.ways {
 		c.vcnt[set]++
@@ -250,20 +349,66 @@ func (c *SetAssoc) victimWay(set int, base int) int {
 // by the line size). It reports whether it hit and, when a dirty
 // victim had to be written back, the victim's line address with
 // wb=true. This is the trace-replay fast path: no byte/line
-// conversion, shift/mask indexing, MRU short-circuit.
+// conversion, shift/mask indexing, MRU short-circuit, one tag scan
+// per operation.
 func (c *SetAssoc) AccessLine(lineAddr uint64, kind AccessKind) (hit bool, wbLine uint64, wb bool) {
-	c.tick++
-	if c.mru >= 0 && lineAddr == c.mruLine {
-		c.lru[c.mru] = c.tick
+	if c.packed {
+		if c.mruSet >= 0 && lineAddr == c.mruLine {
+			// Coalesced repeat: the line is already the MRU of its set,
+			// so the stack needs no update.
+			if kind == Write {
+				c.dmask[c.mruSet] |= 1 << uint(c.mruWay)
+			}
+			c.stats.Hits++
+			return true, 0, false
+		}
+		set := int(lineAddr & c.setMask)
+		stag := (lineAddr >> c.setShift) + 1
+		base := set * c.ways
+		if way := c.findWayMRU(set, base, stag); way >= 0 {
+			c.stackTouch(set, way)
+			if kind == Write {
+				c.dmask[set] |= 1 << uint(way)
+			}
+			c.stats.Hits++
+			c.mruSet, c.mruWay, c.mruLine = set, way, lineAddr
+			return true, 0, false
+		}
+		c.stats.Misses++
+		way := c.victimInstall(set)
+		idx := base + way
+		bit := uint16(1) << uint(way)
+		if c.tags[idx] != 0 {
+			c.stats.Evictions++
+			if c.dmask[set]&bit != 0 {
+				c.stats.DirtyWritebacks++
+				wbLine = (c.tags[idx]-1)<<c.setShift | uint64(set)
+				wb = true
+			}
+		}
+		c.tags[idx] = stag
 		if kind == Write {
-			c.dirty[c.mru] = true
+			c.dmask[set] |= bit
+		} else {
+			c.dmask[set] &^= bit
+		}
+		c.mruSet, c.mruWay, c.mruLine = set, way, lineAddr
+		return false, wbLine, wb
+	}
+
+	c.tick++
+	if c.mruSet >= 0 && lineAddr == c.mruLine {
+		idx := c.mruSet*c.ways + c.mruWay
+		c.lru[idx] = c.tick
+		if kind == Write {
+			c.dirty[idx] = true
 		}
 		c.stats.Hits++
 		return true, 0, false
 	}
-	set := lineAddr & c.setMask
+	set := int(lineAddr & c.setMask)
 	stag := (lineAddr >> c.setShift) + 1
-	base := int(set) * c.ways
+	base := set * c.ways
 	if way := c.findWay(base, stag); way >= 0 {
 		idx := base + way
 		c.lru[idx] = c.tick
@@ -271,36 +416,47 @@ func (c *SetAssoc) AccessLine(lineAddr uint64, kind AccessKind) (hit bool, wbLin
 			c.dirty[idx] = true
 		}
 		c.stats.Hits++
-		c.mru, c.mruLine = idx, lineAddr
+		c.mruSet, c.mruWay, c.mruLine = set, way, lineAddr
 		return true, 0, false
 	}
 	c.stats.Misses++
-	idx := base + c.victimWay(int(set), base)
+	way := c.victimWay(set, base)
+	idx := base + way
 	if c.tags[idx] != 0 {
 		c.stats.Evictions++
 		if c.dirty[idx] {
 			c.stats.DirtyWritebacks++
-			wbLine = (c.tags[idx]-1)<<c.setShift | set
+			wbLine = (c.tags[idx]-1)<<c.setShift | uint64(set)
 			wb = true
 		}
 	}
 	c.tags[idx] = stag
 	c.dirty[idx] = kind == Write
 	c.lru[idx] = c.tick
-	c.mru, c.mruLine = idx, lineAddr
+	c.mruSet, c.mruWay, c.mruLine = set, way, lineAddr
 	return false, wbLine, wb
 }
 
 // TouchMRU re-touches the line affected by the immediately preceding
 // Access/AccessLine/Install on this cache, exactly as a repeated hit
-// on that line would (tick, LRU, dirty, hit count). Callers must
+// on that line would (recency, dirty, hit count). Callers must
 // guarantee no other operation intervened; the trace simulator uses it
-// to coalesce consecutive references to one line.
+// to coalesce consecutive references to one line. On the packed path
+// the line is by definition already its set's MRU, so only dirty
+// state and the hit counter move.
 func (c *SetAssoc) TouchMRU(kind AccessKind) {
+	if c.packed {
+		if kind == Write {
+			c.dmask[c.mruSet] |= 1 << uint(c.mruWay)
+		}
+		c.stats.Hits++
+		return
+	}
 	c.tick++
-	c.lru[c.mru] = c.tick
+	idx := c.mruSet*c.ways + c.mruWay
+	c.lru[idx] = c.tick
 	if kind == Write {
-		c.dirty[c.mru] = true
+		c.dirty[idx] = true
 	}
 	c.stats.Hits++
 }
@@ -317,9 +473,9 @@ func (c *SetAssoc) Access(addr uint64, kind AccessKind) (hit bool, wbAddr uint64
 }
 
 // ContainsLine reports whether the given line is resident (without
-// updating LRU or stats); used by tests and the prefetcher.
+// updating recency or stats); used by tests and the prefetcher.
 func (c *SetAssoc) ContainsLine(lineAddr uint64) bool {
-	if c.mru >= 0 && lineAddr == c.mruLine {
+	if c.mruSet >= 0 && lineAddr == c.mruLine {
 		return true
 	}
 	set := lineAddr & c.setMask
@@ -334,29 +490,63 @@ func (c *SetAssoc) Contains(addr uint64) bool {
 
 // InstallLine inserts a line (by line address) without counting a
 // demand miss (prefetch fill). It returns writeback info like
-// AccessLine.
+// AccessLine. An already-resident line is left untouched — residency
+// check and install share one tag scan.
 func (c *SetAssoc) InstallLine(lineAddr uint64) (wbLine uint64, wb bool) {
-	if c.ContainsLine(lineAddr) {
-		return 0, false
+	_, wbLine, wb = c.InstallLineIfAbsent(lineAddr)
+	return wbLine, wb
+}
+
+// InstallLineIfAbsent is InstallLine plus an installed report: true
+// when the line was absent and has been installed, false when it was
+// already resident (left untouched). The combined check-and-install
+// costs one tag scan, where a ContainsLine+InstallLine pair costs two.
+func (c *SetAssoc) InstallLineIfAbsent(lineAddr uint64) (installed bool, wbLine uint64, wb bool) {
+	if c.mruSet >= 0 && lineAddr == c.mruLine {
+		return false, 0, false
+	}
+	set := int(lineAddr & c.setMask)
+	stag := (lineAddr >> c.setShift) + 1
+	base := set * c.ways
+	if c.packed {
+		if c.findWayMRU(set, base, stag) >= 0 {
+			return false, 0, false
+		}
+		way := c.victimInstall(set)
+		idx := base + way
+		bit := uint16(1) << uint(way)
+		if c.tags[idx] != 0 {
+			c.stats.Evictions++
+			if c.dmask[set]&bit != 0 {
+				c.stats.DirtyWritebacks++
+				wbLine = (c.tags[idx]-1)<<c.setShift | uint64(set)
+				wb = true
+			}
+		}
+		c.tags[idx] = stag
+		c.dmask[set] &^= bit
+		c.mruSet, c.mruWay, c.mruLine = set, way, lineAddr
+		return true, wbLine, wb
+	}
+	if c.findWay(base, stag) >= 0 {
+		return false, 0, false
 	}
 	c.tick++
-	set := lineAddr & c.setMask
-	stag := (lineAddr >> c.setShift) + 1
-	base := int(set) * c.ways
-	idx := base + c.victimWay(int(set), base)
+	way := c.victimWay(set, base)
+	idx := base + way
 	if c.tags[idx] != 0 {
 		c.stats.Evictions++
 		if c.dirty[idx] {
 			c.stats.DirtyWritebacks++
-			wbLine = (c.tags[idx]-1)<<c.setShift | set
+			wbLine = (c.tags[idx]-1)<<c.setShift | uint64(set)
 			wb = true
 		}
 	}
 	c.tags[idx] = stag
 	c.dirty[idx] = false
 	c.lru[idx] = c.tick
-	c.mru, c.mruLine = idx, lineAddr
-	return wbLine, wb
+	c.mruSet, c.mruWay, c.mruLine = set, way, lineAddr
+	return true, wbLine, wb
 }
 
 // Install inserts a line by byte address without counting a demand
@@ -373,18 +563,29 @@ func (c *SetAssoc) Install(addr uint64) (wbAddr uint64, wb bool) {
 // written back.
 func (c *SetAssoc) Flush() int64 {
 	var wb int64
-	for i := range c.tags {
-		if c.tags[i] != 0 && c.dirty[i] {
-			wb++
+	if c.packed {
+		for s := range c.stack {
+			wb += int64(bits.OnesCount16(c.dmask[s]))
+			c.stack[s] = 0
+			c.dmask[s] = 0
 		}
-		c.tags[i] = 0
-		c.dirty[i] = false
-		c.lru[i] = 0
+		for i := range c.tags {
+			c.tags[i] = 0
+		}
+	} else {
+		for i := range c.tags {
+			if c.tags[i] != 0 && c.dirty[i] {
+				wb++
+			}
+			c.tags[i] = 0
+			c.dirty[i] = false
+			c.lru[i] = 0
+		}
 	}
 	for i := range c.vcnt {
 		c.vcnt[i] = 0
 	}
-	c.mru = -1
+	c.mruSet = -1
 	c.stats.DirtyWritebacks += wb
 	return wb
 }

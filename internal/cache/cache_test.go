@@ -227,7 +227,9 @@ func (n *naiveLRU) access(addr uint64, kind AccessKind) (hit bool, wbAddr uint64
 // stream through SetAssoc and the reference model and requires
 // identical per-access outcomes and aggregate counters.
 func TestSetAssocMatchesNaiveModel(t *testing.T) {
-	for _, ways := range []int{1, 2, 4, 8, 16, 3} {
+	// 1..16 exercise the packed nibble-stack LRU; 20 and 64 the
+	// generic tick path (fully-associative TLB geometries).
+	for _, ways := range []int{1, 2, 4, 8, 16, 3, 20, 64} {
 		sets := 8
 		c, err := NewSetAssoc("ref", units.Bytes(sets*ways*64), ways, 64)
 		if err != nil {

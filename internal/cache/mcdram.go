@@ -19,12 +19,21 @@ type MemSideCache struct {
 	lineShift uint
 	sets      int64
 	pow2      bool
-	setMask   uint64   // sets-1, valid when pow2
-	setShift  uint     // log2(sets), valid when pow2
-	tags      []uint64 // tag+1, 0 = invalid
-	dirty     []uint64 // bitset
-	stats     Stats
+	setMask   uint64 // sets-1, valid when pow2
+	setShift  uint   // log2(sets), valid when pow2
+	// fold means the dirty flag lives in bit 63 of the tag word, so
+	// hit, miss and eviction all touch exactly one cache line of host
+	// memory per access. Safe whenever sets >= 4: the stored tag+1 is
+	// then at most 2^62, leaving the top bit free. The degenerate
+	// sets < 4 geometries keep a separate bitset.
+	fold  bool
+	tags  []uint64 // tag+1, 0 = invalid; bit 63 = dirty when fold
+	dirty []uint64 // bitset, used only when !fold
+	stats Stats
 }
+
+// mcDirty flags a dirty line in the tag word when fold is enabled.
+const mcDirty = uint64(1) << 63
 
 // NewMemSideCache builds a direct-mapped memory-side cache. On the
 // real 7210 capacity is 16 GiB; the trace simulator uses scaled-down
@@ -41,8 +50,11 @@ func NewMemSideCache(capacity units.Bytes, lineSize units.Bytes) (*MemSideCache,
 		lineSize:  lineSize,
 		lineShift: uint(bits.TrailingZeros64(uint64(lineSize))),
 		sets:      sets,
+		fold:      sets >= 4,
 		tags:      make([]uint64, sets),
-		dirty:     make([]uint64, (sets+63)/64),
+	}
+	if !m.fold {
+		m.dirty = make([]uint64, (sets+63)/64)
 	}
 	if sets&(sets-1) == 0 {
 		m.pow2 = true
@@ -60,6 +72,17 @@ func (m *MemSideCache) Stats() Stats { return m.stats }
 
 // ResetStats clears the counters but keeps contents.
 func (m *MemSideCache) ResetStats() { m.stats = Stats{} }
+
+// TouchTagSet pre-reads the tag word for lineAddr's set without
+// changing any state — same contract as SetAssoc.TouchTagSet. With
+// realistic capacities the tag array far exceeds the host's caches,
+// so overlapping these misses is worth more here than anywhere else.
+func (m *MemSideCache) TouchTagSet(lineAddr uint64) uint64 {
+	if m.pow2 {
+		return m.tags[lineAddr&m.setMask]
+	}
+	return m.tags[lineAddr%uint64(m.sets)]
+}
 
 func (m *MemSideCache) isDirty(set int64) bool {
 	return m.dirty[set/64]&(1<<(uint(set)%64)) != 0
@@ -86,6 +109,29 @@ func (m *MemSideCache) AccessLine(lineAddr uint64, kind AccessKind) (hit bool, w
 	} else {
 		set = int64(lineAddr % uint64(m.sets))
 		tag = lineAddr/uint64(m.sets) + 1
+	}
+	if m.fold {
+		t := m.tags[set]
+		if t&^mcDirty == tag {
+			m.stats.Hits++
+			if kind == Write {
+				m.tags[set] = t | mcDirty
+			}
+			return true, false
+		}
+		m.stats.Misses++
+		if t != 0 {
+			m.stats.Evictions++
+			if t&mcDirty != 0 {
+				m.stats.DirtyWritebacks++
+				wb = true
+			}
+		}
+		if kind == Write {
+			tag |= mcDirty
+		}
+		m.tags[set] = tag
+		return false, wb
 	}
 	if m.tags[set] == tag {
 		m.stats.Hits++

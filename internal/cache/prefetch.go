@@ -12,23 +12,25 @@ import (
 // Its effect in the analytic model is to raise sequential per-core
 // memory-level parallelism far above what demand misses alone provide;
 // the trace simulator uses this functional version.
+//
+// The stream table is stored column-wise: the match scan — run once
+// per L1-missing access, one of the hottest loops in trace replay —
+// touches only the compact next[] array (one cache line covers 8
+// streams) instead of striding through an array of structs. Entries
+// are allocated in index order and never invalidated, so "first free
+// slot" victim selection is just a fill counter.
 type StreamPrefetcher struct {
 	Streams int
 	Depth   int
 
 	lineSize units.Bytes
-	entries  []pfStream
+	next     []uint64 // per stream: the line address that continues it (lastLine+1)
+	lru      []uint64 // per stream: tick of last touch
+	frontier []uint64 // per stream: highest line already issued (0 = none)
+	hits     []uint32 // per stream: consecutive-line confirmations
+	n        int      // streams allocated so far (valid entries are [0, n))
 	buf      []uint64 // reused result buffer (ObserveLines/Observe)
 	issued   int64
-	useful   int64
-}
-
-type pfStream struct {
-	lastLine uint64
-	frontier uint64 // highest line already issued for this stream (0 = none)
-	hits     int
-	valid    bool
-	lru      uint64
 }
 
 // NewStreamPrefetcher builds a prefetcher with the given stream table
@@ -38,7 +40,10 @@ func NewStreamPrefetcher(streams, depth int, lineSize units.Bytes) *StreamPrefet
 		Streams:  streams,
 		Depth:    depth,
 		lineSize: lineSize,
-		entries:  make([]pfStream, streams),
+		next:     make([]uint64, streams),
+		lru:      make([]uint64, streams),
+		frontier: make([]uint64, streams),
+		hits:     make([]uint32, streams),
 		buf:      make([]uint64, depth),
 	}
 }
@@ -53,49 +58,54 @@ func (p *StreamPrefetcher) Issued() int64 { return p.issued }
 // allocation occurs.
 func (p *StreamPrefetcher) ObserveLines(lineAddr uint64, tick uint64) []uint64 {
 	// Find a stream this access continues.
-	for i := range p.entries {
-		e := &p.entries[i]
-		if e.valid && lineAddr == e.lastLine+1 {
-			e.lastLine = lineAddr
-			e.hits++
-			e.lru = tick
-			if e.hits >= 2 {
-				// Keep Depth lines of lookahead ahead of the demand
-				// pointer, but issue each line only once per stream:
-				// the frontier watermark turns steady-state coverage
-				// into one new prefetch per demand line instead of
-				// re-issuing the whole window.
-				start := lineAddr + 1
-				if e.frontier+1 > start {
-					start = e.frontier + 1
-				}
-				end := lineAddr + uint64(p.Depth)
-				if start > end {
-					return nil
-				}
-				out := p.buf[:0]
-				for l := start; l <= end; l++ {
-					out = append(out, l)
-				}
-				e.frontier = end
-				p.issued += int64(len(out))
-				return out
-			}
+	for i, nx := range p.next[:p.n] {
+		if nx != lineAddr {
+			continue
+		}
+		p.next[i] = lineAddr + 1
+		p.hits[i]++
+		p.lru[i] = tick
+		if p.hits[i] < 2 {
 			return nil
 		}
-	}
-	// Allocate (replace LRU) a new tracking entry.
-	victim := 0
-	for i := range p.entries {
-		if !p.entries[i].valid {
-			victim = i
-			break
+		// Keep Depth lines of lookahead ahead of the demand
+		// pointer, but issue each line only once per stream:
+		// the frontier watermark turns steady-state coverage
+		// into one new prefetch per demand line instead of
+		// re-issuing the whole window.
+		start := lineAddr + 1
+		if f := p.frontier[i] + 1; f > start {
+			start = f
 		}
-		if p.entries[i].lru < p.entries[victim].lru {
-			victim = i
+		end := lineAddr + uint64(p.Depth)
+		if start > end {
+			return nil
+		}
+		out := p.buf[:0]
+		for l := start; l <= end; l++ {
+			out = append(out, l)
+		}
+		p.frontier[i] = end
+		p.issued += int64(len(out))
+		return out
+	}
+	// Allocate a new tracking entry: fill the table first, then
+	// replace the least-recently-touched stream.
+	v := p.n
+	if v < len(p.next) {
+		p.n++
+	} else {
+		v = 0
+		for i, tk := range p.lru {
+			if tk < p.lru[v] {
+				v = i
+			}
 		}
 	}
-	p.entries[victim] = pfStream{lastLine: lineAddr, hits: 1, valid: true, lru: tick}
+	p.next[v] = lineAddr + 1
+	p.lru[v] = tick
+	p.frontier[v] = 0
+	p.hits[v] = 1
 	return nil
 }
 

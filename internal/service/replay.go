@@ -29,10 +29,9 @@ import (
 // Replay defaults to the scalar simulator so responses are
 // byte-identical to an in-process tracesim.Simulator run; requests
 // may opt into sharded replay (shards > 1), whose aggregate counts
-// are exactly equal (the tracestore and tracesim equivalence tests
-// pin this) while the floating-point time estimate can differ only in
-// summation order. The shard count is an execution hint and is
-// excluded from the cache key.
+// AND integer-picosecond replay time are exactly equal (the
+// tracestore and tracesim equivalence tests pin this). The shard
+// count is an execution hint and is excluded from the cache key.
 
 // errStorage marks server-side trace-storage faults (a corrupted
 // block, a vanished file); the HTTP layer maps it to 500, unlike
@@ -237,13 +236,20 @@ func (s *Server) computeReplay(ctx context.Context, q replayQuery) (ReplayRespon
 	}
 	cfg.Prefetcher = q.prefetch
 
+	// Both gears consume the stored trace block-fed: decoded
+	// varint-delta blocks are walked in place (tracestore.BlockReader),
+	// with no per-access Provider pull and no staging copy. Replay time
+	// is integer-picosecond, so block-fed, per-access, scalar and
+	// sharded replay all produce byte-identical results — the
+	// equivalence suites in tracestore and tracesim pin this.
 	var res tracesim.Result
+	blocks := prov.Blocks()
 	if q.shards > 1 {
 		sim, err := tracesim.NewSharded(cfg, q.shards)
 		if err != nil {
 			return ReplayResponse{}, err
 		}
-		if res, err = sim.RunPasses(prov, q.passes); err != nil {
+		if res, err = sim.RunBlockPasses(blocks, q.passes); err != nil {
 			return ReplayResponse{}, err
 		}
 	} else {
@@ -251,7 +257,7 @@ func (s *Server) computeReplay(ctx context.Context, q replayQuery) (ReplayRespon
 		if err != nil {
 			return ReplayResponse{}, err
 		}
-		if res, err = sim.RunPasses(prov, q.passes); err != nil {
+		if res, err = sim.RunBlockPasses(blocks, q.passes); err != nil {
 			return ReplayResponse{}, err
 		}
 	}

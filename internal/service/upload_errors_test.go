@@ -1,0 +1,106 @@
+package service
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestTraceUploadErrorTable pins the upload handler's error contract:
+// malformed streams are 400s whose message names the dialect and the
+// offending line; size violations — raw or after gzip expansion — are
+// 413s; and a stream exactly at the cap still ingests.
+func TestTraceUploadErrorTable(t *testing.T) {
+	const maxTrace = 4096
+	srv := NewServer(Options{Workers: 1, QueueDepth: 4, TraceDir: t.TempDir(), MaxTraceBytes: maxTrace})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		_ = srv.Close(context.Background())
+	}()
+
+	gzipOf := func(raw []byte) []byte {
+		var b bytes.Buffer
+		zw := gzip.NewWriter(&b)
+		if _, err := zw.Write(raw); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+
+	// A valid CSV body of exactly maxTrace bytes ("N,R\n" rows padded
+	// with comment lines).
+	atLimit := func() []byte {
+		var b bytes.Buffer
+		b.WriteString("4096,R\n")
+		for b.Len() < maxTrace-20 {
+			b.WriteString("# padding comment\n")
+		}
+		for b.Len() < maxTrace {
+			b.WriteByte('#')
+		}
+		return b.Bytes()
+	}()
+	if len(atLimit) != maxTrace {
+		t.Fatalf("test bug: at-limit body is %d bytes", len(atLimit))
+	}
+
+	cases := []struct {
+		name       string
+		body       []byte
+		wantStatus int
+		wantSubstr []string
+	}{
+		{"ndjson-bad-json", []byte("{\"addr\": 1}\n{\"addr\": }\n"), http.StatusBadRequest, []string{"ndjson", "line 2"}},
+		{"ndjson-bad-kind", []byte("{\"addr\": 1, \"kind\": \"X\"}\n"), http.StatusBadRequest, []string{"ndjson", "line 1", "kind"}},
+		{"ndjson-missing-addr", []byte("{\"kind\": \"R\"}\n"), http.StatusBadRequest, []string{"ndjson", "line 1", "missing addr"}},
+		{"ndjson-bad-addr-line-3", []byte("{\"addr\": 1}\n\n{\"addr\": \"zap\"}\n"), http.StatusBadRequest, []string{"ndjson", "line 3", "address"}},
+		{"csv-bad-addr", []byte("addr,kind\n12,R\nnope,R\n"), http.StatusBadRequest, []string{"csv", "line 3", "address"}},
+		{"csv-bad-kind", []byte("64,Z\n"), http.StatusBadRequest, []string{"csv", "line 1", "kind"}},
+		{"empty", nil, http.StatusBadRequest, []string{"empty trace"}},
+		{"comments-only", []byte("# nothing here\n"), http.StatusBadRequest, []string{"empty trace"}},
+		{"bad-gzip", append([]byte{0x1f, 0x8b}, "garbage"...), http.StatusBadRequest, []string{"gzip"}},
+		{"oversized-raw", bytes.Repeat([]byte("4096,R\n"), maxTrace/7+2), http.StatusRequestEntityTooLarge, []string{"limit"}},
+		{"oversized-after-gzip", gzipOf(bytes.Repeat([]byte("4096,R\n"), maxTrace/7+2)), http.StatusRequestEntityTooLarge, []string{"decoded"}},
+		{"at-limit-ok", atLimit, http.StatusCreated, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/traces", "application/octet-stream", bytes.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, raw)
+			}
+			if tc.wantStatus == http.StatusCreated {
+				return
+			}
+			var apiErr struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(raw, &apiErr); err != nil {
+				t.Fatalf("error body is not JSON: %v (%s)", err, raw)
+			}
+			for _, want := range tc.wantSubstr {
+				if !strings.Contains(apiErr.Error, want) {
+					t.Errorf("error %q does not mention %q", apiErr.Error, want)
+				}
+			}
+		})
+	}
+}

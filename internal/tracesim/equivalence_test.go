@@ -1,7 +1,6 @@
 package tracesim
 
 import (
-	"math"
 	"testing"
 
 	"repro/internal/cache"
@@ -65,8 +64,9 @@ func configs() map[string]Config {
 	return map[string]Config{"flat": flat, "cache-mode": cacheMode, "no-prefetch": noPF}
 }
 
-// requireEqualResults demands identical event counts; the time
-// estimate may differ in summation order only, so it gets an epsilon.
+// requireEqualResults demands identical event counts AND identical
+// replay time: time is accumulated in integer picoseconds, so every
+// replay gear must agree byte-for-byte regardless of summation order.
 func requireEqualResults(t *testing.T, label string, want, got Result) {
 	t.Helper()
 	if got.Accesses != want.Accesses {
@@ -91,10 +91,11 @@ func requireEqualResults(t *testing.T, label string, want, got Result) {
 	if got.Prefetches != want.Prefetches {
 		t.Errorf("%s: prefetches %d != %d", label, got.Prefetches, want.Prefetches)
 	}
-	if want.TotalTimeNS != 0 {
-		if rel := math.Abs(got.TotalTimeNS-want.TotalTimeNS) / want.TotalTimeNS; rel > 1e-9 {
-			t.Errorf("%s: time %.3f != %.3f (rel %.2g)", label, got.TotalTimeNS, want.TotalTimeNS, rel)
-		}
+	if got.TotalTimePS != want.TotalTimePS {
+		t.Errorf("%s: time %d ps != %d ps", label, got.TotalTimePS, want.TotalTimePS)
+	}
+	if got.TotalTimeNS != want.TotalTimeNS {
+		t.Errorf("%s: derived time %.3f != %.3f", label, got.TotalTimeNS, want.TotalTimeNS)
 	}
 }
 

@@ -31,8 +31,9 @@ type ShardedSimulator struct {
 	shardShift uint
 	lineShift  uint
 
-	l1 *cache.SetAssoc
-	pf *cache.StreamPrefetcher
+	l1PS uint64 // quantized L1 hit latency
+	l1   *cache.SetAssoc
+	pf   *cache.StreamPrefetcher
 
 	workers []*shardWorker
 	wg      sync.WaitGroup
@@ -60,14 +61,14 @@ const (
 )
 
 type shardWorker struct {
-	l2Lat float64
-	l2    *cache.SetAssoc
-	mem   memSys // one set-interleaved shard of the memory system
+	l2PS uint64 // quantized L2 hit latency
+	l2   *cache.SetAssoc
+	mem  memSys // one set-interleaved shard of the memory system
 
 	in   chan []shardOp
 	free chan []shardOp
 
-	timeNS     float64
+	timePS     uint64
 	prefetches int64
 }
 
@@ -95,6 +96,7 @@ func NewSharded(cfg Config, shards int) (*ShardedSimulator, error) {
 		shardMask:  uint64(shards - 1),
 		shardShift: uint(bits.TrailingZeros64(uint64(shards))),
 		lineShift:  uint(bits.TrailingZeros64(uint64(units.CacheLine))),
+		l1PS:       psFromNS(cfg.L1Lat),
 		l1:         l1,
 		fill:       make([][]shardOp, shards),
 	}
@@ -111,11 +113,11 @@ func NewSharded(cfg Config, shards int) (*ShardedSimulator, error) {
 			return nil, fmt.Errorf("tracesim: shard memory-side geometry: %w", err)
 		}
 		w := &shardWorker{
-			l2Lat: cfg.L2Lat,
-			l2:    l2,
-			mem:   mem,
-			in:    make(chan []shardOp, chunkQuota),
-			free:  make(chan []shardOp, chunkQuota),
+			l2PS: psFromNS(cfg.L2Lat),
+			l2:   l2,
+			mem:  mem,
+			in:   make(chan []shardOp, chunkQuota),
+			free: make(chan []shardOp, chunkQuota),
 		}
 		for c := 0; c < chunkQuota; c++ {
 			w.free <- make([]shardOp, 0, opChunk)
@@ -186,13 +188,13 @@ func (sh *ShardedSimulator) accessLine(line uint64, kind cache.AccessKind) {
 
 	if sh.haveLast && line == sh.lastLine {
 		sh.l1.TouchMRU(kind)
-		sh.res.TotalTimeNS += sh.cfg.L1Lat
+		sh.res.TotalTimePS += sh.l1PS
 		return
 	}
 	sh.lastLine, sh.haveLast = line, true
 
 	if hit, _, _ := sh.l1.AccessLine(line, kind); hit {
-		sh.res.TotalTimeNS += sh.cfg.L1Lat
+		sh.res.TotalTimePS += sh.l1PS
 		return
 	}
 	if sh.pf != nil {
@@ -213,10 +215,10 @@ func (w *shardWorker) apply(op shardOp) {
 	line := uint64(op >> 2)
 	switch op & 3 {
 	case opPrefetch:
-		if !w.l2.ContainsLine(line) {
+		if installed, _, wb := w.l2.InstallLineIfAbsent(line); installed {
 			w.prefetches++
 			w.mem.fillLine(line) // prefetch fills do not add replay time
-			if _, wb := w.l2.InstallLine(line); wb {
+			if wb {
 				w.mem.memWrites++
 			}
 		}
@@ -230,9 +232,9 @@ func (w *shardWorker) apply(op shardOp) {
 			w.mem.writebackLine(wbLine)
 		}
 		if hit {
-			w.timeNS += w.l2Lat
+			w.timePS += w.l2PS
 		} else {
-			w.timeNS += w.mem.fillLine(line)
+			w.timePS += w.mem.fillLine(line)
 		}
 	}
 }
@@ -265,6 +267,40 @@ func (sh *ShardedSimulator) Run(g Generator) {
 	sh.stop()
 }
 
+// RunBlocks replays a block source to exhaustion across the shards.
+// Blocks are consumed in place — the dispatcher walks each decoded
+// block directly, with no staging copy — and aggregate results are
+// identical to scalar replay of the same stream.
+func (sh *ShardedSimulator) RunBlocks(src BlockSource) {
+	sh.start()
+	for {
+		b, ok := src.NextBlock()
+		if !ok {
+			break
+		}
+		for _, a := range b {
+			sh.accessLine(a.Addr>>sh.lineShift, a.Kind)
+		}
+	}
+	sh.stop()
+}
+
+// RunBlockPasses replays a block source `passes` times, resetting in
+// between, and returns stats for the final pass only (steady state).
+func (sh *ShardedSimulator) RunBlockPasses(src BlockSource, passes int) (Result, error) {
+	if passes <= 0 {
+		return Result{}, fmt.Errorf("tracesim: passes must be positive")
+	}
+	for p := 0; p < passes-1; p++ {
+		src.Reset()
+		sh.RunBlocks(src)
+	}
+	sh.ResetStats()
+	src.Reset()
+	sh.RunBlocks(src)
+	return sh.Result(), nil
+}
+
 // RunPasses replays a generator `passes` times, resetting in between,
 // and returns stats for the final pass only (steady state).
 func (sh *ShardedSimulator) RunPasses(g Generator, passes int) (Result, error) {
@@ -294,8 +330,11 @@ func (sh *ShardedSimulator) Result() Result {
 		r.MemReads += w.mem.memReads
 		r.MemWrites += w.mem.memWrites
 		r.Prefetches += w.prefetches
-		r.TotalTimeNS += w.timeNS
+		r.TotalTimePS += w.timePS
 	}
+	// Integer merge order is irrelevant: the summed picoseconds are
+	// byte-identical to scalar replay's.
+	r.TotalTimeNS = float64(r.TotalTimePS) * 1e-3
 	return r
 }
 
@@ -306,7 +345,7 @@ func (sh *ShardedSimulator) ResetStats() {
 	for _, w := range sh.workers {
 		w.l2.ResetStats()
 		w.mem.resetStats()
-		w.timeNS = 0
+		w.timePS = 0
 		w.prefetches = 0
 	}
 }

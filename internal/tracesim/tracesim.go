@@ -10,7 +10,7 @@
 // # Performance architecture
 //
 // Replay is the hot path of the whole repository, so it is built in
-// three gears:
+// four gears:
 //
 //   - Scalar: Simulator.Access replays one reference. All cache
 //     indexing is shift/mask (internal/cache stores line-granular
@@ -20,6 +20,11 @@
 //     accesses in ~4k chunks (NextBatch), amortising interface
 //     dispatch; Run uses this automatically. Batched replay produces
 //     bit-identical Results to scalar replay.
+//   - Block-fed: sources that implement BlockSource (stored traces
+//     via tracestore.Provider.Blocks) hand the simulator decoded
+//     blocks as views of a reusable buffer; RunBlocks/RunBlockPasses
+//     consume them in place, so no access is ever staged twice.
+//     Results are bit-identical to scalar replay.
 //   - Sharded: ShardedSimulator (sharded.go) partitions the stream
 //     across N workers by cache-set interleaving and replays them
 //     concurrently with per-tile-L2 semantics, merging Results.
@@ -30,6 +35,7 @@ package tracesim
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"math/rand"
 
@@ -59,6 +65,19 @@ type Generator interface {
 type BatchGenerator interface {
 	Generator
 	NextBatch(buf []Access) int
+}
+
+// BlockSource yields an access stream in source-native blocks (for
+// stored traces, one decoded varint-delta block per call) as views of
+// the source's reusable buffer: the returned slice is valid only
+// until the next call, so block-fed replay moves no access twice.
+// Sources signal end of stream or error with ok=false; error-capable
+// sources (tracestore.BlockReader) expose Err for the distinction.
+type BlockSource interface {
+	// NextBlock returns the next block, or ok=false at end of stream.
+	NextBlock() ([]Access, bool)
+	// Reset rewinds the source for another pass.
+	Reset()
 }
 
 // batchSize is the replay chunk: large enough to amortise dispatch,
@@ -254,6 +273,15 @@ func DefaultConfig(memCache units.Bytes) Config {
 }
 
 // Result aggregates a replay.
+//
+// Replay time is accumulated in integer picoseconds (TotalTimePS):
+// the configured float latencies are quantized to ps once, up front,
+// and every accumulation is a uint64 add. Integer addition is
+// associative, so scalar, batched, sharded, and block-fed replay
+// produce byte-identical times regardless of summation order — the
+// equivalence suite requires exact equality, not a tolerance.
+// TotalTimeNS is derived from TotalTimePS when a Result is
+// materialized and is kept for reporting compatibility.
 type Result struct {
 	Accesses    int64
 	L1          cache.Stats
@@ -262,6 +290,7 @@ type Result struct {
 	MemReads    int64 // lines fetched from backing memory
 	MemWrites   int64 // lines written back to backing memory
 	Prefetches  int64
+	TotalTimePS uint64
 	TotalTimeNS float64
 }
 
@@ -273,21 +302,36 @@ func (r Result) AvgLatencyNS() float64 {
 	return r.TotalTimeNS / float64(r.Accesses)
 }
 
+// psFromNS quantizes a configured float latency (ns) to integer
+// picoseconds. Done once per latency class at construction; replay
+// then only adds uint64s.
+func psFromNS(ns float64) uint64 {
+	if ns <= 0 || math.IsNaN(ns) {
+		return 0
+	}
+	return uint64(math.Round(ns * 1000))
+}
+
 // memSys is the memory system below the L2: the optional memory-side
 // cache plus traffic counters. The scalar simulator owns one; each
 // shard worker owns one shard of it — sharing the implementation is
 // what keeps the two replay paths' latency/traffic models in
 // lock-step, which the exact-equivalence guarantee depends on.
 type memSys struct {
-	mc          *cache.MemSideCache
-	memCacheLat float64
-	memLat      float64
-	memReads    int64
-	memWrites   int64
+	mc        *cache.MemSideCache
+	mcPS      uint64 // memory-side cache hit latency
+	memPS     uint64 // backing-memory access latency
+	mcMissPS  uint64 // tag check in MCDRAM + DRAM access, quantized once
+	memReads  int64
+	memWrites int64
 }
 
 func newMemSys(cfg Config, capacity units.Bytes) (memSys, error) {
-	m := memSys{memCacheLat: cfg.MemCacheLat, memLat: cfg.MemLat}
+	m := memSys{
+		mcPS:     psFromNS(cfg.MemCacheLat),
+		memPS:    psFromNS(cfg.MemLat),
+		mcMissPS: psFromNS(cfg.MemCacheLat*0.3 + cfg.MemLat),
+	}
 	if capacity > 0 {
 		mc, err := cache.NewMemSideCache(capacity, units.CacheLine)
 		if err != nil {
@@ -298,22 +342,22 @@ func newMemSys(cfg Config, capacity units.Bytes) (memSys, error) {
 	return m, nil
 }
 
-// fillLine fetches a line from the memory system, returning its latency.
-func (m *memSys) fillLine(line uint64) float64 {
+// fillLine fetches a line from the memory system, returning its
+// latency in picoseconds.
+func (m *memSys) fillLine(line uint64) uint64 {
 	if m.mc == nil {
 		m.memReads++
-		return m.memLat
+		return m.memPS
 	}
 	hit, wb := m.mc.AccessLine(line, cache.Read)
 	if wb {
 		m.memWrites++
 	}
 	if hit {
-		return m.memCacheLat
+		return m.mcPS
 	}
 	m.memReads++
-	// Tag check in MCDRAM + DRAM access.
-	return m.memCacheLat*0.3 + m.memLat
+	return m.mcMissPS
 }
 
 // writebackLine sends a dirty line toward memory.
@@ -325,6 +369,15 @@ func (m *memSys) writebackLine(line uint64) {
 	if _, wb := m.mc.AccessLine(line, cache.Write); wb {
 		m.memWrites++
 	}
+}
+
+// touchTags pre-reads the memory-side cache's tag word for line (zero
+// when no cache is configured). See SetAssoc.TouchTagSet.
+func (m *memSys) touchTags(line uint64) uint64 {
+	if m.mc == nil {
+		return 0
+	}
+	return m.mc.TouchTagSet(line)
 }
 
 // resetStats clears the traffic counters but keeps contents.
@@ -339,6 +392,8 @@ func (m *memSys) resetStats() {
 type Simulator struct {
 	cfg       Config
 	lineShift uint
+	l1PS      uint64 // quantized L1 hit latency
+	l2PS      uint64 // quantized L2 hit latency
 	l1        *cache.SetAssoc
 	l2        *cache.SetAssoc
 	mem       memSys
@@ -353,6 +408,8 @@ type Simulator struct {
 	haveLast bool
 
 	batch []Access // reused chunk buffer for batched Run
+
+	touchSink uint64 // keeps AccessBatch's pre-touch loads alive
 }
 
 // New builds a simulator.
@@ -372,6 +429,8 @@ func New(cfg Config) (*Simulator, error) {
 	s := &Simulator{
 		cfg:       cfg,
 		lineShift: uint(bits.TrailingZeros64(uint64(units.CacheLine))),
+		l1PS:      psFromNS(cfg.L1Lat),
+		l2PS:      psFromNS(cfg.L2Lat),
 		l1:        l1,
 		l2:        l2,
 		mem:       mem,
@@ -385,11 +444,12 @@ func New(cfg Config) (*Simulator, error) {
 // Access performs one reference through the hierarchy and returns its
 // latency in nanoseconds.
 func (s *Simulator) Access(a Access) float64 {
-	return s.accessLine(a.Addr>>s.lineShift, a.Kind)
+	return float64(s.accessLine(a.Addr>>s.lineShift, a.Kind)) * 1e-3
 }
 
-// accessLine is the replay fast path, operating on line addresses.
-func (s *Simulator) accessLine(line uint64, kind cache.AccessKind) float64 {
+// accessLine is the replay fast path, operating on line addresses. It
+// returns the access latency in picoseconds.
+func (s *Simulator) accessLine(line uint64, kind cache.AccessKind) uint64 {
 	s.tick++
 	s.res.Accesses++
 
@@ -397,23 +457,25 @@ func (s *Simulator) accessLine(line uint64, kind cache.AccessKind) float64 {
 		// Coalesced: the previous access left this line in L1 as the
 		// MRU way; touch it without a set scan.
 		s.l1.TouchMRU(kind)
-		s.res.TotalTimeNS += s.cfg.L1Lat
-		return s.cfg.L1Lat
+		s.res.TotalTimePS += s.l1PS
+		return s.l1PS
 	}
 	s.lastLine, s.haveLast = line, true
 
 	if hit, _, _ := s.l1.AccessLine(line, kind); hit {
-		s.res.TotalTimeNS += s.cfg.L1Lat
-		return s.cfg.L1Lat
+		s.res.TotalTimePS += s.l1PS
+		return s.l1PS
 	}
 	// Miss in L1 (the line is now installed there, write-allocate):
 	// consult the prefetcher on the L2 stream.
 	if s.pf != nil {
 		for _, pl := range s.pf.ObserveLines(line, s.tick) {
-			if !s.l2.ContainsLine(pl) {
+			// Fused residency check + install: one tag scan per
+			// candidate instead of a ContainsLine/InstallLine pair.
+			if installed, _, wb := s.l2.InstallLineIfAbsent(pl); installed {
 				s.res.Prefetches++
 				s.mem.fillLine(pl) // prefetch fills do not add replay time
-				if _, wb := s.l2.InstallLine(pl); wb {
+				if wb {
 					s.mem.memWrites++
 				}
 			}
@@ -426,22 +488,37 @@ func (s *Simulator) accessLine(line uint64, kind cache.AccessKind) float64 {
 		s.mem.writebackLine(wbLine)
 	}
 	if hit {
-		lat := s.cfg.L2Lat
-		s.res.TotalTimeNS += lat
-		return lat
+		s.res.TotalTimePS += s.l2PS
+		return s.l2PS
 	}
 	// L2 miss: fetch from memory (possibly via the memory-side cache).
 	lat := s.mem.fillLine(line)
-	s.res.TotalTimeNS += lat
+	s.res.TotalTimePS += lat
 	return lat
 }
+
+// touchAhead is how many accesses ahead of the demand pointer
+// AccessBatch pre-reads L2 and memory-side tag sets. The simulator's
+// tag arrays exceed the host's caches, so replay is bound by a
+// serial chain of host memory misses; touching the sets a few
+// accesses early overlaps those misses. Reads only — replay results
+// are untouched.
+const touchAhead = 8
 
 // AccessBatch replays a chunk of accesses.
 func (s *Simulator) AccessBatch(batch []Access) {
 	shift := s.lineShift
-	for _, a := range batch {
+	var sink uint64
+	for i, a := range batch {
+		if j := i + touchAhead; j < len(batch) {
+			nl := batch[j].Addr >> shift
+			sink ^= s.l2.TouchTagSet(nl) ^ s.mem.touchTags(nl)
+		}
 		s.accessLine(a.Addr>>shift, a.Kind)
 	}
+	// Per-instance sink keeps the touch loads alive without a global
+	// (a shared global would race across concurrent simulators).
+	s.touchSink ^= sink
 }
 
 // Run replays a generator to exhaustion. Generators implementing
@@ -485,6 +562,35 @@ func (s *Simulator) RunPasses(g Generator, passes int) (Result, error) {
 	return s.Result(), nil
 }
 
+// RunBlocks replays a block source to exhaustion. Each block is
+// consumed in place (no copy into a staging buffer); results are
+// byte-identical to Run over the same stream.
+func (s *Simulator) RunBlocks(src BlockSource) {
+	for {
+		b, ok := src.NextBlock()
+		if !ok {
+			return
+		}
+		s.AccessBatch(b)
+	}
+}
+
+// RunBlockPasses replays a block source `passes` times, resetting in
+// between, and returns stats for the final pass only (steady state).
+func (s *Simulator) RunBlockPasses(src BlockSource, passes int) (Result, error) {
+	if passes <= 0 {
+		return Result{}, fmt.Errorf("tracesim: passes must be positive")
+	}
+	for p := 0; p < passes-1; p++ {
+		src.Reset()
+		s.RunBlocks(src)
+	}
+	s.ResetStats()
+	src.Reset()
+	s.RunBlocks(src)
+	return s.Result(), nil
+}
+
 // Result returns the accumulated statistics.
 func (s *Simulator) Result() Result {
 	r := s.res
@@ -495,6 +601,7 @@ func (s *Simulator) Result() Result {
 	if s.mem.mc != nil {
 		r.MemCache = s.mem.mc.Stats()
 	}
+	r.TotalTimeNS = float64(r.TotalTimePS) * 1e-3
 	return r
 }
 

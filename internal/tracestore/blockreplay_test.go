@@ -1,0 +1,247 @@
+package tracestore
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/tracesim"
+)
+
+// replayConfigs spans the memory organizations the paper studies:
+// flat DRAM, flat fast memory (HBM/MCDRAM latencies), MCDRAM as a
+// memory-side cache, and a hybrid point with a smaller cache slice.
+func replayConfigs() map[string]tracesim.Config {
+	dram := tracesim.DefaultConfig(0)
+
+	hbm := tracesim.DefaultConfig(0)
+	hbm.MemLat = hbm.MemLat / 3 // all accesses land in the fast tier
+
+	cacheMode := tracesim.DefaultConfig(4 << 20)
+
+	hybrid := tracesim.DefaultConfig(2 << 20)
+	hybrid.MemCacheLat *= 1.2 // a partitioned MCDRAM runs a bit slower
+
+	return map[string]tracesim.Config{
+		"dram": dram, "hbm": hbm, "cache": cacheMode, "hybrid": hybrid,
+	}
+}
+
+// storeWith ingests one stream and returns the store and its id.
+func storeWith(t *testing.T, accs []tracesim.Access) (*Store, string) {
+	t.Helper()
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := st.Ingest(bytes.NewReader(renderCSV(accs)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, m.ID
+}
+
+// requireSame demands two replay results agree exactly — counts and
+// integer-picosecond time both.
+func requireSame(t *testing.T, label string, want, got tracesim.Result) {
+	t.Helper()
+	if got != want {
+		t.Errorf("%s: results diverge\n got %+v\nwant %+v", label, got, want)
+	}
+}
+
+// TestBlockFedReplayEquivalence is the pinned guarantee behind the
+// block-fed fast path: for every memory organization, replaying a
+// stored trace (a) per access through the Provider into the scalar
+// simulator, (b) block-fed into the scalar simulator, (c) per access
+// into the sharded simulator, and (d) block-fed into the sharded
+// simulator produces identical counts and identical replay time.
+func TestBlockFedReplayEquivalence(t *testing.T) {
+	accs := testAccesses(3*blockAccesses + 1234) // several blocks + tail
+	st, id := storeWith(t, accs)
+	const passes = 2
+
+	open := func() *Provider {
+		p, err := st.Open(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		return p
+	}
+
+	for cfgName, cfg := range replayConfigs() {
+		t.Run(cfgName, func(t *testing.T) {
+			scalar, err := tracesim.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := open()
+			ref, err := scalar.RunPasses(p, passes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Err() != nil {
+				t.Fatal(p.Err())
+			}
+
+			scalarBlocks, err := tracesim.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pb := open()
+			got, err := scalarBlocks.RunBlockPasses(pb.Blocks(), passes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pb.Err() != nil {
+				t.Fatal(pb.Err())
+			}
+			requireSame(t, cfgName+"/scalar-blocks", ref, got)
+
+			for _, shards := range []int{1, 4} {
+				sh, err := tracesim.NewSharded(cfg, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ps := open()
+				got, err := sh.RunPasses(ps, passes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ps.Err() != nil {
+					t.Fatal(ps.Err())
+				}
+				requireSame(t, cfgName+"/sharded-provider", ref, got)
+
+				shb, err := tracesim.NewSharded(cfg, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pbb := open()
+				got, err = shb.RunBlockPasses(pbb.Blocks(), passes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if pbb.Err() != nil {
+					t.Fatal(pbb.Err())
+				}
+				requireSame(t, cfgName+"/sharded-blocks", ref, got)
+			}
+		})
+	}
+}
+
+// damage rewrites a stored trace file in place: keep[0:n] bytes, then
+// optionally flip the last byte (CRC corruption instead of
+// truncation).
+func damage(t *testing.T, st *Store, id string, truncateTo int64, flipLast bool) {
+	t.Helper()
+	path := st.path(id)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncateTo > 0 && truncateTo < int64(len(raw)) {
+		raw = raw[:truncateTo]
+	}
+	if flipLast {
+		raw[len(raw)-1] ^= 0xff
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlockReplayDamagedTail: a truncated or tail-corrupted stream
+// must end block replay cleanly — fewer accesses, an error from Err,
+// no panic — through both the per-access and block-fed paths.
+func TestBlockReplayDamagedTail(t *testing.T) {
+	accs := testAccesses(3 * blockAccesses)
+	cases := map[string]func(t *testing.T, st *Store, id string, fileLen int64){
+		"truncated": func(t *testing.T, st *Store, id string, fileLen int64) {
+			damage(t, st, id, fileLen-101, false)
+		},
+		"corrupt-crc": func(t *testing.T, st *Store, id string, fileLen int64) {
+			damage(t, st, id, 0, true)
+		},
+	}
+	for name, breakIt := range cases {
+		t.Run(name, func(t *testing.T) {
+			st, id := storeWith(t, accs)
+			m, _ := st.Get(id)
+			breakIt(t, st, id, m.FileBytes)
+
+			p, err := st.Open(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			br := p.Blocks()
+			var n int
+			for {
+				b, ok := br.NextBlock()
+				if !ok {
+					break
+				}
+				n += len(b)
+			}
+			if br.Err() == nil {
+				t.Fatal("damaged stream replayed without error")
+			}
+			if n >= len(accs) {
+				t.Fatalf("damaged stream still yielded %d of %d accesses", n, len(accs))
+			}
+
+			// The per-access path must agree about the damage.
+			p2, err := st.Open(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p2.Close()
+			var n2 int
+			buf := make([]tracesim.Access, 777)
+			for {
+				k := p2.NextBatch(buf)
+				if k == 0 {
+					break
+				}
+				n2 += k
+			}
+			if p2.Err() == nil {
+				t.Fatal("per-access path replayed damaged stream without error")
+			}
+		})
+	}
+}
+
+// TestBlockReaderResetMidStream: Reset during a partially consumed
+// block must restart cleanly from the first access.
+func TestBlockReaderResetMidStream(t *testing.T) {
+	accs := testAccesses(2*blockAccesses + 99)
+	st, id := storeWith(t, accs)
+	p, err := st.Open(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	br := p.Blocks()
+	if _, ok := br.NextBlock(); !ok {
+		t.Fatal(br.Err())
+	}
+	br.Reset()
+	var total int
+	for {
+		b, ok := br.NextBlock()
+		if !ok {
+			break
+		}
+		total += len(b)
+	}
+	if br.Err() != nil {
+		t.Fatal(br.Err())
+	}
+	if total != len(accs) {
+		t.Fatalf("after reset: %d accesses, want %d", total, len(accs))
+	}
+}

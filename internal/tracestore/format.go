@@ -122,12 +122,163 @@ func decodeHeader(h []byte) (Summary, error) {
 	}, nil
 }
 
+// lineSet is an insert-only open-addressed hash set of cache-line
+// numbers, used for the exact footprint count. It replaces a
+// map[uint64]struct{} on the ingest hot path: Fibonacci hashing plus
+// linear probing costs a fraction of a runtime map insert, and the
+// encoder only ever needs Add and Len.
+type lineSet struct {
+	tab   []uint64 // stores line+1; 0 = empty slot
+	n     int
+	shift uint   // 64 - log2(len(tab))
+	sink  uint64 // keeps AddBatch's slot pre-touches alive
+}
+
+func newLineSet() *lineSet {
+	// 512 KiB up front: large traces skip several full-table rehashes,
+	// and one ingest allocates exactly one of these.
+	const initial = 1 << 16
+	return &lineSet{tab: make([]uint64, initial), shift: 64 - 16}
+}
+
+func (s *lineSet) Len() int { return s.n }
+
+// Add inserts line (idempotent).
+func (s *lineSet) Add(line uint64) {
+	k := line + 1
+	i := (k * 0x9E3779B97F4A7C15) >> s.shift
+	mask := uint64(len(s.tab) - 1)
+	for {
+		v := s.tab[i]
+		if v == k {
+			return
+		}
+		if v == 0 {
+			s.tab[i] = k
+			s.n++
+			if s.n*4 >= len(s.tab)*3 {
+				s.grow()
+			}
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// AddBatch inserts every line in batch, stopping once the set holds
+// max entries (same saturation gate as per-line Add calls in stream
+// order). Slots are touched eight at a time before the serial probes
+// so the DRAM misses overlap; a lone Add is one dependent miss per
+// line once the table outgrows the cache.
+func (s *lineSet) AddBatch(batch []uint64, max int) {
+	var sink uint64
+	for len(batch) > 0 && s.n < max {
+		g := batch
+		if len(g) > 8 {
+			g = g[:8]
+		}
+		for _, line := range g {
+			sink ^= s.tab[((line+1)*0x9E3779B97F4A7C15)>>s.shift]
+		}
+		for _, line := range g {
+			if s.n >= max {
+				break
+			}
+			s.Add(line)
+		}
+		batch = batch[len(g):]
+	}
+	// Per-set sink keeps the touch loads alive without a global (a
+	// shared global would race across concurrent ingests).
+	s.sink ^= sink
+}
+
+func (s *lineSet) grow() {
+	old := s.tab
+	s.tab = make([]uint64, len(old)*2)
+	s.shift--
+	mask := uint64(len(s.tab) - 1)
+	for _, k := range old {
+		if k == 0 {
+			continue
+		}
+		i := (k * 0x9E3779B97F4A7C15) >> s.shift
+		for s.tab[i] != 0 {
+			i = (i + 1) & mask
+		}
+		s.tab[i] = k
+	}
+}
+
 // zigzag maps a signed delta to an unsigned varint-friendly form:
 // small magnitudes of either sign encode short.
 func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
 
 // unzigzag inverts zigzag.
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// blockBuf holds one block's accesses and everything derived from
+// them. encode is pure given (accs, base), so blocks can be encoded
+// serially or on worker goroutines with byte-identical results; the
+// buffers are reused across blocks.
+type blockBuf struct {
+	accs    []tracesim.Access
+	base    uint64 // delta base: last address of the preceding block
+	wire    []byte // uvarint(len) + payload + CRC32, ready to write
+	payload []byte
+	shaBuf  []byte // canonical 9-byte records (content-address input)
+	lineBuf []uint64
+	done    chan struct{} // parallel encoder: signals encode completion
+}
+
+func newBlockBuf() *blockBuf {
+	return &blockBuf{
+		accs:   make([]tracesim.Access, 0, blockAccesses),
+		shaBuf: make([]byte, 0, 9*blockAccesses),
+		done:   make(chan struct{}, 1),
+	}
+}
+
+// encode renders accs into wire (varint count, zigzag-varint address
+// deltas off base, kind runs, CRC32 trailer), shaBuf and lineBuf.
+func (b *blockBuf) encode() {
+	n := len(b.accs)
+	p := binary.AppendUvarint(b.payload[:0], uint64(n))
+	prev := b.base
+	if cap(b.shaBuf) < 9*n {
+		b.shaBuf = make([]byte, 9*n)
+	}
+	b.shaBuf = b.shaBuf[:9*n]
+	b.lineBuf = b.lineBuf[:0]
+	off := 0
+	for _, a := range b.accs {
+		p = binary.AppendUvarint(p, zigzag(int64(a.Addr-prev)))
+		prev = a.Addr
+		binary.LittleEndian.PutUint64(b.shaBuf[off:off+8], a.Addr)
+		b.shaBuf[off+8] = kindByte(a.Kind)
+		off += 9
+		b.lineBuf = append(b.lineBuf, a.Addr/uint64(units.CacheLine))
+	}
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && b.accs[j].Kind == b.accs[i].Kind {
+			j++
+		}
+		p = binary.AppendUvarint(p, uint64(j-i))
+		p = append(p, kindByte(b.accs[i].Kind))
+		i = j
+	}
+	b.payload = p
+	w := binary.AppendUvarint(b.wire[:0], uint64(len(p)))
+	w = append(w, p...)
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(p))
+	b.wire = append(w, crcBuf[:]...)
+}
+
+// last returns the block's final address (delta base for the next
+// block). Only valid on a non-empty block.
+func (b *blockBuf) last() uint64 { return b.accs[len(b.accs)-1].Addr }
 
 // Encoder streams accesses into the block format, accumulating the
 // Summary and the content address as it goes. It writes only the
@@ -137,24 +288,21 @@ type Encoder struct {
 	w   *bufio.Writer
 	sum Summary
 
-	sha     hash.Hash
-	shaBuf  []byte
-	prev    uint64 // last encoded address, carried across blocks
-	block   []tracesim.Access
-	payload []byte
-	lines   map[uint64]struct{}
-	err     error
+	sha   hash.Hash
+	prev  uint64 // last encoded address, carried across blocks
+	cur   *blockBuf
+	lines *lineSet
+	err   error
 }
 
 // NewEncoder builds an encoder over w.
 func NewEncoder(w io.Writer) *Encoder {
 	return &Encoder{
-		w:      bufio.NewWriterSize(w, 256<<10),
-		sha:    sha256.New(),
-		shaBuf: make([]byte, 0, 9*blockAccesses),
-		block:  make([]tracesim.Access, 0, blockAccesses),
-		lines:  make(map[uint64]struct{}),
-		sum:    Summary{MinAddr: ^uint64(0)},
+		w:     bufio.NewWriterSize(w, 256<<10),
+		sha:   sha256.New(),
+		cur:   newBlockBuf(),
+		lines: newLineSet(),
+		sum:   Summary{MinAddr: ^uint64(0)},
 	}
 }
 
@@ -175,59 +323,27 @@ func (e *Encoder) Append(a tracesim.Access) {
 	if a.Addr > e.sum.MaxAddr {
 		e.sum.MaxAddr = a.Addr
 	}
-	if len(e.lines) < maxTrackedLines {
-		e.lines[a.Addr/uint64(units.CacheLine)] = struct{}{}
-	}
-	e.block = append(e.block, a)
-	if len(e.block) == blockAccesses {
+	e.cur.accs = append(e.cur.accs, a)
+	if len(e.cur.accs) == blockAccesses {
 		e.flushBlock()
 	}
 }
 
-// flushBlock encodes and writes the pending block: varint count,
-// zigzag-varint address deltas, kind runs, then a CRC32 trailer over
-// the payload.
+// flushBlock encodes and writes the pending block, then folds its
+// canonical records into the content address and its lines into the
+// footprint set.
 func (e *Encoder) flushBlock() {
-	if e.err != nil || len(e.block) == 0 {
+	if e.err != nil || len(e.cur.accs) == 0 {
 		return
 	}
-	n := len(e.block)
-	e.payload = binary.AppendUvarint(e.payload[:0], uint64(n))
-	prev := e.prev
-	e.shaBuf = e.shaBuf[:0]
-	for _, a := range e.block {
-		e.payload = binary.AppendUvarint(e.payload, zigzag(int64(a.Addr-prev)))
-		prev = a.Addr
-		var rec [9]byte
-		binary.LittleEndian.PutUint64(rec[0:8], a.Addr)
-		rec[8] = kindByte(a.Kind)
-		e.shaBuf = append(e.shaBuf, rec[:]...)
-	}
-	e.prev = prev
-	for i := 0; i < n; {
-		j := i + 1
-		for j < n && e.block[j].Kind == e.block[i].Kind {
-			j++
-		}
-		e.payload = binary.AppendUvarint(e.payload, uint64(j-i))
-		e.payload = append(e.payload, kindByte(e.block[i].Kind))
-		i = j
-	}
-	e.sha.Write(e.shaBuf)
-	e.block = e.block[:0]
-
-	var lenBuf [binary.MaxVarintLen64]byte
-	if _, err := e.w.Write(lenBuf[:binary.PutUvarint(lenBuf[:], uint64(len(e.payload)))]); err != nil {
-		e.err = err
-		return
-	}
-	if _, err := e.w.Write(e.payload); err != nil {
-		e.err = err
-		return
-	}
-	var crcBuf [4]byte
-	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(e.payload))
-	if _, err := e.w.Write(crcBuf[:]); err != nil {
+	b := e.cur
+	b.base = e.prev
+	b.encode()
+	e.prev = b.last()
+	e.sha.Write(b.shaBuf)
+	e.lines.AddBatch(b.lineBuf, maxTrackedLines)
+	b.accs = b.accs[:0]
+	if _, err := e.w.Write(b.wire); err != nil {
 		e.err = err
 	}
 }
@@ -247,7 +363,7 @@ func (e *Encoder) Finish() (Summary, string, error) {
 	if e.sum.Accesses == 0 {
 		return Summary{}, "", fmt.Errorf("tracestore: empty trace (no accesses)")
 	}
-	e.sum.Lines = int64(len(e.lines))
+	e.sum.Lines = int64(e.lines.Len())
 	return e.sum, hex.EncodeToString(e.sha.Sum(nil)), nil
 }
 
@@ -365,6 +481,24 @@ func (d *Decoder) NextBatch(buf []tracesim.Access) int {
 		n += c
 	}
 	return n
+}
+
+// NextBlock returns the decoder's next decoded block as a view of its
+// internal buffer — no copy — valid only until the next NextBlock or
+// NextBatch call. It returns ok=false at end of stream or on error
+// (check Err). Interleaving with NextBatch is safe: a partially
+// consumed block is handed out as its remaining tail first.
+func (d *Decoder) NextBlock() ([]tracesim.Access, bool) {
+	if d.pos < len(d.buf) {
+		b := d.buf[d.pos:]
+		d.pos = len(d.buf)
+		return b, true
+	}
+	if !d.readBlock() {
+		return nil, false
+	}
+	d.pos = len(d.buf)
+	return d.buf, true
 }
 
 // Err reports the first decode error, if any.

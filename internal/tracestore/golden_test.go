@@ -1,0 +1,219 @@
+package tracestore
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/tracesim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures under testdata/")
+
+// goldenStreams are the fixed access streams behind the committed
+// fixtures. They must never change: the fixtures pin the on-disk
+// format and the content addresses, so any encoder change that
+// alters either is caught byte-for-byte.
+func goldenStreams() map[string][]tracesim.Access {
+	single := []tracesim.Access{{Addr: 0x1000, Kind: cache.Read}}
+
+	// Alternating kinds and mixed deltas across a block boundary.
+	mixed := testAccesses(3*blockAccesses/2 + 17)
+
+	// Long same-kind runs and monotone addresses: exercises the
+	// run-length kind coding and small positive deltas.
+	runs := make([]tracesim.Access, 2*blockAccesses)
+	for i := range runs {
+		k := cache.Read
+		if i >= len(runs)/2 {
+			k = cache.Write
+		}
+		runs[i] = tracesim.Access{Addr: uint64(i) * 64, Kind: k}
+	}
+	return map[string][]tracesim.Access{
+		"single": single,
+		"mixed":  mixed,
+		"runs":   runs,
+	}
+}
+
+// encodeFile renders a full .trc image (header + block stream) the
+// way Store.Ingest lays it out, using the serial encoder.
+func encodeFile(t *testing.T, accs []tracesim.Access) ([]byte, Summary, string) {
+	t.Helper()
+	var body bytes.Buffer
+	enc := NewEncoder(&body)
+	for _, a := range accs {
+		enc.Append(a)
+	}
+	sum, id, err := enc.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := encodeHeader(sum)
+	return append(hdr[:], body.Bytes()...), sum, id
+}
+
+type goldenMeta struct {
+	ID       string `json:"id"`
+	Accesses int64  `json:"accesses"`
+	Reads    int64  `json:"reads"`
+	Writes   int64  `json:"writes"`
+	Lines    int64  `json:"lines"`
+	MinAddr  uint64 `json:"min_addr"`
+	MaxAddr  uint64 `json:"max_addr"`
+}
+
+// TestGoldenFixtures pins the binary format: encoding the fixed
+// streams must reproduce the committed files byte-for-byte, decoding
+// the committed files must reproduce the streams, and the content
+// addresses must never drift. Run with -update to regenerate after a
+// deliberate, versioned format change.
+func TestGoldenFixtures(t *testing.T) {
+	dir := filepath.Join("testdata", "golden")
+	for name, accs := range goldenStreams() {
+		t.Run(name, func(t *testing.T) {
+			file, sum, id := encodeFile(t, accs)
+			meta := goldenMeta{
+				ID:       id,
+				Accesses: sum.Accesses,
+				Reads:    sum.Reads,
+				Writes:   sum.Writes,
+				Lines:    sum.Lines,
+				MinAddr:  sum.MinAddr,
+				MaxAddr:  sum.MaxAddr,
+			}
+			trcPath := filepath.Join(dir, name+".trc")
+			jsonPath := filepath.Join(dir, name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				mj, err := json.MarshalIndent(meta, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(trcPath, file, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(jsonPath, append(mj, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			want, err := os.ReadFile(trcPath)
+			if err != nil {
+				t.Fatalf("missing golden fixture (run with -update): %v", err)
+			}
+			if !bytes.Equal(file, want) {
+				t.Fatalf("encoder output diverged from golden fixture %s (%d vs %d bytes)", trcPath, len(file), len(want))
+			}
+			mj, err := os.ReadFile(jsonPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wantMeta goldenMeta
+			if err := json.Unmarshal(mj, &wantMeta); err != nil {
+				t.Fatal(err)
+			}
+			if meta != wantMeta {
+				t.Fatalf("summary/content address drifted:\n got %+v\nwant %+v", meta, wantMeta)
+			}
+
+			// And the committed bytes must decode back to the stream.
+			dec := NewDecoder(bytes.NewReader(want[headerSize:]))
+			var got []tracesim.Access
+			buf := make([]tracesim.Access, 1000)
+			for {
+				n := dec.NextBatch(buf)
+				if n == 0 {
+					break
+				}
+				got = append(got, buf[:n]...)
+			}
+			if err := dec.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(accs) {
+				t.Fatalf("decoded %d accesses, want %d", len(got), len(accs))
+			}
+			for i := range accs {
+				if got[i] != accs[i] {
+					t.Fatalf("access %d: got %+v want %+v", i, got[i], accs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestParallelEncoderMatchesSerial is the parallel-encode pin: for
+// every worker count and stream shape, the pipelined encoder must
+// produce the same bytes, Summary, and content address as the serial
+// one. It runs the parallel encoder explicitly so the path is
+// exercised even when the host (or CI) has GOMAXPROCS=1 and
+// Store.Ingest would pick the serial encoder.
+func TestParallelEncoderMatchesSerial(t *testing.T) {
+	streams := goldenStreams()
+	streams["empty-block-boundary"] = testAccesses(blockAccesses)
+	streams["tiny"] = testAccesses(3)
+	for name, accs := range streams {
+		for _, workers := range []int{1, 2, 4, 7} {
+			t.Run(name, func(t *testing.T) {
+				var want bytes.Buffer
+				se := NewEncoder(&want)
+				for _, a := range accs {
+					se.Append(a)
+				}
+				wantSum, wantID, err := se.Finish()
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				var got bytes.Buffer
+				pe := newParallelEncoder(&got, workers)
+				for _, a := range accs {
+					pe.Append(a)
+				}
+				gotSum, gotID, err := pe.Finish()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got.Bytes(), want.Bytes()) {
+					t.Fatalf("workers=%d: parallel encoder bytes differ (%d vs %d)", workers, got.Len(), want.Len())
+				}
+				if gotID != wantID {
+					t.Fatalf("workers=%d: content address %s, want %s", workers, gotID, wantID)
+				}
+				if gotSum != wantSum {
+					t.Fatalf("workers=%d: summary %+v, want %+v", workers, gotSum, wantSum)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelEncoderAbort must quiesce the pipeline mid-stream
+// without hanging or panicking, including a double shutdown.
+func TestParallelEncoderAbort(t *testing.T) {
+	var buf bytes.Buffer
+	pe := newParallelEncoder(&buf, 4)
+	for _, a := range testAccesses(3 * blockAccesses) {
+		pe.Append(a)
+	}
+	pe.Abort()
+	pe.Abort() // idempotent
+}
+
+// TestParallelEncoderEmpty mirrors the serial encoder's empty-trace
+// error.
+func TestParallelEncoderEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	pe := newParallelEncoder(&buf, 2)
+	if _, _, err := pe.Finish(); err == nil {
+		t.Fatal("expected empty-trace error")
+	}
+}

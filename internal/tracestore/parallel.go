@@ -1,0 +1,186 @@
+package tracestore
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"sync"
+
+	"repro/internal/tracesim"
+)
+
+// streamEncoder is what Ingest needs from an encoder: serial Encoder
+// and parallelEncoder both satisfy it and produce byte-identical
+// output (pinned by the golden round-trip tests).
+type streamEncoder interface {
+	Append(tracesim.Access)
+	Finish() (Summary, string, error)
+	Abort()
+}
+
+// Abort releases encoder resources after a failed ingest. The serial
+// encoder holds none.
+func (e *Encoder) Abort() {}
+
+// parallelEncoder is the Encoder's pipelined twin: the Append caller
+// scans accesses into blocks, full blocks are encoded by worker
+// goroutines, and a single writer goroutine consumes the encoded
+// blocks in dispatch order. Everything order-sensitive stays serial
+// in the writer — the file bytes, the SHA-256 over the canonical
+// records, and the saturating footprint-set inserts — so the output
+// file, content address, and Summary are byte-for-byte identical to
+// the serial Encoder's. Block encoding itself (varint deltas, kind
+// runs, CRC, canonical records) is order-free given the carried
+// delta base, which the dispatcher threads through at dispatch time.
+type parallelEncoder struct {
+	bw  *bufio.Writer
+	sum Summary
+
+	sha   hash.Hash
+	lines *lineSet
+	prev  uint64 // last dispatched address: next block's delta base
+
+	cur   *blockBuf
+	jobs  chan *blockBuf // to encode workers, unordered
+	order chan *blockBuf // dispatch order, consumed by the writer
+	free  chan *blockBuf // recycled buffers (backpressure)
+	wg    sync.WaitGroup
+	wdone chan struct{}
+	werr  error // writer-side error; read only after wdone
+	ended bool
+}
+
+// newParallelEncoder builds a pipelined encoder with the given worker
+// count (callers pass runtime.GOMAXPROCS(0); tests pin it). Workers
+// below 2 still work but buy nothing over NewEncoder.
+func newParallelEncoder(w io.Writer, workers int) *parallelEncoder {
+	if workers < 1 {
+		workers = 1
+	}
+	inflight := workers + 2
+	e := &parallelEncoder{
+		bw:    bufio.NewWriterSize(w, 256<<10),
+		sha:   sha256.New(),
+		lines: newLineSet(),
+		sum:   Summary{MinAddr: ^uint64(0)},
+		jobs:  make(chan *blockBuf, inflight),
+		order: make(chan *blockBuf, inflight),
+		// inflight+1 buffers circulate (the pool plus the encoder's
+		// current block); free must hold all of them or the writer
+		// deadlocks returning the last one at shutdown.
+		free:  make(chan *blockBuf, inflight+1),
+		wdone: make(chan struct{}),
+	}
+	e.cur = newBlockBuf()
+	for i := 0; i < inflight; i++ {
+		e.free <- newBlockBuf()
+	}
+	for i := 0; i < workers; i++ {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for b := range e.jobs {
+				b.encode()
+				b.done <- struct{}{}
+			}
+		}()
+	}
+	go e.writer()
+	return e
+}
+
+// writer consumes encoded blocks in dispatch order. It is the only
+// goroutine touching the file, the hash, and the footprint set, so
+// their serial semantics survive the parallel encode.
+func (e *parallelEncoder) writer() {
+	defer close(e.wdone)
+	for b := range e.order {
+		<-b.done
+		if e.werr == nil {
+			if _, err := e.bw.Write(b.wire); err != nil {
+				e.werr = err
+			} else {
+				e.sha.Write(b.shaBuf)
+				e.lines.AddBatch(b.lineBuf, maxTrackedLines)
+			}
+		}
+		b.accs = b.accs[:0]
+		e.free <- b
+	}
+}
+
+// Append adds one access to the stream.
+func (e *parallelEncoder) Append(a tracesim.Access) {
+	e.sum.Accesses++
+	if a.Kind == writeKind {
+		e.sum.Writes++
+	} else {
+		e.sum.Reads++
+	}
+	if a.Addr < e.sum.MinAddr {
+		e.sum.MinAddr = a.Addr
+	}
+	if a.Addr > e.sum.MaxAddr {
+		e.sum.MaxAddr = a.Addr
+	}
+	e.cur.accs = append(e.cur.accs, a)
+	if len(e.cur.accs) == blockAccesses {
+		e.dispatch()
+		e.cur = <-e.free
+	}
+}
+
+// dispatch hands the current block to the workers. The delta base
+// chain is maintained here, in stream order, so encodes can complete
+// out of order.
+func (e *parallelEncoder) dispatch() {
+	b := e.cur
+	if len(b.accs) == 0 {
+		return
+	}
+	b.base = e.prev
+	e.prev = b.last()
+	e.order <- b
+	e.jobs <- b
+	e.cur = nil
+}
+
+// shutdown flushes the tail block (when finishing) and quiesces the
+// pipeline. Idempotent.
+func (e *parallelEncoder) shutdown(finish bool) {
+	if e.ended {
+		return
+	}
+	e.ended = true
+	if finish {
+		e.dispatch()
+	}
+	close(e.jobs)
+	e.wg.Wait()
+	close(e.order)
+	<-e.wdone
+}
+
+// Abort tears the pipeline down after a failed ingest.
+func (e *parallelEncoder) Abort() { e.shutdown(false) }
+
+// Finish drains the pipeline and returns the Summary plus the
+// trace's content address, exactly as the serial Encoder would.
+func (e *parallelEncoder) Finish() (Summary, string, error) {
+	e.shutdown(true)
+	err := e.werr
+	if err == nil {
+		err = e.bw.Flush()
+	}
+	if err != nil {
+		return Summary{}, "", err
+	}
+	if e.sum.Accesses == 0 {
+		return Summary{}, "", fmt.Errorf("tracestore: empty trace (no accesses)")
+	}
+	e.sum.Lines = int64(e.lines.Len())
+	return e.sum, hex.EncodeToString(e.sha.Sum(nil)), nil
+}

@@ -69,6 +69,42 @@ func (p *Provider) Err() error { return p.err }
 // Close releases the underlying file.
 func (p *Provider) Close() error { return p.f.Close() }
 
+// BlockReader feeds a stored trace to replay one decoded varint-delta
+// block at a time, as views of the decoder's reusable buffer: no
+// per-access copy and no per-batch copy between disk and simulator.
+// It implements tracesim.BlockSource.
+//
+// A BlockReader shares its Provider's decoder position; use a given
+// Provider either through the Generator interface or through Blocks,
+// not both interleaved (Reset on either rewinds both).
+type BlockReader struct {
+	p *Provider
+}
+
+// Blocks returns the block-granular view of the provider's stream.
+func (p *Provider) Blocks() *BlockReader { return &BlockReader{p: p} }
+
+// NextBlock implements tracesim.BlockSource. The returned slice is
+// valid only until the next call. ok=false means end of stream or
+// decode error; callers must check Err.
+func (br *BlockReader) NextBlock() ([]tracesim.Access, bool) {
+	if br.p.err != nil {
+		return nil, false
+	}
+	b, ok := br.p.dec.NextBlock()
+	if err := br.p.dec.Err(); err != nil {
+		br.p.err = err
+		return nil, false
+	}
+	return b, ok
+}
+
+// Reset implements tracesim.BlockSource: rewind for another pass.
+func (br *BlockReader) Reset() { br.p.Reset() }
+
+// Err reports the first decode error hit during block replay, if any.
+func (br *BlockReader) Err() error { return br.p.Err() }
+
 // Export writes a generator's access stream to path in the store's
 // binary format and returns the stream summary plus the content
 // address the file would ingest under. It is how cmd/trace turns the

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -194,8 +195,17 @@ func (s *Store) Ingest(r io.Reader, maxBytes int64) (Meta, bool, error) {
 		discard()
 		return Meta{}, false, fmt.Errorf("tracestore: %w", err)
 	}
-	enc := NewEncoder(tmp)
+	// With more than one CPU, block encoding is pipelined across
+	// workers; the output bytes and content address are identical
+	// either way (see parallelEncoder).
+	var enc streamEncoder
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		enc = newParallelEncoder(tmp, n)
+	} else {
+		enc = NewEncoder(tmp)
+	}
 	if err := decodeInto(r, maxBytes, enc.Append); err != nil {
+		enc.Abort()
 		discard()
 		return Meta{}, false, err
 	}

@@ -1,0 +1,36 @@
+// Command simdlint is the repo's static-analysis suite, runnable two
+// ways:
+//
+//	go vet -vettool=$(which simdlint) ./...   # the six analyzers
+//	simdlint -escapes [packages]              # the escape-analysis guard
+//
+// The vettool mode speaks the cmd/go vet protocol, so findings land
+// with file:line positions and `go vet` caching applies. The -escapes
+// mode compiles with -gcflags=-m and fails if any //simd:hotpath
+// function allocates. See internal/lint and docs/lint.md.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	if len(os.Args) > 1 && (os.Args[1] == "-escapes" || os.Args[1] == "--escapes") {
+		diags, err := lint.EscapeCheck(".", os.Args[2:])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simdlint:", err)
+			os.Exit(1)
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+		}
+		if len(diags) > 0 {
+			os.Exit(2)
+		}
+		return
+	}
+	lint.Main("simdlint", lint.Analyzers())
+}

@@ -6,9 +6,14 @@
 // harness that regenerates every table and figure of the evaluation.
 //
 // See ARCHITECTURE.md for the package map and the request path
-// through the service, and docs/api.md for the HTTP API reference
+// through the service, docs/api.md for the HTTP API reference
 // (every /v1 endpoint with request/response examples, error codes and
-// cache semantics).
+// cache semantics), and docs/lint.md for the machine-enforced
+// invariants: cmd/simdlint runs six custom analyzers (canonical keys,
+// `guarded by` locking, context flow, hot-path allocation, error
+// envelopes, metric registration) as `go vet -vettool`, plus an
+// escape-analysis guard pinning every //simd:hotpath function
+// allocation-free.
 //
 // # Quickstart
 //

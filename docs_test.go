@@ -11,7 +11,7 @@ import (
 // TestDocsExist pins the documentation surface: the architecture map
 // and the API reference must exist and be linked from doc.go.
 func TestDocsExist(t *testing.T) {
-	for _, f := range []string{"ARCHITECTURE.md", "docs/api.md", "docs/observability.md", "CHANGES.md", "ROADMAP.md"} {
+	for _, f := range []string{"ARCHITECTURE.md", "docs/api.md", "docs/observability.md", "docs/lint.md", "CHANGES.md", "ROADMAP.md"} {
 		if _, err := os.Stat(f); err != nil {
 			t.Errorf("missing documentation file %s: %v", f, err)
 		}
@@ -20,7 +20,7 @@ func TestDocsExist(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"ARCHITECTURE.md", "docs/api.md"} {
+	for _, want := range []string{"ARCHITECTURE.md", "docs/api.md", "docs/lint.md"} {
 		if !strings.Contains(string(buf), want) {
 			t.Errorf("doc.go does not point at %s", want)
 		}

@@ -287,6 +287,8 @@ func (c *SetAssoc) TouchTagSet(lineAddr uint64) uint64 {
 // way at MRU, so sequential replay resolves most hits in one compare
 // instead of a scan across the whole set. Tags are unique within a
 // set, so the probe and the scan can never disagree. Packed sets only.
+//
+//simd:hotpath — runs once per simulated access.
 func (c *SetAssoc) findWayMRU(set, base int, stag uint64) int {
 	if w := int(c.stack[set] & 15); c.tags[base+w] == stag {
 		return w

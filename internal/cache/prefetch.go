@@ -56,6 +56,8 @@ func (p *StreamPrefetcher) Issued() int64 { return p.issued }
 // slice aliases an internal buffer and is only valid until the next
 // call — the hot replay loop consumes it immediately, so no per-access
 // allocation occurs.
+//
+//simd:hotpath — runs once per simulated access when prefetch is on.
 func (p *StreamPrefetcher) ObserveLines(lineAddr uint64, tick uint64) []uint64 {
 	// Find a stream this access continues.
 	for i, nx := range p.next[:p.n] {

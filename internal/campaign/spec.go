@@ -12,14 +12,13 @@
 package campaign
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/keys"
 	"repro/internal/units"
 )
 
@@ -122,18 +121,27 @@ type Point struct {
 }
 
 // Key returns the content address of the point: a SHA-256 over its
-// canonical resolved form. Equal points — however they were spelled —
-// hash equal, which is what makes repeated sweep points free.
+// canonical resolved form (a keys.Builder preimage — length-prefixed
+// strings, bit-pattern floats). Equal points — however they were
+// spelled — hash equal, which is what makes repeated sweep points
+// free; distinct points can never collide, because the encoding is
+// injective.
 func (p Point) Key() string {
 	fid := p.Fidelity
 	if fid == "" {
 		fid = FidelityModel
 	}
-	canon := fmt.Sprintf("w=%s|k=%d|f=%.6f|b=%d|t=%d|sku=%s|fid=%s|n=%d|tr=%s",
-		p.Workload, int(p.Config.Kind), p.Config.HybridFlatFraction,
-		int64(p.Size), p.Threads, p.SKU, fid, p.Nodes, p.TraceID)
-	sum := sha256.Sum256([]byte(canon))
-	return hex.EncodeToString(sum[:])
+	return keys.New("point").
+		Str("w", p.Workload).
+		Int("k", int64(p.Config.Kind)).
+		Float("f", p.Config.HybridFlatFraction).
+		Int("b", int64(p.Size)).
+		Int("t", int64(p.Threads)).
+		Str("sku", p.SKU).
+		Str("fid", fid).
+		Int("n", int64(p.Nodes)).
+		Str("tr", p.TraceID).
+		Sum()
 }
 
 // String renders the point for logs and progress lines. Cluster
@@ -372,18 +380,24 @@ func (s Spec) CampaignKey() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	keys := make([]string, 0, len(points)+len(s.Experiments)+1)
+	pointKeys := make([]string, 0, len(points))
 	for _, p := range points {
-		keys = append(keys, p.Key())
+		pointKeys = append(pointKeys, p.Key())
 	}
-	sort.Strings(keys)
+	sort.Strings(pointKeys)
 	exps := append([]string(nil), s.Experiments...)
 	sort.Strings(exps)
 	sku := s.SKU
 	if sku == "" {
 		sku = DefaultSKU
 	}
-	keys = append(keys, "exps="+strings.Join(exps, ","), "sku="+sku)
-	sum := sha256.Sum256([]byte(strings.Join(keys, "\n")))
-	return hex.EncodeToString(sum[:]), nil
+	b := keys.New("campaign")
+	for _, k := range pointKeys {
+		b.Str("p", k)
+	}
+	for _, e := range exps {
+		b.Str("exp", e)
+	}
+	b.Str("sku", sku)
+	return b.Sum(), nil
 }

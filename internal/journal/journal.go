@@ -64,9 +64,9 @@ type Journal struct {
 	dir string
 
 	mu          sync.Mutex
-	f           faultfs.File
-	entries     int64
-	quarantined int64 // torn/corrupt tail bytes moved aside at Open
+	f           faultfs.File // guarded by mu
+	entries     int64        // guarded by mu
+	quarantined int64        // torn/corrupt tail bytes moved aside at Open; guarded by mu
 }
 
 // journalName and the quarantine naming scheme.
@@ -114,6 +114,8 @@ func OpenFS(fsys faultfs.FS, dir string) (*Journal, []Entry, error) {
 // replay scans the journal, returning the intact entries, the byte
 // offset of the last intact frame's end, and the error that stopped
 // the scan (nil at clean EOF).
+//
+//simd:locked — runs inside Open, before the Journal is published to any other goroutine.
 func (j *Journal) replay() ([]Entry, int64, error) {
 	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
 		return nil, 0, fmt.Errorf("journal: %w", err)
@@ -146,6 +148,8 @@ func (j *Journal) replay() ([]Entry, int64, error) {
 // quarantineTail copies every byte past good into a quarantine file
 // and truncates the journal. The quarantine file name carries the
 // offset so repeated crashes never overwrite earlier evidence.
+//
+//simd:locked — runs inside Open, before the Journal is published to any other goroutine.
 func (j *Journal) quarantineTail(good int64, cause error) error {
 	st, err := j.f.Stat()
 	if err != nil {

@@ -1,8 +1,6 @@
 package journal
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"path/filepath"
@@ -10,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/faultfs"
+	"repro/internal/keys"
 )
 
 // Results is the durable result store: one CRC-framed file per
@@ -60,10 +59,12 @@ func OpenResultsFS(fsys faultfs.FS, dir string) (*Results, error) {
 	return r, nil
 }
 
-// path returns the on-disk location of a (kind, key) result.
+// path returns the on-disk location of a (kind, key) result. The
+// name is a canonical keys.Builder address so no (kind, key) pair can
+// alias another, whatever characters they contain.
 func (r *Results) path(kind, key string) string {
-	sum := sha256.Sum256([]byte(fmt.Sprintf("%d|%s|%s", len(kind), kind, key)))
-	return filepath.Join(r.dir, hex.EncodeToString(sum[:])+".res")
+	name := keys.New("result").Str("kind", kind).Str("key", key).Sum()
+	return filepath.Join(r.dir, name+".res")
 }
 
 // Put durably persists one result. Concurrent Puts of the same

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CanonicalKey flags content-address preimages built with fmt
+// formatting, string concatenation or strings.Join and hashed
+// directly: every cache, journal and result key must go through
+// internal/keys.Builder, whose encoding is injective (length-prefixed
+// strings, bit-pattern floats). The analyzer reports any
+// sha256.Sum256 argument that traces back to such a hand-rolled
+// string — hashing raw data bytes (trace streams, file contents)
+// never matches and stays unflagged.
+var CanonicalKey = &Analyzer{
+	Name:      "canonicalkey",
+	Doc:       "flags cache/journal keys hashed from fmt/concat-built strings instead of internal/keys.Builder",
+	SkipTests: true,
+	Run:       runCanonicalKey,
+}
+
+func runCanonicalKey(p *Pass) {
+	// internal/keys is the one place allowed to assemble preimages by
+	// hand — it is the helper everything else must call.
+	if p.Pkg.Path() == "repro/internal/keys" {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkKeyFunc(p, fd)
+			return true
+		})
+	}
+}
+
+// checkKeyFunc scans one function for sha256.Sum256 calls over
+// hand-rolled preimages.
+func checkKeyFunc(p *Pass, fd *ast.FuncDecl) {
+	// First pass: find strings.Builder / bytes.Buffer locals that
+	// receive fmt.Fprintf writes — the "formatted then hashed" shape.
+	fmtTargets := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPkgFunc(p.Info, call, "fmt", "Fprintf") || isPkgFunc(p.Info, call, "fmt", "Fprint") {
+			if len(call.Args) == 0 {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			if un, ok := arg.(*ast.UnaryExpr); ok { // &b
+				arg = ast.Unparen(un.X)
+			}
+			if id, ok := arg.(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil {
+					fmtTargets[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPkgFunc(p.Info, call, "crypto/sha256", "Sum256") || len(call.Args) != 1 {
+			return true
+		}
+		if reason := nonCanonicalPreimage(p, fd, ast.Unparen(call.Args[0]), fmtTargets); reason != "" {
+			p.Reportf(call.Pos(), "key preimage built with %s; build it with internal/keys.Builder (injective length-prefixed encoding)", reason)
+		}
+		return true
+	})
+}
+
+// nonCanonicalPreimage classifies the expression hashed by
+// sha256.Sum256 and returns a description of the hand-rolled
+// construction, or "" when the preimage is not recognizably built
+// from formatted/concatenated strings.
+func nonCanonicalPreimage(p *Pass, fd *ast.FuncDecl, e ast.Expr, fmtTargets map[types.Object]bool) string {
+	// Unwrap the customary []byte(...) conversion.
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+			e = ast.Unparen(call.Args[0])
+		}
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		if tv, ok := p.Info.Types[x]; ok && types.Identical(tv.Type.Underlying(), types.Typ[types.String]) {
+			return "string concatenation"
+		}
+	case *ast.CallExpr:
+		switch {
+		case isPkgFunc(p.Info, x, "fmt", "Sprintf") || isPkgFunc(p.Info, x, "fmt", "Sprint") || isPkgFunc(p.Info, x, "fmt", "Appendf"):
+			return "fmt formatting"
+		case isPkgFunc(p.Info, x, "strings", "Join"):
+			return "strings.Join (delimiters are forgeable; fields need length prefixes)"
+		}
+		// b.String() / b.Bytes() on a builder that fmt.Fprintf wrote to.
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && (sel.Sel.Name == "String" || sel.Sel.Name == "Bytes") {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil && fmtTargets[obj] {
+					return "fmt.Fprintf into a builder"
+				}
+			}
+		}
+	case *ast.Ident:
+		// A local assigned from one of the recognized shapes anywhere
+		// in this function (canon := fmt.Sprintf(...); Sum256([]byte(canon))).
+		obj := p.Info.Uses[x]
+		if obj == nil {
+			return ""
+		}
+		var reason string
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || reason != "" {
+				return reason == ""
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(as.Rhs) {
+					continue
+				}
+				def := p.Info.Defs[id]
+				if def == nil {
+					def = p.Info.Uses[id]
+				}
+				if def != obj {
+					continue
+				}
+				if r := nonCanonicalPreimage(p, fd, ast.Unparen(as.Rhs[i]), fmtTargets); r != "" {
+					reason = r
+				}
+			}
+			return reason == ""
+		})
+		return reason
+	}
+	return ""
+}

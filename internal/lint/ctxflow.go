@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces context discipline: inside the request path
+// (repro/internal/service and below) nothing may mint a fresh
+// context.Background()/TODO() — deadlines and request IDs flow from
+// the caller — and, everywhere, an exported function that accepts a
+// ctx parameter must actually thread it somewhere. Legitimate roots
+// (the process-lifetime queue worker, main) carry //simd:ctxroot.
+var CtxFlow = &Analyzer{
+	Name:      "ctxflow",
+	Doc:       "reports fresh context.Background/TODO in the request path and exported funcs that drop incoming ctx",
+	SkipTests: true,
+	Run:       runCtxFlow,
+}
+
+// ctxScopePrefix limits the fresh-context rule to the service request
+// path; library packages (tracestore, cache) legitimately build root
+// contexts in their own tools.
+const ctxScopePrefix = "repro/internal/service"
+
+func runCtxFlow(p *Pass) {
+	inService := p.Pkg.Path() == ctxScopePrefix || strings.HasPrefix(p.Pkg.Path(), ctxScopePrefix+"/")
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if inService && !funcAnnotated(fd, tagCtxRoot) {
+				checkFreshContext(p, f, fd)
+			}
+			checkDroppedCtx(p, fd)
+		}
+	}
+}
+
+func checkFreshContext(p *Pass, f *ast.File, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := ""
+		switch {
+		case isPkgFunc(p.Info, call, "context", "Background"):
+			name = "Background"
+		case isPkgFunc(p.Info, call, "context", "TODO"):
+			name = "TODO"
+		default:
+			return true
+		}
+		if lineAnnotated(p.Fset, f, call.Pos(), tagCtxRoot) {
+			return true
+		}
+		p.Reportf(call.Pos(), "context.%s() mints a fresh context in the request path; thread the caller's ctx (or annotate //simd:ctxroot for a true root)", name)
+		return true
+	})
+}
+
+// checkDroppedCtx reports exported functions that bind an incoming
+// context to a name and then never touch it. Intentionally ignoring
+// ctx is spelled `_ context.Context`, which documents the drop.
+func checkDroppedCtx(p *Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj, _ := p.Info.Defs[name].(*types.Var)
+			if obj == nil || !isContextType(obj.Type()) {
+				continue
+			}
+			used := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+					used = true
+				}
+				return !used
+			})
+			if !used {
+				p.Reportf(name.Pos(), "exported %s accepts ctx but never uses it; thread it into callees or rename the parameter to _", fd.Name.Name)
+			}
+		}
+	}
+}
+
+func isContextType(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}

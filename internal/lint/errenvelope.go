@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ErrEnvelope keeps the service's error responses uniform: every
+// handler must reply through the shared envelope writer (writeError,
+// which stamps the JSON {error, request_id} body), never naked
+// http.Error or http.NotFound — those emit text/plain bodies that
+// clients and the retry middleware cannot parse. Only the envelope
+// writer itself may touch the raw response plumbing.
+var ErrEnvelope = &Analyzer{
+	Name:      "errenvelope",
+	Doc:       "service handlers must send errors via writeError's JSON envelope, not naked http.Error",
+	SkipTests: true,
+	Run:       runErrEnvelope,
+}
+
+func runErrEnvelope(p *Pass) {
+	if p.Pkg.Path() != ctxScopePrefix && !strings.HasPrefix(p.Pkg.Path(), ctxScopePrefix+"/") {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// The envelope writers are the one sanctioned boundary to
+			// the raw http response machinery.
+			if fd.Recv == nil && (fd.Name.Name == "writeError" || fd.Name.Name == "writeJSON") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch {
+				case isPkgFunc(p.Info, call, "net/http", "Error"):
+					p.Reportf(call.Pos(), "http.Error sends a text/plain body outside the JSON envelope; use writeError")
+				case isPkgFunc(p.Info, call, "net/http", "NotFound"):
+					p.Reportf(call.Pos(), "http.NotFound sends a text/plain body outside the JSON envelope; use writeError with http.StatusNotFound")
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// The static hotpath rules catch allocation by construction; this
+// guard catches it by verdict. It asks the compiler for its escape
+// analysis (`go build -gcflags=-m`) and reports any value that
+// "escapes to heap" or is "moved to heap" inside a //simd:hotpath
+// function. The two layers are complementary: the analyzer explains
+// *what* to change, the compiler proves *whether* anything still
+// allocates — including through inlining and interface devirtualization
+// the static rules cannot see.
+
+// escapeNoteRe matches one compiler diagnostic line:
+// "internal/cache/cache.go:61:6: moved to heap: x".
+var escapeNoteRe = regexp.MustCompile(`^(.+\.go):(\d+):\d+: (.+)$`)
+
+// hotRange is the line span of one annotated function.
+type hotRange struct {
+	file  string // path relative to the module root, slash-separated
+	name  string
+	start int
+	end   int
+}
+
+// EscapeCheck scans dir for //simd:hotpath functions, compiles the
+// given package patterns with -gcflags=-m, and returns a diagnostic
+// for every heap escape the compiler reports inside an annotated
+// function (lines annotated //simd:alloc-ok excepted). A nil, nil
+// return means every hot path is allocation-free.
+func EscapeCheck(dir string, patterns []string) ([]Diagnostic, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	ranges, allocOK, err := collectHotRanges(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(ranges) == 0 {
+		return nil, nil
+	}
+
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m"}, patterns...)...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		// -gcflags=-m chatter goes to stderr even on success; a real
+		// failure surfaces through the exit code.
+		return nil, fmt.Errorf("go build -gcflags=-m failed: %v\n%s", err, out)
+	}
+
+	var diags []Diagnostic
+	for _, line := range strings.Split(string(out), "\n") {
+		m := escapeNoteRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[3]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := strings.TrimPrefix(filepath.ToSlash(m[1]), "./")
+		lineNo, _ := strconv.Atoi(m[2])
+		if allocOK[file][lineNo] {
+			continue
+		}
+		for _, r := range ranges {
+			if r.file == file && r.start <= lineNo && lineNo <= r.end {
+				diags = append(diags, Diagnostic{
+					Analyzer: "escapes",
+					Pos:      token.Position{Filename: file, Line: lineNo},
+					Message:  fmt.Sprintf("%s is //simd:hotpath but the compiler reports: %s", r.name, msg),
+				})
+				break
+			}
+		}
+	}
+	return diags, nil
+}
+
+// collectHotRanges parses every production .go file under dir and
+// returns the line spans of //simd:hotpath functions plus the set of
+// //simd:alloc-ok lines.
+func collectHotRanges(dir string) ([]hotRange, map[string]map[int]bool, error) {
+	var ranges []hotRange
+	allocOK := make(map[string]map[int]bool)
+	fset := token.NewFileSet()
+
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if text == tagAllocOK || strings.HasPrefix(text, tagAllocOK+" ") {
+					if allocOK[rel] == nil {
+						allocOK[rel] = make(map[int]bool)
+					}
+					allocOK[rel][fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !funcAnnotated(fd, tagHotPath) {
+				continue
+			}
+			ranges = append(ranges, hotRange{
+				file:  rel,
+				name:  fd.Name.Name,
+				start: fset.Position(fd.Pos()).Line,
+				end:   fset.Position(fd.End()).Line,
+			})
+		}
+		return nil
+	})
+	return ranges, allocOK, err
+}

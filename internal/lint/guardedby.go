@@ -1,0 +1,386 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GuardedBy enforces `// guarded by <mu>` field annotations: a struct
+// field carrying the comment may only be read or written by methods
+// of that struct while <mu> is held. The walker tracks lock state
+// statement by statement (Lock/RLock acquire, Unlock/RUnlock release,
+// deferred unlocks hold to function end, branches merge
+// conservatively). Methods named *Locked, and methods annotated
+// //simd:locked, are assumed to run with the lock held by contract —
+// the repo's existing evictLocked/pruneLocked convention.
+var GuardedBy = &Analyzer{
+	Name:      "guardedby",
+	Doc:       "reports accesses to `// guarded by <mu>` fields outside the mutex's Lock/Unlock region",
+	SkipTests: true,
+	Run:       runGuardedBy,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// guardedStruct records one annotated struct type: guarded field name
+// to mutex field name.
+type guardedStruct map[string]string
+
+func runGuardedBy(p *Pass) {
+	// Pass 1: collect annotated fields per named struct type.
+	structs := make(map[*types.TypeName]guardedStruct)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tn, _ := p.Info.Defs[ts.Name].(*types.TypeName)
+			if tn == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					gs := structs[tn]
+					if gs == nil {
+						gs = make(guardedStruct)
+						structs[tn] = gs
+					}
+					gs[name.Name] = mu
+				}
+			}
+			return true
+		})
+	}
+	if len(structs) == 0 {
+		return
+	}
+
+	// Pass 2: walk every method of an annotated struct.
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") || funcAnnotated(fd, tagLocked) {
+				continue // runs under the caller's lock by contract
+			}
+			recv := recvObject(p.Info, fd)
+			if recv == nil {
+				continue
+			}
+			named := namedOf(recv.Type())
+			if named == nil {
+				continue
+			}
+			gs := structs[named.Obj()]
+			if gs == nil {
+				continue
+			}
+			w := &lockWalker{p: p, recv: recv, fields: gs, method: fd.Name.Name, held: make(map[string]int)}
+			w.walkStmt(fd.Body)
+		}
+	}
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or line
+// comment, or "".
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockWalker tracks, per mutex field name, how many times the
+// receiver's mutex is currently held along the walked path.
+type lockWalker struct {
+	p      *Pass
+	recv   *types.Var
+	fields guardedStruct
+	method string
+	held   map[string]int
+}
+
+func (w *lockWalker) snapshot() map[string]int {
+	c := make(map[string]int, len(w.held))
+	for k, v := range w.held {
+		c[k] = v
+	}
+	return c
+}
+
+// mergeMin folds a branch exit state into the current state,
+// conservatively keeping the minimum hold count per mutex.
+func mergeMin(into, from map[string]int) {
+	for k := range into {
+		if from[k] < into[k] {
+			into[k] = from[k]
+		}
+	}
+	for k, v := range from {
+		if _, ok := into[k]; !ok && v < 0 {
+			into[k] = v
+		}
+	}
+}
+
+// lockOp matches recv.<mu>.Lock/RLock/Unlock/RUnlock calls on one of
+// the mutexes guarding annotated fields; it returns the mutex field
+// name and +1/-1, or "".
+func (w *lockWalker) lockOp(call *ast.CallExpr) (mu string, delta int) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		delta = 1
+	case "Unlock", "RUnlock":
+		delta = -1
+	default:
+		return "", 0
+	}
+	muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	base, ok := ast.Unparen(muSel.X).(*ast.Ident)
+	if !ok || w.p.Info.Uses[base] != w.recv {
+		return "", 0
+	}
+	return muSel.Sel.Name, delta
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, inner := range st.List {
+			w.walkStmt(inner)
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+			if mu, d := w.lockOp(call); mu != "" {
+				w.held[mu] += d
+				return
+			}
+		}
+		w.checkExpr(st.X)
+	case *ast.DeferStmt:
+		if mu, d := w.lockOp(st.Call); mu != "" {
+			if d > 0 {
+				w.held[mu] += d // defer Lock is nonsense; count it anyway
+			}
+			// A deferred unlock releases at return — the lock stays
+			// held for the rest of the body.
+			return
+		}
+		w.checkExpr(st.Call)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.checkExpr(e)
+		}
+		for _, e := range st.Lhs {
+			w.checkExpr(e)
+		}
+	case *ast.IfStmt:
+		w.walkStmt(st.Init)
+		w.checkExpr(st.Cond)
+		entry := w.snapshot()
+		w.walkStmt(st.Body)
+		bodyExit, bodyEnds := w.held, blockTerminates(w.p.Info, st.Body)
+		w.held = entry
+		var elseExit map[string]int
+		elseEnds := false
+		if st.Else != nil {
+			w.held = w.snapshot()
+			w.walkStmt(st.Else)
+			elseExit, elseEnds = w.held, stmtBlockTerminates(w.p.Info, st.Else)
+			w.held = entry
+		}
+		// Merge the exit states of paths that fall through.
+		merged := w.snapshot()
+		first := true
+		take := func(m map[string]int) {
+			if first {
+				merged, first = m, false
+			} else {
+				mergeMin(merged, m)
+			}
+		}
+		if !bodyEnds {
+			take(bodyExit)
+		}
+		if st.Else != nil {
+			if !elseEnds {
+				take(elseExit)
+			}
+		} else {
+			take(entry)
+		}
+		if first {
+			// Every branch terminates; anything after is unreachable
+			// anyway — keep the entry state.
+			merged = entry
+		}
+		w.held = merged
+	case *ast.ForStmt:
+		w.walkStmt(st.Init)
+		w.checkExpr(st.Cond)
+		entry := w.snapshot()
+		w.walkStmt(st.Body)
+		w.walkStmt(st.Post)
+		w.held = entry // loops are assumed lock-balanced
+	case *ast.RangeStmt:
+		w.checkExpr(st.X)
+		entry := w.snapshot()
+		w.walkStmt(st.Body)
+		w.held = entry
+	case *ast.SwitchStmt:
+		w.walkStmt(st.Init)
+		w.checkExpr(st.Tag)
+		w.walkCases(st.Body)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(st.Init)
+		w.walkStmt(st.Assign)
+		w.walkCases(st.Body)
+	case *ast.SelectStmt:
+		w.walkCases(st.Body)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.checkExpr(e)
+		}
+	case *ast.GoStmt:
+		w.checkExpr(st.Call)
+	case *ast.SendStmt:
+		w.checkExpr(st.Chan)
+		w.checkExpr(st.Value)
+	case *ast.IncDecStmt:
+		w.checkExpr(st.X)
+	case *ast.LabeledStmt:
+		w.walkStmt(st.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkExpr(v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// walkCases walks each clause of a switch/select body from the entry
+// state and merges the fall-through exits conservatively.
+func (w *lockWalker) walkCases(body *ast.BlockStmt) {
+	entry := w.snapshot()
+	merged := entry
+	first := true
+	for _, clause := range body.List {
+		w.held = copyState(entry)
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.checkExpr(e)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			w.walkStmt(c.Comm)
+			stmts = c.Body
+		}
+		ends := false
+		for _, s := range stmts {
+			w.walkStmt(s)
+		}
+		if n := len(stmts); n > 0 && stmtTerminates(w.p.Info, stmts[n-1]) {
+			ends = true
+		}
+		if !ends {
+			if first {
+				merged, first = w.held, false
+			} else {
+				mergeMin(merged, w.held)
+			}
+		}
+	}
+	if first {
+		merged = entry
+	}
+	w.held = merged
+}
+
+func copyState(m map[string]int) map[string]int {
+	c := make(map[string]int, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func blockTerminates(info *types.Info, b *ast.BlockStmt) bool {
+	if n := len(b.List); n > 0 {
+		return stmtTerminates(info, b.List[n-1])
+	}
+	return false
+}
+
+func stmtBlockTerminates(info *types.Info, s ast.Stmt) bool {
+	if b, ok := s.(*ast.BlockStmt); ok {
+		return blockTerminates(info, b)
+	}
+	return stmtTerminates(info, s)
+}
+
+// checkExpr reports unguarded accesses to annotated fields inside one
+// expression. Function literals are separate execution contexts: they
+// start unlocked and must acquire the mutex themselves.
+func (w *lockWalker) checkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			inner := &lockWalker{p: w.p, recv: w.recv, fields: w.fields, method: w.method + " (closure)", held: make(map[string]int)}
+			inner.walkStmt(x.Body)
+			return false
+		case *ast.CallExpr:
+			// Lock operations appearing in expression position (rare)
+			// are not accesses.
+			if mu, _ := w.lockOp(x); mu != "" {
+				return false
+			}
+		case *ast.SelectorExpr:
+			base, ok := ast.Unparen(x.X).(*ast.Ident)
+			if !ok || w.p.Info.Uses[base] != w.recv {
+				return true
+			}
+			mu, guarded := w.fields[x.Sel.Name]
+			if guarded && w.held[mu] <= 0 {
+				w.p.Reportf(x.Pos(), "%s.%s is guarded by %s but %s accesses it without holding the lock",
+					base.Name, x.Sel.Name, mu, w.method)
+			}
+		}
+		return true
+	})
+}

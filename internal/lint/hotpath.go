@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPath polices functions annotated //simd:hotpath — the
+// per-record/per-line loops whose zero-allocation status PR-8 bought
+// with buffer reuse. It flags the constructs that silently
+// reintroduce allocation:
+//
+//   - any fmt.* call (every fmt entry point allocates);
+//   - append that grows an unsized local (nil `var s []T`, empty
+//     literal, or 2-arg make) — growth reallocates every few
+//     iterations, where a reused field buffer or sized make amortizes
+//     to zero;
+//   - interface boxing: passing a concrete value to an interface
+//     parameter, or converting one to an interface type;
+//   - closures, except `f := func(...){...}` locals that are only
+//     ever called directly (the compiler keeps those on the stack).
+//
+// Cold error paths inside a hot function opt out per line with
+// //simd:alloc-ok. The static rules are backed by the escape-analysis
+// guard (escapes.go), which checks the compiler's verdict.
+var HotPath = &Analyzer{
+	Name:      "hotpath",
+	Doc:       "forbids allocating constructs (fmt, unsized append growth, boxing, escaping closures) in //simd:hotpath functions",
+	SkipTests: true,
+	Run:       runHotPath,
+}
+
+func runHotPath(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcAnnotated(fd, tagHotPath) {
+				continue
+			}
+			checkHotFunc(p, f, fd)
+		}
+	}
+}
+
+func checkHotFunc(p *Pass, f *ast.File, fd *ast.FuncDecl) {
+	unsized := unsizedLocals(p, fd)
+	allowedLits := localCallOnlyFuncLits(p, fd)
+
+	report := func(pos ast.Node, format string, args ...any) {
+		if lineAnnotated(p.Fset, f, pos.Pos(), tagAllocOK) {
+			return
+		}
+		p.Reportf(pos.Pos(), format, args...)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if !allowedLits[x] {
+				report(x, "closure in hot path allocates; hoist it or restructure (locals only called directly stay on the stack)")
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if b, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "append" && len(x.Args) > 0 {
+					if root, ok := ast.Unparen(x.Args[0]).(*ast.Ident); ok {
+						if obj := p.Info.Uses[root]; obj != nil && unsized[obj] {
+							report(x, "append grows unsized local %s in hot path; preallocate with make(len, cap) or reuse a sized buffer", root.Name)
+						}
+					}
+					return true
+				}
+			}
+			if tv, ok := p.Info.Types[x.Fun]; ok && tv.IsType() {
+				// Conversion: T(v) boxing a concrete v into interface T.
+				if isInterface(tv.Type) && len(x.Args) == 1 && boxes(p, x.Args[0]) {
+					report(x, "conversion to %s boxes a concrete value in hot path", types.TypeString(tv.Type, types.RelativeTo(p.Pkg)))
+				}
+				return true
+			}
+			checkCallBoxing(p, x, report)
+		}
+		return true
+	})
+}
+
+// checkCallBoxing flags concrete arguments flowing into interface
+// parameters. fmt calls are reported as a whole — every fmt entry
+// point allocates regardless of its arguments.
+func checkCallBoxing(p *Pass, call *ast.CallExpr, report func(ast.Node, string, ...any)) {
+	obj := calleeObject(p.Info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		report(call, "fmt.%s allocates (format parsing and boxing); hot paths must format by hand or opt out with //simd:alloc-ok", fn.Name())
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... forwards the slice, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if isInterface(pt) && boxes(p, arg) {
+			report(arg, "passing concrete %s to interface parameter of %s boxes it in hot path",
+				types.TypeString(p.Info.Types[arg].Type, types.RelativeTo(p.Pkg)), fn.Name())
+		}
+	}
+}
+
+// boxes reports whether arg is a concrete (non-interface, non-nil)
+// value whose assignment to an interface allocates.
+func boxes(p *Pass, arg ast.Expr) bool {
+	tv, ok := p.Info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() || isInterface(tv.Type) {
+		return false
+	}
+	b, isBasic := tv.Type.Underlying().(*types.Basic)
+	if isBasic && b.Info()&types.IsUntyped != 0 {
+		// Untyped constants box too, but small ones hit the runtime's
+		// static boxes; the escape guard arbitrates. Keep the static
+		// rule to typed values.
+		return false
+	}
+	return true
+}
+
+// unsizedLocals collects slice locals whose append growth reallocates:
+// nil `var s []T` declarations, empty composite literals, and 2-arg
+// make (append past len grows immediately). Sized 3-arg make, field
+// buffers, params and resliced ([:0]) values are allowed roots.
+func unsizedLocals(p *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	unsized := make(map[types.Object]bool)
+	mark := func(id *ast.Ident, rhs ast.Expr) {
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			return
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		if rhs == nil {
+			unsized[obj] = true // var s []T
+			return
+		}
+		switch r := ast.Unparen(rhs).(type) {
+		case *ast.CompositeLit:
+			if len(r.Elts) == 0 {
+				unsized[obj] = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(r.Fun).(*ast.Ident); ok {
+				if b, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "make" && len(r.Args) == 2 {
+					unsized[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				if len(x.Values) == 0 {
+					mark(name, nil)
+				} else if i < len(x.Values) {
+					mark(name, x.Values[i])
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(x.Rhs) {
+					continue
+				}
+				mark(id, x.Rhs[i])
+			}
+		}
+		return true
+	})
+	return unsized
+}
+
+// localCallOnlyFuncLits returns the FuncLit nodes bound as
+// `name := func(...){...}` where name is only ever used in direct
+// call position — the shape the inliner and escape analysis keep off
+// the heap.
+func localCallOnlyFuncLits(p *Pass, fd *ast.FuncDecl) map[*ast.FuncLit]bool {
+	// Idents appearing as the callee of a direct call.
+	calledIdents := make(map[*ast.Ident]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				calledIdents[id] = true
+			}
+		}
+		return true
+	})
+
+	candidates := make(map[types.Object]*ast.FuncLit)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			lit, ok := ast.Unparen(as.Rhs[i]).(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			if obj := p.Info.Defs[id]; obj != nil {
+				candidates[obj] = lit
+			}
+		}
+		return true
+	})
+
+	allowed := make(map[*ast.FuncLit]bool)
+	for obj, lit := range candidates {
+		escapes := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || p.Info.Uses[id] != obj {
+				return true
+			}
+			if !calledIdents[id] {
+				escapes = true
+			}
+			return !escapes
+		})
+		if !escapes {
+			allowed[lit] = true
+		}
+	}
+	return allowed
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The fixture loader type-checks test packages from source, so it
+// needs an importer that can resolve standard-library imports without
+// compiled export data. One shared source importer amortizes the cost
+// of type-checking std packages across every fixture in a test run —
+// but it owns its FileSet, so fixtures must share it too.
+var (
+	srcOnce sync.Once
+	srcFset *token.FileSet
+	srcImp  types.Importer
+)
+
+func sourceImporter() (*token.FileSet, types.Importer) {
+	srcOnce.Do(func() {
+		srcFset = token.NewFileSet()
+		srcImp = importer.ForCompiler(srcFset, "source", nil)
+	})
+	return srcFset, srcImp
+}
+
+// LoadDir parses and type-checks every non-test .go file in dir as a
+// single package whose import path is importPath — fixtures use paths
+// like "repro/internal/service" to exercise path-scoped analyzers
+// without living in the real tree. Fixtures may import the standard
+// library only.
+func LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+
+	fset, imp := sourceImporter()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := NewInfo()
+	tc := &types.Config{Importer: imp}
+	pkg, err := tc.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// MetricReg guards the /metrics contract: every family is registered
+// exactly once per package. A family is "registered" either by an
+// obs.NewHistogramVec call (which renders its own # HELP/# TYPE) or
+// by hand-written `# HELP <name>` / `# TYPE <name>` literals fed to
+// fmt.Fprintf. Double registration makes Prometheus scrapes reject
+// the whole exposition; a HELP without a TYPE (or vice versa)
+// produces an untyped family that silently loses histogram semantics.
+var MetricReg = &Analyzer{
+	Name:      "metricreg",
+	Doc:       "every /metrics family must be registered exactly once, with paired # HELP and # TYPE lines",
+	SkipTests: true,
+	Run:       runMetricReg,
+}
+
+// metricSite records one registration of a family.
+type metricSite struct {
+	pos  token.Pos
+	kind string // "HELP", "TYPE", or "vec" (NewHistogramVec covers both)
+}
+
+func runMetricReg(p *Pass) {
+	families := make(map[string][]metricSite)
+	order := []string{}
+	record := func(name, kind string, pos token.Pos) {
+		if _, seen := families[name]; !seen {
+			order = append(order, name)
+		}
+		families[name] = append(families[name], metricSite{pos: pos, kind: kind})
+	}
+
+	for _, f := range p.Files {
+		// Test files register scratch families at will; only the
+		// production exposition counts.
+		if strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if obj := calleeObject(p.Info, call); obj != nil && obj.Name() == "NewHistogramVec" && len(call.Args) > 0 {
+				if name, ok := stringLit(call.Args[0]); ok {
+					record(name, "vec", call.Pos())
+				}
+				return true
+			}
+			// fmt.Fprintf(w, "# HELP simd_x ...\n") — the hand-rolled
+			// exposition path. Only literal formats are checkable.
+			if isPkgFunc(p.Info, call, "fmt", "Fprintf") || isPkgFunc(p.Info, call, "fmt", "Fprint") {
+				for _, arg := range call.Args {
+					lit, ok := stringLit(arg)
+					if !ok {
+						continue
+					}
+					for _, kind := range []string{"HELP", "TYPE"} {
+						marker := "# " + kind + " "
+						rest, found := strings.CutPrefix(lit, marker)
+						if !found {
+							continue
+						}
+						name, _, _ := strings.Cut(rest, " ")
+						name = strings.TrimRight(name, "\n")
+						// A %s family name is not statically known.
+						if name != "" && !strings.Contains(name, "%") {
+							record(name, kind, arg.Pos())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, name := range order {
+		sites := families[name]
+		var help, typ, vec []metricSite
+		for _, s := range sites {
+			switch s.kind {
+			case "HELP":
+				help = append(help, s)
+			case "TYPE":
+				typ = append(typ, s)
+			case "vec":
+				vec = append(vec, s)
+			}
+		}
+		switch {
+		case len(vec) > 1:
+			p.Reportf(vec[1].pos, "metric family %q is registered %d times in this package; register it exactly once", name, len(vec))
+		case len(vec) == 1 && (len(help) > 0 || len(typ) > 0):
+			hand := append(append([]metricSite{}, help...), typ...)
+			p.Reportf(hand[0].pos, "metric family %q is registered both by NewHistogramVec and by hand-written # HELP/# TYPE lines", name)
+		case len(help) > 1:
+			p.Reportf(help[1].pos, "metric family %q emits # HELP %d times in this package; each family is registered exactly once", name, len(help))
+		case len(typ) > 1:
+			p.Reportf(typ[1].pos, "metric family %q emits # TYPE %d times in this package; each family is registered exactly once", name, len(typ))
+		case len(help) == 1 && len(typ) == 0:
+			p.Reportf(help[0].pos, "metric family %q has a # HELP line but no # TYPE line; scrapers treat it as untyped", name)
+		case len(typ) == 1 && len(help) == 0:
+			p.Reportf(typ[0].pos, "metric family %q has a # TYPE line but no # HELP line", name)
+		}
+	}
+}
+
+// stringLit unwraps a string literal (possibly parenthesized),
+// returning its unquoted value.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

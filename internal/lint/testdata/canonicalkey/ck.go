@@ -1,0 +1,50 @@
+// Fixture for the canonicalkey analyzer: every hand-rolled preimage
+// shape it must catch, plus the raw-content hashes it must leave
+// alone.
+package ckfix
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+)
+
+func sprintfKey(w string, k int) [32]byte {
+	return sha256.Sum256([]byte(fmt.Sprintf("%s|%d", w, k))) // want "fmt formatting"
+}
+
+func concatKey(a, b string) [32]byte {
+	return sha256.Sum256([]byte(a + "|" + b)) // want "string concatenation"
+}
+
+func joinKey(parts []string) [32]byte {
+	return sha256.Sum256([]byte(strings.Join(parts, "|"))) // want "strings.Join"
+}
+
+func builderKey(w string, k int) [32]byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%d", w, k)
+	return sha256.Sum256([]byte(b.String())) // want "fmt.Fprintf into a builder"
+}
+
+func localKey(w string, k int) [32]byte {
+	canon := fmt.Sprintf("%s|%d", w, k)
+	return sha256.Sum256([]byte(canon)) // want "fmt formatting"
+}
+
+// False-positive regressions: hashing raw content is the normal use
+// of sha256 and must stay silent.
+
+func contentHash(data []byte) [32]byte {
+	return sha256.Sum256(data)
+}
+
+func opaqueStringHash(s string) [32]byte {
+	// s is a caller-supplied preimage, not built here; nothing to flag.
+	return sha256.Sum256([]byte(s))
+}
+
+func joinWithoutHash(parts []string) string {
+	// strings.Join is fine when the result is not a hash preimage.
+	return strings.Join(parts, ",")
+}

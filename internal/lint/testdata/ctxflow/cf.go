@@ -1,0 +1,44 @@
+// Fixture for the ctxflow analyzer, loaded under the
+// repro/internal/service import path so the request-path rule fires.
+package cffix
+
+import "context"
+
+func freshInHandler() context.Context {
+	return context.Background() // want "mints a fresh context in the request path"
+}
+
+func todoInHandler() context.Context {
+	return context.TODO() // want "mints a fresh context in the request path"
+}
+
+// DropsCtx binds ctx and never touches it.
+func DropsCtx(ctx context.Context, n int) int { // want "accepts ctx but never uses it"
+	return n * 2
+}
+
+// False-positive regressions.
+
+//simd:ctxroot — pretend process-lifetime root.
+func processRoot() context.Context {
+	return context.Background()
+}
+
+func lineOptOut() context.Context {
+	return context.Background() //simd:ctxroot boot-time root
+}
+
+// ThreadsCtx uses its ctx; no finding.
+func ThreadsCtx(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// IgnoresCtx documents the drop with the blank name.
+func IgnoresCtx(_ context.Context, n int) int {
+	return n
+}
+
+// unexported functions may drop ctx (interface plumbing does).
+func dropsQuietly(ctx context.Context) int {
+	return 1
+}

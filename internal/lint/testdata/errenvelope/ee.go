@@ -1,0 +1,23 @@
+// Fixture for the errenvelope analyzer, loaded under the
+// repro/internal/service import path.
+package eefix
+
+import "net/http"
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusBadRequest) // want "text/plain body outside the JSON envelope"
+}
+
+func notFoundHandler(w http.ResponseWriter, r *http.Request) {
+	http.NotFound(w, r) // want "use writeError with http.StatusNotFound"
+}
+
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusBadRequest, "bad")
+}
+
+// False-positive regression: the envelope writer itself is the one
+// sanctioned caller of the raw response machinery.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	http.Error(w, msg, status)
+}

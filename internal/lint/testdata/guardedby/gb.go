@@ -1,0 +1,78 @@
+// Fixture for the guardedby analyzer: lock-state tracking through
+// straight-line code, branches, deferred unlocks, closures and the
+// *Locked/simd:locked escape hatches.
+package gbfix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	m  int // not guarded
+}
+
+func (c *counter) bare() int {
+	return c.n // want "c.n is guarded by mu but bare accesses it"
+}
+
+func (c *counter) locked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) unlockTooEarly() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	c.n++ // want "c.n is guarded by mu but unlockTooEarly accesses it"
+	return v
+}
+
+func (c *counter) goroutineEscape() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want "guarded by mu but goroutineEscape \(closure\) accesses it"
+	}()
+}
+
+func (c *counter) unguardedField() int {
+	return c.m // m carries no annotation
+}
+
+// False-positive regressions: shapes the walker must accept.
+
+func (c *counter) bumpLocked() { c.n++ } // *Locked contract: caller holds mu
+
+//simd:locked — exercised before the counter is shared.
+func (c *counter) bootInit() { c.n = 0 }
+
+func (c *counter) bothBranchesLock(x bool) {
+	if x {
+		c.mu.Lock()
+	} else {
+		c.mu.Lock()
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) earlyReturn(bad bool) {
+	c.mu.Lock()
+	if bad {
+		c.mu.Unlock()
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) lockedClosure() {
+	fn := func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.n++
+	}
+	fn()
+}

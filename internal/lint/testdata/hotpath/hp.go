@@ -1,0 +1,117 @@
+// Fixture for the hotpath analyzer: the allocating constructs it must
+// flag inside //simd:hotpath functions and the allocation-free shapes
+// it must accept.
+package hpfix
+
+import "fmt"
+
+type codec struct {
+	buf []byte
+}
+
+func sinkAny(v any)      {}
+func sinkErr(err error)  {}
+func sinkFn(fn func())   {}
+func variadic(vs ...any) {}
+
+//simd:hotpath
+func fmtInHot(n int) string {
+	return fmt.Sprintf("%d", n) // want "fmt.Sprintf allocates"
+}
+
+//simd:hotpath
+func unsizedAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want "append grows unsized local out"
+	}
+	return out
+}
+
+//simd:hotpath
+func emptyLitAppend(xs []int) []int {
+	out := []int{}
+	return append(out, xs...) // want "append grows unsized local out"
+}
+
+//simd:hotpath
+func twoArgMakeAppend(xs []int) []int {
+	out := make([]int, 0)
+	return append(out, xs...) // want "append grows unsized local out"
+}
+
+//simd:hotpath
+func boxesArg(n int) {
+	sinkAny(n) // want "passing concrete int to interface parameter"
+}
+
+//simd:hotpath
+func boxesVariadic(n int) {
+	variadic(n) // want "passing concrete int to interface parameter"
+}
+
+//simd:hotpath
+func boxesConversion(n int) any {
+	return any(n) // want "conversion to any boxes a concrete value"
+}
+
+//simd:hotpath
+func escapingClosure(n int) {
+	sinkFn(func() { _ = n }) // want "closure in hot path allocates"
+}
+
+//simd:hotpath
+func optedOut(n int) string {
+	return fmt.Sprintf("%d", n) //simd:alloc-ok cold error path
+}
+
+// False-positive regressions: shapes that stay on the stack or reuse
+// storage.
+
+//simd:hotpath
+func sizedAppend(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+//simd:hotpath
+func fieldBufferAppend(c *codec, b byte) {
+	c.buf = append(c.buf, b)
+}
+
+//simd:hotpath
+func resliceReuse(c *codec, xs []byte) {
+	buf := c.buf[:0]
+	for _, x := range xs {
+		buf = append(buf, x)
+	}
+	c.buf = buf
+}
+
+//simd:hotpath
+func paramAppend(dst []byte, b byte) []byte {
+	return append(dst, b)
+}
+
+//simd:hotpath
+func localCalledClosure(xs []int) int {
+	sum := 0
+	add := func(x int) { sum += x }
+	for _, x := range xs {
+		add(x)
+	}
+	return sum
+}
+
+//simd:hotpath
+func interfaceForwarding(err error) {
+	sinkErr(err) // already an interface; no boxing
+}
+
+// Not annotated: fmt and closures are fine in cold code.
+func coldPath(n int) string {
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,42 @@
+// Fixture for the metricreg analyzer: duplicate registrations, torn
+// HELP/TYPE pairs, and the single-registration shapes that must stay
+// silent.
+package mrfix
+
+import (
+	"fmt"
+	"io"
+)
+
+type vec struct{}
+
+// NewHistogramVec stands in for obs.NewHistogramVec — metricreg
+// matches the callee by name so fixtures need not import the real
+// package.
+func NewHistogramVec(name, help string, labels []string, bounds []float64) *vec {
+	return &vec{}
+}
+
+var (
+	a = NewHistogramVec("fix_dup_seconds", "first", nil, nil)
+	b = NewHistogramVec("fix_dup_seconds", "second", nil, nil) // want "registered 2 times"
+	c = NewHistogramVec("fix_both_seconds", "fine", nil, nil)
+)
+
+func write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP fix_total Things counted.\n")
+	fmt.Fprintf(w, "# TYPE fix_total counter\n")
+
+	fmt.Fprintf(w, "# HELP fix_twice_total Counted twice.\n")
+	fmt.Fprintf(w, "# TYPE fix_twice_total counter\n")
+	fmt.Fprintf(w, "# HELP fix_twice_total Counted twice.\n") // want "emits # HELP 2 times"
+
+	fmt.Fprintf(w, "# HELP fix_untyped_total No TYPE line.\n") // want "no # TYPE line"
+
+	fmt.Fprintf(w, "# HELP fix_both_seconds Also registered by NewHistogramVec.\n") // want "both by NewHistogramVec and by hand-written"
+	fmt.Fprintf(w, "# TYPE fix_both_seconds histogram\n")
+
+	// False-positive regression: %s family names are not statically
+	// known and must not be recorded.
+	fmt.Fprintf(w, "# HELP %s dynamic family\n", "whatever")
+}

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go hands a vet tool
+// for each package: the file set, how to resolve imports, and where
+// to leave the (unused here) facts output. The field set tracks
+// cmd/go/internal/work's vetConfig; unknown fields are ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a vettool built on this framework: it
+// implements the protocol `go vet -vettool=<tool>` drives — the
+// -V=full build-cache handshake, the -flags capability query, and
+// one <file>.cfg positional argument per analyzed package.
+func Main(progname string, analyzers []*Analyzer) {
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] <file.cfg>\n\n", progname)
+		fmt.Fprintf(os.Stderr, "Run as `go vet -vettool=$(which %s) ./...`, or directly on a\n", progname)
+		fmt.Fprintf(os.Stderr, "vet configuration file. Analyzers:\n\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	versionF := fs.String("V", "", "print version and exit (the `go vet` tool-ID handshake)")
+	flagsF := fs.Bool("flags", false, "print the tool's flags as JSON and exit")
+	jsonF := fs.Bool("json", false, "emit diagnostics as JSON instead of text")
+	fs.Parse(os.Args[1:])
+
+	if *versionF != "" {
+		// Replicates the minimal subset of cmd/compile's -V=full
+		// output that cmd/go accepts as a tool ID: name, "version",
+		// and a build-identifying suffix. Hash the executable so a
+		// rebuilt tool invalidates go vet's result cache.
+		if *versionF != "full" {
+			log.Fatalf("unsupported flag -V=%s", *versionF)
+		}
+		name := filepath.Base(os.Args[0])
+		exe, err := os.Executable()
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Open(exe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("%s version devel comments-go-here buildID=%02x\n", name, h.Sum(nil))
+		os.Exit(0)
+	}
+	if *flagsF {
+		// cmd/go interrogates the tool's flags so it can decide which
+		// user-supplied vet flags to forward. Expose only -json.
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		out := []jsonFlag{{Name: "json", Bool: true, Usage: "emit JSON diagnostics"}}
+		data, _ := json.Marshal(out)
+		fmt.Println(string(data))
+		os.Exit(0)
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && args[0] == "help" {
+		fs.Usage()
+		os.Exit(0)
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf("this tool is run by `go vet -vettool=$(which %s)`; it expects one <file>.cfg argument (got %q)", progname, args)
+	}
+	diags, err := runConfig(args[0], analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(diags) == 0 {
+		os.Exit(0)
+	}
+	if *jsonF {
+		data, _ := json.MarshalIndent(diags, "", "\t")
+		fmt.Println(string(data))
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	os.Exit(2)
+}
+
+// runConfig loads one vet package configuration, type-checks the
+// package against the export data cmd/go supplied, and runs the
+// analyzers.
+func runConfig(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+
+	// The facts output must exist even though this suite computes no
+	// facts — cmd/go records it as the action's product.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("no facts\n"), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		// The package is a dependency analyzed only for facts; there
+		// are none, so there is nothing to do.
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	base := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return base.Import(path)
+	})
+
+	info := NewInfo()
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+
+	return RunAnalyzers(&Package{Fset: fset, Files: files, Pkg: pkg, Info: info}, analyzers), nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

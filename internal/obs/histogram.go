@@ -34,10 +34,10 @@ var DefBuckets = []float64{
 // at service request rates the lock is invisible.
 type Histogram struct {
 	mu     sync.Mutex
-	bounds []float64 // upper bounds, ascending, +Inf implicit
-	counts []uint64  // len(bounds)+1; last is the +Inf overflow
-	sum    float64
-	total  uint64
+	bounds []float64 // upper bounds, ascending, +Inf implicit; immutable
+	counts []uint64  // len(bounds)+1; last is the +Inf overflow; guarded by mu
+	sum    float64   // guarded by mu
+	total  uint64    // guarded by mu
 }
 
 // NewHistogram builds a histogram over the given ascending upper
@@ -95,7 +95,7 @@ type HistogramVec struct {
 	bounds []float64
 
 	mu   sync.Mutex
-	kids map[string]*Histogram
+	kids map[string]*Histogram // guarded by mu
 }
 
 // NewHistogramVec builds a histogram family. name is the metric

@@ -1,17 +1,15 @@
 package service
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"os"
 	"sort"
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/keys"
 	"repro/internal/placement"
 	"repro/internal/units"
 )
@@ -155,19 +153,23 @@ func (r AdviseRequest) Resolve() (adviseQuery, error) {
 // campaign.Point.Key: equal resolved requests — however their sizes
 // were spelled — hash equal.
 func (q adviseQuery) Key() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "advise|w=%d:%s|b=%d|t=%d|sku=%s", len(q.workload), q.workload, int64(q.size), q.threads, q.sku)
+	b := keys.New("advise").
+		Str("w", q.workload).
+		Int("b", int64(q.size)).
+		Int("t", int64(q.threads)).
+		Str("sku", q.sku)
 	for _, s := range q.structs {
-		// Length-prefix the user-supplied name (injective even when
-		// names contain the delimiters) and serialize traffic by bit
-		// pattern (injective for every distinct float64).
-		fmt.Fprintf(&b, "|s=%d:%s:%d:%016x:%016x:%016x:%016x",
-			len(s.Name), s.Name, int64(s.Footprint),
-			math.Float64bits(s.SeqBytes), math.Float64bits(s.RandomAccesses),
-			math.Float64bits(s.ChaseOps), math.Float64bits(s.ChaseLength))
+		// The builder length-prefixes the user-supplied name (injective
+		// even when names contain delimiters) and serializes traffic by
+		// bit pattern (injective for every distinct float64).
+		b.Str("s", s.Name).
+			Int("fp", int64(s.Footprint)).
+			Float("seq", s.SeqBytes).
+			Float("rand", s.RandomAccesses).
+			Float("chase", s.ChaseOps).
+			Float("chaselen", s.ChaseLength)
 	}
-	sum := sha256.Sum256([]byte(b.String()))
-	return hex.EncodeToString(sum[:])
+	return b.Sum()
 }
 
 // structures resolves the query's structure set, deriving it from the

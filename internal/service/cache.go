@@ -13,8 +13,8 @@ import (
 // cached — a failed computation is retried by the next caller.
 type Cache[V any] struct {
 	mu      sync.Mutex
-	entries map[string]*cacheEntry[V]
-	fifo    []string // insertion order for eviction
+	entries map[string]*cacheEntry[V] // guarded by mu
+	fifo    []string                  // insertion order for eviction; guarded by mu
 	max     int
 
 	hits   atomic.Int64

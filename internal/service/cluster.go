@@ -1,16 +1,14 @@
 package service
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 
 	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/keys"
 	"repro/internal/units"
 )
 
@@ -177,16 +175,19 @@ func (r ClusterRequest) Resolve() (clusterQuery, error) {
 // campaign.Point.Key: equal resolved requests — however their sizes
 // were spelled — hash equal.
 func (q clusterQuery) Key() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "cluster|w=%d:%s|b=%d|t=%d|sku=%s|wsf=%016x|net=%d:%s:%016x:%016x",
-		len(q.workload), q.workload, int64(q.size), q.threads, q.sku,
-		math.Float64bits(q.factor), len(q.network.Name), q.network.Name,
-		math.Float64bits(q.network.LatencyNS), math.Float64bits(q.network.BandwidthGBs))
+	b := keys.New("cluster").
+		Str("w", q.workload).
+		Int("b", int64(q.size)).
+		Int("t", int64(q.threads)).
+		Str("sku", q.sku).
+		Float("wsf", q.factor).
+		Str("net", q.network.Name).
+		Float("lat", q.network.LatencyNS).
+		Float("bw", q.network.BandwidthGBs)
 	for _, n := range q.nodes {
-		fmt.Fprintf(&b, "|n=%d", n)
+		b.Int("n", int64(n))
 	}
-	sum := sha256.Sum256([]byte(b.String()))
-	return hex.EncodeToString(sum[:])
+	return b.Sum()
 }
 
 // clusterStats converts one Iterate result to the shared wire stats —

@@ -21,7 +21,7 @@ type Metrics struct {
 	revision string
 
 	mu       sync.Mutex
-	requests map[string]int64 // by route pattern (or "unmatched")
+	requests map[string]int64 // by route pattern (or "unmatched"); guarded by mu
 
 	// httpSeconds is end-to-end request latency by route and status.
 	httpSeconds *obs.HistogramVec

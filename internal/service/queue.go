@@ -95,7 +95,8 @@ type JobOptions struct {
 
 // job is the internal record: a snapshot guarded by mu plus the work.
 type job struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	// info is the live job record. guarded by mu.
 	info     JobInfo
 	fn       JobFunc
 	base     context.Context // optional extra cancel signal
@@ -130,9 +131,9 @@ type Queue struct {
 	workers int
 
 	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string // submission order, for retention pruning
-	closed   bool
+	jobs     map[string]*job // guarded by mu
+	order    []string        // submission order, for retention pruning; guarded by mu
+	closed   bool            // guarded by mu
 	retained int
 
 	seq       atomic.Int64
@@ -143,7 +144,7 @@ type Queue struct {
 	// serviceEWMA tracks an exponentially weighted moving average of
 	// job service time (seconds), feeding Retry-After estimates.
 	ewmaMu      sync.Mutex
-	serviceEWMA float64
+	serviceEWMA float64 // guarded by ewmaMu
 
 	// onStage, when set (before traffic, by the server), observes every
 	// completed stage span — the feed of the per-stage latency
@@ -157,6 +158,8 @@ type Queue struct {
 // NewQueue starts a queue with the given worker count (<=0:
 // GOMAXPROCS) and pending-queue depth (<=0: 256). retain bounds how
 // many finished jobs stay queryable (<=0: 4096).
+//
+//simd:ctxroot — the worker pool outlives any request; its context is the process's, cancelled only by Close.
 func NewQueue(workers, depth, retain int) *Queue {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -2,8 +2,6 @@ package service
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -13,6 +11,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/engine"
+	"repro/internal/keys"
 	"repro/internal/tracesim"
 	"repro/internal/tracestore"
 	"repro/internal/units"
@@ -152,10 +151,14 @@ func (r ReplayRequest) Resolve() (replayQuery, error) {
 // excluded: sharded and scalar replay of a stored trace are exactly
 // equivalent, so they must share a cache entry.
 func (q replayQuery) Key() string {
-	canon := fmt.Sprintf("replay|tr=%s|k=%d|f=%.6f|sku=%s|p=%d|pf=%t",
-		q.trace, int(q.config.Kind), q.config.HybridFlatFraction, q.sku, q.passes, q.prefetch)
-	sum := sha256.Sum256([]byte(canon))
-	return hex.EncodeToString(sum[:])
+	return keys.New("replay").
+		Str("tr", q.trace).
+		Int("k", int64(q.config.Kind)).
+		Float("f", q.config.HybridFlatFraction).
+		Str("sku", q.sku).
+		Int("p", int64(q.passes)).
+		Bool("pf", q.prefetch).
+		Sum()
 }
 
 // ReplayStats is the full counter set of a replay — every field the

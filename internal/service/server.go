@@ -97,8 +97,8 @@ type Server struct {
 
 	traceDir string
 	storeMu  sync.Mutex
-	store    *tracestore.Store
-	storeErr error
+	store    *tracestore.Store // lazily opened; guarded by storeMu
+	storeErr error             // guarded by storeMu
 
 	// Crash-safety state, nil on an ephemeral server (NewServer):
 	// every accepted job is journaled before its 202, every terminal
@@ -114,7 +114,7 @@ type Server struct {
 	closing     atomic.Bool  // shutdown in progress (cancel = interrupted, not failed)
 
 	mu      sync.Mutex
-	results map[string]*CampaignResult // finished campaign results by job ID
+	results map[string]*CampaignResult // finished campaign results by job ID; guarded by mu
 }
 
 // NewServer builds a ready-to-serve service.

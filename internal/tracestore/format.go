@@ -241,12 +241,14 @@ func newBlockBuf() *blockBuf {
 
 // encode renders accs into wire (varint count, zigzag-varint address
 // deltas off base, kind runs, CRC32 trailer), shaBuf and lineBuf.
+//
+//simd:hotpath — runs once per 4096-access block; every buffer is a reused field.
 func (b *blockBuf) encode() {
 	n := len(b.accs)
 	p := binary.AppendUvarint(b.payload[:0], uint64(n))
 	prev := b.base
 	if cap(b.shaBuf) < 9*n {
-		b.shaBuf = make([]byte, 9*n)
+		b.shaBuf = make([]byte, 9*n) //simd:alloc-ok amortized: grows once, then the field is reused every block
 	}
 	b.shaBuf = b.shaBuf[:9*n]
 	b.lineBuf = b.lineBuf[:0]
@@ -488,6 +490,8 @@ func (d *Decoder) NextBatch(buf []tracesim.Access) int {
 // NextBatch call. It returns ok=false at end of stream or on error
 // (check Err). Interleaving with NextBatch is safe: a partially
 // consumed block is handed out as its remaining tail first.
+//
+//simd:hotpath — the replay feed; runs once per block on every simulated campaign point.
 func (d *Decoder) NextBlock() ([]tracesim.Access, bool) {
 	if d.pos < len(d.buf) {
 		b := d.buf[d.pos:]

@@ -366,6 +366,8 @@ func parseKindFast(b []byte) (cache.AccessKind, bool) {
 // encoding/json does), number or string addresses, no escapes, no
 // other keys, nothing after the closing brace. Any deviation falls
 // back to encoding/json.
+//
+//simd:hotpath — runs once per ingested NDJSON line.
 func parseNDJSONFast(b []byte) (tracesim.Access, bool) {
 	// Template fast path: the canonical emitter spelling
 	// {"addr": N} / {"addr": N, "kind": "R"}. Anything else takes the
@@ -494,6 +496,8 @@ func parseNDJSONFast(b []byte) (tracesim.Access, bool) {
 
 // parseCSVFast parses "addr[,kind]" with ASCII-only content. More
 // than one comma, non-ASCII bytes, or unusual numerals fall back.
+//
+//simd:hotpath — runs once per ingested CSV line.
 func parseCSVFast(line []byte) (tracesim.Access, bool) {
 	addrF := line
 	var kindF []byte

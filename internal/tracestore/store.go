@@ -51,8 +51,8 @@ type Store struct {
 	dir string
 
 	mu          sync.Mutex
-	metas       map[string]Meta
-	quarantined int64
+	metas       map[string]Meta // guarded by mu
+	quarantined int64           // guarded by mu
 }
 
 // Open opens (creating if needed) a store rooted at dir and indexes
@@ -109,6 +109,8 @@ func OpenFS(fsys faultfs.FS, dir string) (*Store, error) {
 }
 
 // quarantine moves one damaged trace file into <dir>/quarantine.
+//
+//simd:locked — runs inside OpenFS's index scan, before the Store is published to any other goroutine.
 func (s *Store) quarantine(name string) error {
 	qdir := filepath.Join(s.dir, "quarantine")
 	if err := s.fs.MkdirAll(qdir, 0o755); err != nil {

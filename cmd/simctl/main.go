@@ -13,6 +13,7 @@
 //	simctl campaign -experiments all
 //	simctl job j000001
 //	simctl job -timings j000001
+//	simctl watch j000001
 //	simctl -request-id deploy-42 run -workload STREAM -config hbm -size 8GB
 //
 // Stored traces (the durable trace store behind /v1/traces):
@@ -45,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/events"
 	"repro/internal/service"
 )
 
@@ -58,7 +60,7 @@ func main() {
 	}
 }
 
-const usage = `usage: simctl [-addr URL] <workloads|experiments|run|advise|cluster|trace|campaign|job> [flags]`
+const usage = `usage: simctl [-addr URL] <workloads|experiments|run|advise|cluster|trace|campaign|job|watch> [flags]`
 
 // run dispatches the subcommands; it is the testable body of the
 // command.
@@ -108,6 +110,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return cmdCampaign(ctx, client, rest[1:], stdout, stderr)
 	case "job":
 		return cmdJob(ctx, client, rest[1:], stdout, stderr)
+	case "watch":
+		return cmdWatch(ctx, client, rest[1:], stdout, stderr)
 	}
 	return fmt.Errorf("unknown subcommand %q\n%s", rest[0], usage)
 }
@@ -534,9 +538,68 @@ func cmdJob(ctx context.Context, c *service.Client, args []string, stdout, stder
 	}
 	if *timings {
 		fmt.Fprint(stdout, service.RenderTimings(resp.Job))
+		// If the server still retains the execution trace for the
+		// request that submitted this job, render its span tree below
+		// the stage timeline. Traces are a bounded debug ring, so a
+		// miss (evicted, sampled out, or an older server) is normal
+		// and silently skipped.
+		if resp.Job.RequestID != "" {
+			if tr, err := c.DebugTrace(ctx, resp.Job.RequestID); err == nil {
+				fmt.Fprintln(stdout)
+				fmt.Fprint(stdout, service.RenderSpanTree(tr))
+			}
+		}
 		return nil
 	}
 	return printJSON(stdout, resp)
+}
+
+// cmdWatch follows one job's live SSE event feed (/v1/jobs/{id}/events),
+// printing each state transition, completed point and progress tick as
+// it is published. Exits when the terminal event arrives.
+func cmdWatch(ctx context.Context, c *service.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("simctl watch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "print each event as one line of JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: simctl watch [-json] <id>")
+	}
+	id := fs.Arg(0)
+	return c.WatchJob(ctx, id, func(ev events.Event) {
+		if *asJSON {
+			// Compact NDJSON, one event per line, so feeds pipe into
+			// line-oriented tools.
+			if raw, err := json.Marshal(ev); err == nil {
+				fmt.Fprintf(stdout, "%s\n", raw)
+			}
+			return
+		}
+		switch ev.Type {
+		case events.TypeState:
+			line := fmt.Sprintf("%s %s", ev.Job, ev.State)
+			if ev.Total > 0 {
+				line += fmt.Sprintf(" %d/%d", ev.Done, ev.Total)
+			}
+			if ev.Error != "" {
+				line += " error=" + ev.Error
+			}
+			fmt.Fprintln(stdout, line)
+		case events.TypePoint:
+			tag := ""
+			if ev.Cached {
+				tag = " (cached)"
+			}
+			if ev.Error != "" {
+				tag += " error=" + ev.Error
+			}
+			fmt.Fprintf(stdout, "  point %s %s%s\n", ev.Workload, shortKey(ev.Point), tag)
+		case events.TypeProgress:
+			fmt.Fprintf(stdout, "  progress %d/%d\n", ev.Done, ev.Total)
+		}
+	})
 }
 
 func printJSON(w io.Writer, v any) error {

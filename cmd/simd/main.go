@@ -21,6 +21,9 @@
 //	GET    /v1/jobs/{id}            poll a job
 //	GET    /v1/jobs/{id}/result     block for a job's result
 //	GET    /v1/jobs/{id}/stream     NDJSON progress feed
+//	GET    /v1/jobs/{id}/events     SSE live event feed (multi-subscriber)
+//	GET    /debug/traces            retained execution-trace summaries
+//	GET    /debug/traces/{id}       one request's span tree
 //	GET    /debug/pprof/*           runtime profiling
 //
 // Every request carries an X-Request-Id (generated when the client
@@ -86,7 +89,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	logFormat := fs.String("log-format", "text", "log encoding: text or json")
-	slowReq := fs.Duration("slow-request", time.Second, "promote slower requests to WARN in the access log")
+	slowReq := fs.Duration("slow-request", time.Second, "promote slower requests to WARN in the access log (also pins their traces)")
+	traceBuf := fs.Int("trace-buffer", 0, "execution traces retained for /debug/traces (0: default 256)")
+	keepAlive := fs.Duration("keepalive", 15*time.Second, "idle keepalive interval on the stream and event feeds")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,6 +119,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		MaxTraceBytes: int64(maxTraceBytes),
 		Logger:        logger,
 		SlowRequest:   *slowReq,
+		TraceBuffer:   *traceBuf,
+		KeepAlive:     *keepAlive,
 	}
 	var srv *service.Server
 	if *dataDir == "" {

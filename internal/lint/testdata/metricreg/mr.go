@@ -40,3 +40,35 @@ func write(w io.Writer) {
 	// known and must not be recorded.
 	fmt.Fprintf(w, "# HELP %s dynamic family\n", "whatever")
 }
+
+// writeGauges mirrors the service's hand-rendered gauge families (queue
+// depth, runtime telemetry): each declared once with a paired
+// HELP/TYPE is silent; re-declaring one from a second render site is
+// the duplicate the analyzer exists to catch.
+func writeGauges(w io.Writer) {
+	fmt.Fprintf(w, "# HELP fix_queue_depth Jobs waiting.\n")
+	fmt.Fprintf(w, "# TYPE fix_queue_depth gauge\n")
+
+	fmt.Fprintf(w, "# HELP fix_heap_bytes Live heap.\n")
+	fmt.Fprintf(w, "# TYPE fix_heap_bytes gauge\n")
+
+	fmt.Fprintf(w, "# HELP fix_gauge_twice Declared here and below.\n")
+	fmt.Fprintf(w, "# TYPE fix_gauge_twice gauge\n")
+
+	fmt.Fprintf(w, "# HELP fix_gauge_retyped One HELP, two TYPEs.\n")
+	fmt.Fprintf(w, "# TYPE fix_gauge_retyped gauge\n")
+}
+
+func writeGaugesAgain(w io.Writer) {
+	fmt.Fprintf(w, "# HELP fix_gauge_twice Declared here and above.\n") // want "emits # HELP 2 times"
+	fmt.Fprintf(w, "# TYPE fix_gauge_twice gauge\n")
+
+	fmt.Fprintf(w, "# TYPE fix_gauge_retyped gauge\n") // want "emits # TYPE 2 times"
+
+	// A quantile-labelled gauge still has exactly one family
+	// declaration; the sample lines themselves are not declarations.
+	fmt.Fprintf(w, "# HELP fix_pause_seconds GC pause quantiles.\n")
+	fmt.Fprintf(w, "# TYPE fix_pause_seconds gauge\n")
+	fmt.Fprintf(w, "fix_pause_seconds{quantile=\"0.5\"} %g\n", 0.001)
+	fmt.Fprintf(w, "fix_pause_seconds{quantile=\"0.99\"} %g\n", 0.002)
+}

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // DefBuckets are the default latency bucket upper bounds in seconds:
@@ -38,6 +39,18 @@ type Histogram struct {
 	counts []uint64  // len(bounds)+1; last is the +Inf overflow; guarded by mu
 	sum    float64   // guarded by mu
 	total  uint64    // guarded by mu
+	// exemplars holds the most recent exemplar per bucket, allocated on
+	// the first exemplared observation. guarded by mu.
+	exemplars []Exemplar
+}
+
+// Exemplar links one observed value to the trace that produced it —
+// the OpenMetrics affordance that lets a histogram outlier be chased
+// to its span tree.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	Unix    float64 // observation time, seconds since the epoch
 }
 
 // NewHistogram builds a histogram over the given ascending upper
@@ -50,7 +63,11 @@ func NewHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one value (seconds, for latency histograms).
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveExemplar(v, "") }
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// remembers it as the bucket's latest exemplar.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 	// Binary search for the first bound >= v; sort.SearchFloat64s
 	// finds the insertion point for v, which is exactly that bucket.
 	i := sort.SearchFloat64s(h.bounds, v)
@@ -58,6 +75,12 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i]++
 	h.sum += v
 	h.total++
+	if traceID != "" {
+		if h.exemplars == nil {
+			h.exemplars = make([]Exemplar, len(h.counts))
+		}
+		h.exemplars[i] = Exemplar{TraceID: traceID, Value: v, Unix: float64(time.Now().UnixMilli()) / 1000}
+	}
 	h.mu.Unlock()
 }
 
@@ -69,6 +92,10 @@ type HistogramSnapshot struct {
 	Cumulative []uint64  // len(Bounds)+1, nondecreasing
 	Sum        float64
 	Count      uint64
+	// Exemplars is nil until an exemplared observation lands; otherwise
+	// len(Cumulative), with zero-value entries for buckets that never
+	// saw one.
+	Exemplars []Exemplar
 }
 
 // Snapshot returns a consistent cumulative view.
@@ -81,7 +108,11 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		run += c
 		cum[i] = run
 	}
-	return HistogramSnapshot{Bounds: h.bounds, Cumulative: cum, Sum: h.sum, Count: h.total}
+	var ex []Exemplar
+	if h.exemplars != nil {
+		ex = append([]Exemplar(nil), h.exemplars...)
+	}
+	return HistogramSnapshot{Bounds: h.bounds, Cumulative: cum, Sum: h.sum, Count: h.total, Exemplars: ex}
 }
 
 // HistogramVec is a family of histograms keyed by label values —
@@ -117,6 +148,14 @@ const labelSep = "\x1f"
 // The value count must match the label names; a mismatch is a
 // programming error and panics loudly rather than mislabeling data.
 func (v *HistogramVec) Observe(val float64, labelValues ...string) {
+	v.ObserveExemplar(val, "", labelValues...)
+}
+
+// ObserveExemplar is Observe plus an exemplar: when traceID is
+// non-empty, the bucket the value lands in remembers it, and Render
+// appends an OpenMetrics-style `# {trace_id="..."}` suffix to that
+// bucket's row.
+func (v *HistogramVec) ObserveExemplar(val float64, traceID string, labelValues ...string) {
 	if len(labelValues) != len(v.labels) {
 		panic(fmt.Sprintf("obs: %s observed with %d label values, want %d", v.name, len(labelValues), len(v.labels)))
 	}
@@ -128,7 +167,7 @@ func (v *HistogramVec) Observe(val float64, labelValues ...string) {
 		v.kids[key] = h
 	}
 	v.mu.Unlock()
-	h.Observe(val)
+	h.ObserveExemplar(val, traceID)
 }
 
 // Count returns the observation count for one label set (0 when the
@@ -147,6 +186,17 @@ func (v *HistogramVec) Count(labelValues ...string) uint64 {
 // le values ("0.005", "1", "10").
 func formatBound(b float64) string {
 	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// exemplarSuffix renders a bucket row's exemplar annotation, or "".
+// The syntax follows OpenMetrics: the row's value, then " # ", then
+// the exemplar labels, the exemplared value and its timestamp.
+func exemplarSuffix(ex []Exemplar, i int) string {
+	if i >= len(ex) || ex[i].TraceID == "" {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s %.3f",
+		ex[i].TraceID, strconv.FormatFloat(ex[i].Value, 'g', -1, 64), ex[i].Unix)
 }
 
 // Render writes the family in Prometheus text exposition format:
@@ -176,9 +226,10 @@ func (v *HistogramVec) Render(w io.Writer) {
 			}
 		}
 		for j, b := range snap.Bounds {
-			fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", v.name, base.String(), formatBound(b), snap.Cumulative[j])
+			fmt.Fprintf(w, "%s_bucket{%sle=%q} %d%s\n", v.name, base.String(), formatBound(b), snap.Cumulative[j], exemplarSuffix(snap.Exemplars, j))
 		}
-		fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", v.name, base.String(), snap.Cumulative[len(snap.Cumulative)-1])
+		last := len(snap.Cumulative) - 1
+		fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d%s\n", v.name, base.String(), snap.Cumulative[last], exemplarSuffix(snap.Exemplars, last))
 		sumBase := strings.TrimSuffix(base.String(), ",")
 		if sumBase == "" {
 			fmt.Fprintf(w, "%s_sum %s\n", v.name, strconv.FormatFloat(snap.Sum, 'g', -1, 64))

@@ -12,6 +12,7 @@ type ctxKey int
 const (
 	requestIDKey ctxKey = iota
 	routeKey
+	traceKey
 )
 
 // RequestIDHeader is the header the service reads an inbound request

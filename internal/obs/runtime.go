@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// This file samples the Go runtime's own telemetry (runtime/metrics)
+// into a small fixed set the service renders as simd_go_* gauges:
+// heap size, goroutine count, GC cycles, and latency quantiles for GC
+// pauses and scheduler delays. Sampling happens at scrape time — the
+// runtime maintains these counters continuously, so reading them is
+// cheap and a dedicated polling goroutine would only add staleness.
+
+// runtimeSamples is the fixed set of runtime/metrics names we read.
+var runtimeSamples = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/sched/goroutines:goroutines",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// Quantiles summarizes a runtime latency distribution.
+type Quantiles struct {
+	P50 float64
+	P99 float64
+	Max float64
+}
+
+// RuntimeStats is one sample of the process's runtime health.
+type RuntimeStats struct {
+	HeapBytes    uint64
+	Goroutines   uint64
+	GCCycles     uint64
+	GCPause      Quantiles
+	SchedLatency Quantiles
+}
+
+// SampleRuntime reads the current runtime telemetry.
+func SampleRuntime() RuntimeStats {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+
+	var out RuntimeStats
+	for _, s := range samples {
+		switch s.Name {
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				out.HeapBytes = s.Value.Uint64()
+			}
+		case "/sched/goroutines:goroutines":
+			if s.Value.Kind() == metrics.KindUint64 {
+				out.Goroutines = s.Value.Uint64()
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if s.Value.Kind() == metrics.KindUint64 {
+				out.GCCycles = s.Value.Uint64()
+			}
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				out.GCPause = histQuantiles(s.Value.Float64Histogram())
+			}
+		case "/sched/latencies:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				out.SchedLatency = histQuantiles(s.Value.Float64Histogram())
+			}
+		}
+	}
+	return out
+}
+
+// histQuantiles approximates p50/p99/max from a runtime
+// Float64Histogram. Each quantile reports the upper boundary of the
+// bucket where the cumulative count crosses it; an infinite boundary
+// falls back to the bucket's finite lower edge so gauges stay plottable.
+func histQuantiles(h *metrics.Float64Histogram) Quantiles {
+	if h == nil || len(h.Counts) == 0 {
+		return Quantiles{}
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return Quantiles{}
+	}
+	// Bucket i spans (Buckets[i], Buckets[i+1]].
+	upper := func(i int) float64 {
+		v := h.Buckets[i+1]
+		if math.IsInf(v, 1) {
+			return h.Buckets[i]
+		}
+		if math.IsInf(v, -1) {
+			return 0
+		}
+		return v
+	}
+	at := func(q float64) float64 {
+		target := uint64(math.Ceil(q * float64(total)))
+		var run uint64
+		for i, c := range h.Counts {
+			run += c
+			if run >= target {
+				return upper(i)
+			}
+		}
+		return upper(len(h.Counts) - 1)
+	}
+	var q Quantiles
+	q.P50 = at(0.50)
+	q.P99 = at(0.99)
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] > 0 {
+			q.Max = upper(i)
+			break
+		}
+	}
+	return q
+}

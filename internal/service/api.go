@@ -2,11 +2,13 @@ package service
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -208,6 +210,68 @@ func RenderTimings(info JobInfo) string {
 	}
 	if info.QueueMS > 0 || info.RunMS > 0 {
 		fmt.Fprintf(&b, "queued %.3f ms, ran %.3f ms\n", info.QueueMS, info.RunMS)
+	}
+	return b.String()
+}
+
+// RenderSpanTree renders an execution trace's span tree the way
+// simctl prints it: one row per span, indented by depth, children
+// under their parents in start order.
+func RenderSpanTree(t obs.TraceData) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s", t.ID)
+	if t.Name != "" {
+		fmt.Fprintf(&b, " (%s)", t.Name)
+	}
+	if t.MS > 0 {
+		fmt.Fprintf(&b, " %.3f ms", t.MS)
+	}
+	if t.Dropped > 0 {
+		fmt.Fprintf(&b, " [%d spans dropped]", t.Dropped)
+	}
+	b.WriteString("\n")
+	children := make(map[int][]obs.SpanData)
+	byID := make(map[int]bool, len(t.Spans))
+	for _, sp := range t.Spans {
+		byID[sp.ID] = true
+	}
+	var roots []obs.SpanData
+	for _, sp := range t.Spans {
+		if sp.Parent != 0 && byID[sp.Parent] {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		} else {
+			// Orphans (parent dropped past the span cap) print at the
+			// top level rather than vanishing.
+			roots = append(roots, sp)
+		}
+	}
+	order := func(s []obs.SpanData) {
+		sort.Slice(s, func(i, j int) bool {
+			if !s[i].Start.Equal(s[j].Start) {
+				return s[i].Start.Before(s[j].Start)
+			}
+			return s[i].ID < s[j].ID
+		})
+	}
+	var walk func(sp obs.SpanData, depth int)
+	walk = func(sp obs.SpanData, depth int) {
+		fmt.Fprintf(&b, "%s%-*s %12.3f ms", strings.Repeat("  ", depth), 24-2*depth, sp.Name, sp.MS)
+		for _, a := range sp.Attrs {
+			fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
+		}
+		if sp.Error {
+			b.WriteString(" ERROR")
+		}
+		b.WriteString("\n")
+		kids := children[sp.ID]
+		order(kids)
+		for _, kid := range kids {
+			walk(kid, depth+1)
+		}
+	}
+	order(roots)
+	for _, sp := range roots {
+		walk(sp, 0)
 	}
 	return b.String()
 }

@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/events"
+	"repro/internal/obs"
 )
 
 // APIError is a non-2xx response from the service: the status, the
@@ -370,4 +372,65 @@ func (c *Client) StreamJob(ctx context.Context, id string, onUpdate func(JobInfo
 		}
 	}
 	return sc.Err()
+}
+
+// WatchJob follows the live SSE event feed of a job (GET
+// /v1/jobs/{id}/events), invoking onEvent for every event, and
+// returns once the feed's final event arrives or ctx is cancelled.
+// Keepalive comments and SSE framing are consumed here; onEvent sees
+// only decoded events.
+func (c *Client) WatchJob(ctx context.Context, id string, onEvent func(events.Event)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return err
+	}
+	c.setRequestID(req)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("service: watch %s: HTTP %d", id, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		// Only data: lines carry payload; id:/event: framing and
+		// ": keepalive" comments are consumed silently.
+		payload, ok := bytes.CutPrefix(line, []byte("data: "))
+		if !ok {
+			continue
+		}
+		var ev events.Event
+		if err := json.Unmarshal(payload, &ev); err != nil {
+			return fmt.Errorf("service: bad event %q: %w", payload, err)
+		}
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		if ev.Final {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("service: watch %s: feed ended before the final event", id)
+}
+
+// DebugTraces lists the execution traces the server has retained.
+func (c *Client) DebugTraces(ctx context.Context) ([]obs.TraceSummary, error) {
+	var out []obs.TraceSummary
+	err := c.do(ctx, http.MethodGet, "/debug/traces", nil, &out)
+	return out, err
+}
+
+// DebugTrace fetches the span tree of one execution trace by trace ID
+// (the request ID of the request that produced it).
+func (c *Client) DebugTrace(ctx context.Context, id string) (obs.TraceData, error) {
+	var out obs.TraceData
+	err := c.do(ctx, http.MethodGet, "/debug/traces/"+url.PathEscape(id), nil, &out)
+	return out, err
 }

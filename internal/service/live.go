@@ -1,0 +1,121 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/events"
+)
+
+// This file is the live side of the observability surface: the SSE
+// event feed any number of clients use to watch one job (GET
+// /v1/jobs/{id}/events) and the execution-trace debug endpoints (GET
+// /debug/traces, GET /debug/traces/{id}).
+
+// stateEvent converts a job snapshot into its bus event. Terminal
+// states carry Final so feeds know to hang up.
+func stateEvent(info JobInfo) events.Event {
+	ev := events.Event{
+		Job: info.ID, Type: events.TypeState, State: string(info.State),
+		Done: info.Done, Total: info.Total, Error: info.Error,
+	}
+	if info.State == JobDone || info.State == JobFailed {
+		ev.Final = true
+	}
+	return ev
+}
+
+// handleJobEvents serves one job's live feed as Server-Sent Events:
+// an opening state snapshot, then every published transition, point
+// completion and progress tick, with comment keepalives while idle.
+// The stream ends after the terminal (final) event. Subscription
+// happens before the snapshot so no event published in between is
+// lost; a state event may therefore be delivered twice around the
+// boundary, which watchers absorb (renders are idempotent).
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.queue.Get(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown job %q", id))
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	sub := s.events.Subscribe(id, 0)
+	defer sub.Close()
+
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	writeEvent := func(ev events.Event) {
+		payload, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, payload)
+	}
+
+	// Opening snapshot: where the job stands right now. If it is
+	// already terminal this is also the final event.
+	info, ok := s.queue.Get(id)
+	if !ok {
+		return
+	}
+	first := stateEvent(info)
+	first.Time = time.Now()
+	writeEvent(first)
+	flush()
+	if first.Final {
+		return
+	}
+
+	keepalive := time.NewTicker(s.keepAlive)
+	defer keepalive.Stop()
+	for {
+		for {
+			ev, ok := sub.Next()
+			if !ok {
+				break
+			}
+			writeEvent(ev)
+			if ev.Final {
+				flush()
+				return
+			}
+		}
+		flush()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.Ready():
+		case <-keepalive.C:
+			// SSE comment line: ignored by parsers, keeps idle proxies
+			// from severing the watch.
+			fmt.Fprint(w, ": keepalive\n\n")
+			flush()
+		}
+	}
+}
+
+// handleDebugTraces lists the retained execution traces, newest first.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.tracer.List())
+}
+
+// handleDebugTrace serves one trace's span tree by trace ID (= the
+// request ID of the request that produced it).
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	data, ok := s.tracer.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no trace %q (evicted, or never sampled)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, data)
+}

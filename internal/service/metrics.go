@@ -76,9 +76,10 @@ func (m *Metrics) CountRequest(route string) {
 	m.mu.Unlock()
 }
 
-// ObserveHTTP records one request's end-to-end latency.
-func (m *Metrics) ObserveHTTP(route, code string, seconds float64) {
-	m.httpSeconds.Observe(seconds, route, code)
+// ObserveHTTP records one request's end-to-end latency, annotated
+// with the trace ID as the bucket's exemplar (empty disables).
+func (m *Metrics) ObserveHTTP(route, code string, seconds float64, traceID string) {
+	m.httpSeconds.ObserveExemplar(seconds, traceID, route, code)
 }
 
 // ObserveStage records one completed job stage.
@@ -165,6 +166,12 @@ func (m *Metrics) WriteTo(w io.Writer, s *Server) {
 	}
 
 	queued, running, completed, failed := s.queue.Counts()
+	fmt.Fprintf(w, "# HELP simd_queue_depth Jobs waiting in the bounded queue right now.\n")
+	fmt.Fprintf(w, "# TYPE simd_queue_depth gauge\n")
+	fmt.Fprintf(w, "simd_queue_depth %d\n", s.queue.Depth())
+	fmt.Fprintf(w, "# HELP simd_queue_capacity Bound of the pending-job queue.\n")
+	fmt.Fprintf(w, "# TYPE simd_queue_capacity gauge\n")
+	fmt.Fprintf(w, "simd_queue_capacity %d\n", s.queue.Capacity())
 	fmt.Fprintf(w, "# HELP simd_jobs_pending Jobs waiting in the bounded queue.\n")
 	fmt.Fprintf(w, "# TYPE simd_jobs_pending gauge\n")
 	fmt.Fprintf(w, "simd_jobs_pending %d\n", queued)
@@ -179,6 +186,47 @@ func (m *Metrics) WriteTo(w io.Writer, s *Server) {
 	fmt.Fprintf(w, "# HELP simd_panics_total Handler panics recovered by the middleware.\n")
 	fmt.Fprintf(w, "# TYPE simd_panics_total counter\n")
 	fmt.Fprintf(w, "simd_panics_total %d\n", s.panics.Load())
+
+	retained, pinnedTraces := s.tracer.Stats()
+	fmt.Fprintf(w, "# HELP simd_exec_traces Execution traces retained for /debug/traces.\n")
+	fmt.Fprintf(w, "# TYPE simd_exec_traces gauge\n")
+	fmt.Fprintf(w, "simd_exec_traces %d\n", retained)
+	fmt.Fprintf(w, "# HELP simd_exec_traces_pinned Traces pinned by tail sampling (errors and slow requests).\n")
+	fmt.Fprintf(w, "# TYPE simd_exec_traces_pinned gauge\n")
+	fmt.Fprintf(w, "simd_exec_traces_pinned %d\n", pinnedTraces)
+
+	published, dropped, subscribers := s.events.Stats()
+	fmt.Fprintf(w, "# HELP simd_events_published_total Events published on the live job feed.\n")
+	fmt.Fprintf(w, "# TYPE simd_events_published_total counter\n")
+	fmt.Fprintf(w, "simd_events_published_total %d\n", published)
+	fmt.Fprintf(w, "# HELP simd_events_dropped_total Events coalesced or dropped by the slow-subscriber policy.\n")
+	fmt.Fprintf(w, "# TYPE simd_events_dropped_total counter\n")
+	fmt.Fprintf(w, "simd_events_dropped_total %d\n", dropped)
+	fmt.Fprintf(w, "# HELP simd_event_subscribers Live event-feed subscriptions.\n")
+	fmt.Fprintf(w, "# TYPE simd_event_subscribers gauge\n")
+	fmt.Fprintf(w, "simd_event_subscribers %d\n", subscribers)
+
+	// Runtime self-telemetry, sampled at scrape time.
+	rt := obs.SampleRuntime()
+	fmt.Fprintf(w, "# HELP simd_go_heap_bytes Live heap object bytes (runtime/metrics).\n")
+	fmt.Fprintf(w, "# TYPE simd_go_heap_bytes gauge\n")
+	fmt.Fprintf(w, "simd_go_heap_bytes %d\n", rt.HeapBytes)
+	fmt.Fprintf(w, "# HELP simd_go_goroutines Live goroutines.\n")
+	fmt.Fprintf(w, "# TYPE simd_go_goroutines gauge\n")
+	fmt.Fprintf(w, "simd_go_goroutines %d\n", rt.Goroutines)
+	fmt.Fprintf(w, "# HELP simd_go_gc_cycles_total Completed GC cycles.\n")
+	fmt.Fprintf(w, "# TYPE simd_go_gc_cycles_total counter\n")
+	fmt.Fprintf(w, "simd_go_gc_cycles_total %d\n", rt.GCCycles)
+	fmt.Fprintf(w, "# HELP simd_go_gc_pause_seconds GC stop-the-world pause latency quantiles since process start.\n")
+	fmt.Fprintf(w, "# TYPE simd_go_gc_pause_seconds gauge\n")
+	fmt.Fprintf(w, "simd_go_gc_pause_seconds{quantile=\"0.5\"} %g\n", rt.GCPause.P50)
+	fmt.Fprintf(w, "simd_go_gc_pause_seconds{quantile=\"0.99\"} %g\n", rt.GCPause.P99)
+	fmt.Fprintf(w, "simd_go_gc_pause_seconds{quantile=\"max\"} %g\n", rt.GCPause.Max)
+	fmt.Fprintf(w, "# HELP simd_go_sched_latency_seconds Goroutine scheduling latency quantiles since process start.\n")
+	fmt.Fprintf(w, "# TYPE simd_go_sched_latency_seconds gauge\n")
+	fmt.Fprintf(w, "simd_go_sched_latency_seconds{quantile=\"0.5\"} %g\n", rt.SchedLatency.P50)
+	fmt.Fprintf(w, "simd_go_sched_latency_seconds{quantile=\"0.99\"} %g\n", rt.SchedLatency.P99)
+	fmt.Fprintf(w, "simd_go_sched_latency_seconds{quantile=\"max\"} %g\n", rt.SchedLatency.Max)
 
 	// Crash-safety rows appear only on a durable server.
 	if s.journal != nil {

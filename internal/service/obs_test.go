@@ -41,9 +41,13 @@ func (s *syncBuffer) String() string {
 var labelRe = regexp.MustCompile(`(\w+)="([^"]*)"`)
 
 // parseSample splits `name{a="x",b="y"} 42` into the metric name, its
-// label map and the sample value.
+// label map and the sample value. An OpenMetrics exemplar suffix
+// (` # {trace_id="..."} v ts`) is stripped before parsing.
 func parseSample(t *testing.T, line string) (name string, labels map[string]string, value float64) {
 	t.Helper()
+	if i := strings.Index(line, " # {"); i >= 0 {
+		line = line[:i]
+	}
 	labels = map[string]string{}
 	rest := line
 	if i := strings.IndexByte(line, '{'); i >= 0 {
@@ -133,6 +137,11 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 		line = strings.TrimSpace(line)
 		if line == "" {
 			continue
+		}
+		// Bucket rows may carry an OpenMetrics exemplar; its trace_id
+		// label must not split the series grouping below.
+		if i := strings.Index(line, " # {"); i >= 0 {
+			line = line[:i]
 		}
 		if strings.HasPrefix(line, "# HELP ") {
 			fam := strings.Fields(line)[2]

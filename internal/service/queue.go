@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // JobState is the lifecycle of a submitted job.
@@ -91,6 +93,12 @@ type JobOptions struct {
 	// RequestID is the correlation key of the submitting HTTP request,
 	// carried on every snapshot of the job.
 	RequestID string
+	// Trace, when non-nil, is the submitting request's execution trace:
+	// the queue records queue-wait and execute spans on it and installs
+	// it in the job's run context so the work's own spans (cache
+	// probes, point computes, persists) join the same tree even after
+	// the HTTP response has gone out.
+	Trace *obs.Trace
 }
 
 // job is the internal record: a snapshot guarded by mu plus the work.
@@ -101,6 +109,7 @@ type job struct {
 	fn       JobFunc
 	base     context.Context // optional extra cancel signal
 	timeout  time.Duration
+	trace    *obs.Trace    // submitting request's trace, or nil
 	finished chan struct{} // closed on done/failed
 }
 
@@ -151,6 +160,11 @@ type Queue struct {
 	// histogram.
 	onStage func(stage string, d time.Duration)
 
+	// onTransition, when set (before traffic, by the server), observes
+	// every job state transition with a fresh snapshot — the feed of
+	// the live event bus.
+	onTransition func(info JobInfo)
+
 	wg     sync.WaitGroup
 	cancel context.CancelFunc
 }
@@ -192,6 +206,18 @@ func (q *Queue) Workers() int { return q.workers }
 // OnStage installs the stage-span observer. Call it once, before any
 // submissions — it is not synchronized against running jobs.
 func (q *Queue) OnStage(fn func(stage string, d time.Duration)) { q.onStage = fn }
+
+// OnTransition installs the state-transition observer. Call it once,
+// before any submissions — it is not synchronized against running
+// jobs.
+func (q *Queue) OnTransition(fn func(info JobInfo)) { q.onTransition = fn }
+
+// notifyTransition reports one job state change to the observer.
+func (q *Queue) notifyTransition(info JobInfo) {
+	if q.onTransition != nil {
+		q.onTransition(info)
+	}
+}
 
 // observeStage reports one completed span to the observer.
 func (q *Queue) observeStage(stage string, d time.Duration) {
@@ -246,6 +272,7 @@ func (q *Queue) SubmitJob(kind string, opt JobOptions, fn JobFunc) (JobInfo, err
 		fn:       fn,
 		base:     opt.Base,
 		timeout:  opt.Timeout,
+		trace:    opt.Trace,
 		finished: make(chan struct{}),
 	}
 	select {
@@ -256,7 +283,9 @@ func (q *Queue) SubmitJob(kind string, opt JobOptions, fn JobFunc) (JobInfo, err
 	q.jobs[id] = j
 	q.order = append(q.order, id)
 	q.pruneLocked()
-	return j.snapshot(), nil
+	info := j.snapshot()
+	q.notifyTransition(info)
+	return info, nil
 }
 
 // NextID reserves the next job ID without enqueuing anything — the
@@ -366,12 +395,23 @@ func (q *Queue) runJob(ctx context.Context, j *job) {
 	j.mu.Lock()
 	j.info.State = JobRunning
 	j.info.Started = &started
-	queueWait := started.Sub(j.info.Submitted)
+	submitted := j.info.Submitted
+	queueWait := started.Sub(submitted)
 	j.info.QueueMS = float64(queueWait.Microseconds()) / 1000
-	j.addStageLocked("queue_wait", j.info.Submitted, queueWait)
+	j.addStageLocked("queue_wait", submitted, queueWait)
 	j.mu.Unlock()
 	q.observeStage("queue_wait", queueWait)
 	q.running.Add(1)
+	q.notifyTransition(j.snapshot())
+
+	// Mirror the timeline onto the submitting request's span tree: the
+	// wait is recorded retrospectively, the execute span opens now and
+	// becomes the parent of everything the job body does.
+	var execSpan *obs.Span
+	if j.trace != nil {
+		j.trace.AddSpan(obs.RootSpanID, "queue_wait", submitted, queueWait)
+		execSpan = j.trace.NewSpan("execute", obs.RootSpanID, started)
+	}
 
 	progress := func(done, total int) {
 		j.mu.Lock()
@@ -393,6 +433,9 @@ func (q *Queue) runJob(ctx context.Context, j *job) {
 		stop := context.AfterFunc(j.base, cancel)
 		defer stop()
 	}
+	if execSpan != nil {
+		runCtx = obs.ContextWithSpan(runCtx, j.trace, execSpan.ID())
+	}
 	err := j.fn(runCtx, progress)
 	cancel()
 
@@ -401,6 +444,10 @@ func (q *Queue) runJob(ctx context.Context, j *job) {
 	q.observeService(finished.Sub(started))
 	runDur := finished.Sub(started)
 	q.observeStage("execute", runDur)
+	if execSpan != nil {
+		execSpan.SetError(err != nil)
+		execSpan.EndAt(finished)
+	}
 	j.mu.Lock()
 	j.info.Finished = &finished
 	j.info.RunMS = float64(runDur.Microseconds()) / 1000
@@ -418,6 +465,7 @@ func (q *Queue) runJob(ctx context.Context, j *job) {
 	}
 	j.mu.Unlock()
 	close(j.finished)
+	q.notifyTransition(j.snapshot())
 }
 
 // observeService folds one job's service time into the EWMA.
@@ -479,6 +527,13 @@ func (q *Queue) Unfinished() []JobInfo {
 func (q *Queue) Counts() (queued int, running, completed, failed int64) {
 	return len(q.pending), q.running.Load(), q.completed.Load(), q.failed.Load()
 }
+
+// Depth is the number of jobs waiting in the pending queue right now.
+func (q *Queue) Depth() int { return len(q.pending) }
+
+// Capacity is the pending queue's bound — with Depth, the headroom a
+// scraper needs to see saturation coming.
+func (q *Queue) Capacity() int { return cap(q.pending) }
 
 // Close stops accepting submissions, waits for queued and running
 // jobs to drain (bounded by ctx), then stops the workers. It is the

@@ -12,6 +12,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/engine"
 	"repro/internal/keys"
+	"repro/internal/obs"
 	"repro/internal/tracesim"
 	"repro/internal/tracestore"
 	"repro/internal/units"
@@ -219,10 +220,16 @@ type ReplayResponse struct {
 // functional hierarchy. Cancellation is checked before the replay
 // starts; a begun replay runs to completion so a cancelled result is
 // never cached half-done.
-func (s *Server) computeReplay(ctx context.Context, q replayQuery) (ReplayResponse, error) {
+func (s *Server) computeReplay(ctx context.Context, q replayQuery) (resp ReplayResponse, err error) {
 	if err := ctx.Err(); err != nil {
 		return ReplayResponse{}, err
 	}
+	_, span := obs.StartSpan(ctx, "replay")
+	span.SetAttr("trace", q.trace)
+	defer func() {
+		span.SetError(err != nil)
+		span.End()
+	}()
 	st, err := s.traceStore()
 	if err != nil {
 		return ReplayResponse{}, err

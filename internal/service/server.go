@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"math"
 	"net/http"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/events"
 	"repro/internal/faultfs"
 	"repro/internal/harness"
 	"repro/internal/journal"
@@ -67,8 +69,17 @@ type Options struct {
 	// Nil means no logging (library embedders and tests pay nothing).
 	Logger *slog.Logger
 	// SlowRequest promotes requests slower than this to WARN in the
-	// access log (<=0: 1s).
+	// access log (<=0: 1s). The same threshold drives tail-based trace
+	// sampling: traces at or past it are pinned.
 	SlowRequest time.Duration
+	// TraceBuffer bounds the execution-trace rings: up to this many
+	// recent traces plus up to this many pinned (error/slow) traces
+	// stay queryable at /debug/traces (<=0: 256).
+	TraceBuffer int
+	// KeepAlive is the idle heartbeat period of the streaming endpoints
+	// (SSE comments on /events, blank lines on /stream) so idle proxies
+	// don't sever long-running watches (<=0: 15s).
+	KeepAlive time.Duration
 }
 
 // timeoutHeader carries a per-request job deadline override, as a Go
@@ -90,6 +101,9 @@ type Server struct {
 	mux         *http.ServeMux
 	logger      *slog.Logger
 	slowReq     time.Duration
+	tracer      *obs.Tracer
+	events      *events.Bus
+	keepAlive   time.Duration
 
 	maxBody    int64
 	maxTrace   int64
@@ -132,6 +146,8 @@ func NewServer(opt Options) *Server {
 		mux:         http.NewServeMux(),
 		logger:      opt.Logger,
 		slowReq:     opt.SlowRequest,
+		events:      events.NewBus(),
+		keepAlive:   opt.KeepAlive,
 		maxBody:     opt.MaxBodyBytes,
 		maxTrace:    opt.MaxTraceBytes,
 		jobTimeout:  opt.JobTimeout,
@@ -144,6 +160,10 @@ func NewServer(opt Options) *Server {
 	if s.slowReq <= 0 {
 		s.slowReq = time.Second
 	}
+	if s.keepAlive <= 0 {
+		s.keepAlive = 15 * time.Second
+	}
+	s.tracer = obs.NewTracer(opt.TraceBuffer, s.slowReq)
 	if s.maxBody <= 0 {
 		s.maxBody = 1 << 20
 	}
@@ -157,6 +177,11 @@ func NewServer(opt Options) *Server {
 	// stage-latency histogram; installed before any route can submit.
 	s.queue.OnStage(func(stage string, d time.Duration) {
 		s.metrics.ObserveStage(stage, d.Seconds())
+	})
+	// Job state transitions fan out to the live event bus so any number
+	// of /events watchers follow a job without polling it.
+	s.queue.OnTransition(func(info JobInfo) {
+		s.events.Publish(stateEvent(info))
 	})
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
@@ -174,6 +199,10 @@ func NewServer(opt Options) *Server {
 	s.route("GET /v1/jobs/{id}", s.handleJob)
 	s.route("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.route("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	s.route("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	// Execution traces: the span trees tail sampling retained.
+	s.route("GET /debug/traces", s.handleDebugTraces)
+	s.route("GET /debug/traces/{id}", s.handleDebugTrace)
 	// Runtime profiling, served through the same stack so profile
 	// scrapes appear in the access log and latency histogram.
 	s.route("GET /debug/pprof/", pprof.Index)
@@ -240,16 +269,21 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 
 // Handler returns the HTTP handler: the mux behind the composable
 // middleware stack. Outermost first: request-ID assignment (so every
-// later layer and the error envelope see the ID), the structured
-// access log, request latency/counting, and panic recovery (one bad
-// request becomes a 500 plus a metric instead of a dead connection).
+// later layer and the error envelope see the ID), execution tracing
+// (the trace ID is the request ID, so it must sit just inside), the
+// structured access log, request latency/counting, and panic recovery
+// (one bad request becomes a 500 plus a metric instead of a dead
+// connection).
 func (s *Server) Handler() http.Handler {
 	return obs.Chain(s.mux,
 		obs.RequestIDs(),
+		obs.Tracing(s.tracer),
 		obs.Logging(s.logger, s.slowReq),
-		obs.Timing(func(_ *http.Request, route string, status int, _ int64, elapsed time.Duration) {
+		obs.Timing(func(r *http.Request, route string, status int, _ int64, elapsed time.Duration) {
 			s.metrics.CountRequest(route)
-			s.metrics.ObserveHTTP(route, strconv.Itoa(status), elapsed.Seconds())
+			// The request ID doubles as the trace ID, so the histogram
+			// bucket's exemplar links straight to the span tree.
+			s.metrics.ObserveHTTP(route, strconv.Itoa(status), elapsed.Seconds(), obs.RequestID(r.Context()))
 		}),
 		obs.Recover(func(w http.ResponseWriter, r *http.Request, v any) {
 			s.panics.Add(1)
@@ -345,31 +379,42 @@ func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 // are persisted to the durable result store so a restart serves them
 // from a warm cache instead of recomputing.
 func (s *Server) runPoint(ctx context.Context, p campaign.Point) (campaign.Outcome, bool, error) {
+	ctx, lookupSpan := obs.StartSpan(ctx, "cache.point")
+	lookupSpan.SetAttr("key", p.Key())
 	lookup := time.Now()
 	out, cached, err := s.points.GetOrCompute(p.Key(), func() (campaign.Outcome, error) {
 		var (
 			out campaign.Outcome
 			err error
 		)
+		computeCtx, computeSpan := obs.StartSpan(ctx, "compute")
+		computeSpan.SetAttr("workload", p.Workload)
 		compute := time.Now()
 		if p.Fidelity == campaign.FidelityReplay {
-			out, err = s.runReplayPoint(ctx, p)
+			out, err = s.runReplayPoint(computeCtx, p)
 		} else {
-			out, err = s.exec.RunPoint(ctx, p)
+			out, err = s.exec.RunPoint(computeCtx, p)
 		}
+		computeSpan.SetError(err != nil)
+		computeSpan.End()
 		if err == nil {
 			fidelity := p.Fidelity
 			if fidelity == "" {
 				fidelity = campaign.FidelityModel
 			}
 			s.metrics.ObservePoint(fidelity, time.Since(compute).Seconds())
+			_, persistSpan := obs.StartSpan(computeCtx, "persist")
 			s.persistResult("point", p.Key(), out)
+			persistSpan.End()
 		}
 		return out, err
 	})
 	if err == nil && cached {
 		s.metrics.ObserveLookup("point", time.Since(lookup).Seconds())
 	}
+	lookupSpan.SetAttr("hit", strconv.FormatBool(cached))
+	lookupSpan.SetError(err != nil)
+	lookupSpan.End()
 	return out, cached, err
 }
 
@@ -531,7 +576,7 @@ func expandExperiments(ids []string) []string {
 // (each point through the shared cache), experiments run alongside,
 // and the whole result is content-addressed so an identical
 // resubmission never recomputes anything.
-func (s *Server) runCampaign(ctx context.Context, spec campaign.Spec, progress func(done, total int)) (*CampaignResult, bool, error) {
+func (s *Server) runCampaign(ctx context.Context, jobID string, spec campaign.Spec, progress func(done, total int)) (*CampaignResult, bool, error) {
 	key, err := spec.CampaignKey()
 	if err != nil {
 		return nil, false, err
@@ -552,9 +597,13 @@ func (s *Server) runCampaign(ctx context.Context, spec campaign.Spec, progress f
 		}
 	}
 	lookup := time.Now()
+	lookupCtx, lookupSpan := obs.StartSpan(ctx, "cache.campaign")
 	res, cached, err := s.campaigns.GetOrCompute(key, func() (*CampaignResult, error) {
-		return s.computeCampaign(ctx, key, spec, progress)
+		return s.computeCampaign(lookupCtx, jobID, key, spec, progress)
 	})
+	lookupSpan.SetAttr("hit", strconv.FormatBool(cached))
+	lookupSpan.SetError(err != nil)
+	lookupSpan.End()
 	if err != nil {
 		return nil, false, err
 	}
@@ -569,7 +618,7 @@ func (s *Server) runCampaign(ctx context.Context, spec campaign.Spec, progress f
 	return res, cached, nil
 }
 
-func (s *Server) computeCampaign(ctx context.Context, key string, spec campaign.Spec, progress func(done, total int)) (*CampaignResult, error) {
+func (s *Server) computeCampaign(ctx context.Context, jobID, key string, spec campaign.Spec, progress func(done, total int)) (*CampaignResult, error) {
 	start := time.Now()
 	points, raw, err := spec.Expand()
 	if err != nil {
@@ -616,6 +665,9 @@ func (s *Server) computeCampaign(ctx context.Context, key string, spec campaign.
 		d := done
 		mu.Unlock()
 		progress(d, total)
+		if jobID != "" {
+			s.events.Publish(events.Event{Job: jobID, Type: events.TypeProgress, Done: d, Total: total})
+		}
 	}
 
 	workers := s.queue.Workers()
@@ -641,6 +693,14 @@ func (s *Server) computeCampaign(ctx context.Context, key string, spec campaign.
 					return
 				}
 				outcomes[i], cachedFlags[i], errs[i] = s.runPoint(ctx, points[i])
+				if jobID != "" {
+					ev := events.Event{Job: jobID, Type: events.TypePoint,
+						Point: points[i].Key(), Workload: points[i].Workload, Cached: cachedFlags[i]}
+					if errs[i] != nil {
+						ev.Error = errs[i].Error()
+					}
+					s.events.Publish(ev)
+				}
 				bump()
 			}
 		}()
@@ -678,7 +738,7 @@ func (s *Server) computeCampaign(ctx context.Context, key string, spec campaign.
 // StateInterrupted (re-run next boot) instead of StateFailed.
 func (s *Server) campaignJob(id, key, rid string, spec campaign.Spec) JobFunc {
 	return func(ctx context.Context, progress func(done, total int)) error {
-		res, _, err := s.runCampaign(ctx, spec, progress)
+		res, _, err := s.runCampaign(ctx, id, spec, progress)
 		if err != nil {
 			state := journal.StateFailed
 			if errors.Is(err, context.Canceled) && s.closing.Load() {
@@ -687,6 +747,9 @@ func (s *Server) campaignJob(id, key, rid string, spec campaign.Spec) JobFunc {
 			persist := time.Now()
 			s.journalAppend(journal.Entry{State: state, Job: id, Kind: "campaign", Key: key, Req: rid, Error: err.Error()})
 			s.queue.AddStage(id, "persist", persist, time.Since(persist))
+			if tr := obs.TraceFrom(ctx); tr != nil {
+				tr.AddSpan(obs.SpanIDFrom(ctx), "persist", persist, time.Since(persist))
+			}
 			return err
 		}
 		s.mu.Lock()
@@ -694,10 +757,15 @@ func (s *Server) campaignJob(id, key, rid string, spec campaign.Spec) JobFunc {
 		s.mu.Unlock()
 		total := res.Points + len(res.Experiments)
 		// The terminal journal append is the job's durability cost;
-		// surface it as the persist span on the timeline.
+		// surface it as the persist span on the timeline — and mirror it
+		// onto the request's span tree with identical bounds.
 		persist := time.Now()
 		s.journalAppend(journal.Entry{State: journal.StateDone, Job: id, Kind: "campaign", Key: key, Req: rid, Done: total, Total: total})
-		s.queue.AddStage(id, "persist", persist, time.Since(persist))
+		d := time.Since(persist)
+		s.queue.AddStage(id, "persist", persist, d)
+		if tr := obs.TraceFrom(ctx); tr != nil {
+			tr.AddSpan(obs.SpanIDFrom(ctx), "persist", persist, d)
+		}
 		return nil
 	}
 }
@@ -751,7 +819,9 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	info, err := s.queue.SubmitJob("campaign", JobOptions{ID: id, Base: base, Timeout: timeout, RequestID: rid}, s.campaignJob(id, key, rid, spec))
+	info, err := s.queue.SubmitJob("campaign",
+		JobOptions{ID: id, Base: base, Timeout: timeout, RequestID: rid, Trace: obs.TraceFrom(r.Context())},
+		s.campaignJob(id, key, rid, spec))
 	if err != nil {
 		// The accepted record is already durable; close it out so a
 		// restart does not resurrect a job the client was told to retry.
@@ -822,11 +892,13 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	ticker := time.NewTicker(25 * time.Millisecond)
 	defer ticker.Stop()
 	var last JobInfo
+	lastWrite := time.Now()
 	emit := func(info JobInfo) {
 		if info.State == last.State && info.Done == last.Done && info.Total == last.Total {
 			return
 		}
 		last = info
+		lastWrite = time.Now()
 		_ = enc.Encode(info)
 		if flusher != nil {
 			flusher.Flush()
@@ -840,6 +912,16 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 		emit(info)
 		if info.State == JobDone || info.State == JobFailed {
 			return
+		}
+		// A long-running stage emits nothing; heartbeat with a blank
+		// line (clients skip empty NDJSON lines) so idle proxies keep
+		// the connection open.
+		if time.Since(lastWrite) >= s.keepAlive {
+			lastWrite = time.Now()
+			_, _ = io.WriteString(w, "\n")
+			if flusher != nil {
+				flusher.Flush()
+			}
 		}
 		select {
 		case <-r.Context().Done():
